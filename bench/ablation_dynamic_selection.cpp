@@ -1,0 +1,65 @@
+// Ablation (paper future work, Sec. IX): cost-model-driven dynamic
+// selection of the compression scheme per message. A mixed workload sends
+// one large message of each Table-III dataset; static policies use one
+// scheme for everything, the dynamic policy samples each message and picks
+// per message. Expected: dynamic matches or beats every static policy.
+#include "common.hpp"
+
+#include "core/dynamic.hpp"
+
+using namespace gcmpi;
+using namespace gcmpi::bench;
+
+namespace {
+
+sim::Time send_with(const net::ClusterSpec& cluster, core::CompressionConfig cfg,
+                    const std::vector<float>& payload) {
+  return ping_pong(cluster, cfg, payload).one_way;
+}
+
+}  // namespace
+
+int main() {
+  const auto cluster = net::longhorn(2, 1);
+  const std::size_t n = (8u << 20) / 4;
+
+  print_header("Future-work ablation: dynamic per-message scheme selection (8MB, EDR)");
+  std::printf("%-12s | %10s %10s %10s | %-18s %10s\n", "dataset", "none", "MPC-OPT", "ZFP-8",
+              "dynamic choice", "dynamic");
+
+  core::DynamicSelector selector(cluster.gpu, cluster.inter.bandwidth_gbs,
+                                 /*lossy_allowed=*/true, /*min_zfp_rate=*/8);
+  sim::Time tot_none, tot_mpc, tot_zfp, tot_dyn;
+  for (const auto& info : data::table3_datasets()) {
+    const auto payload = data::generate(info.name, n);
+    const sim::Time t_none = send_with(cluster, core::CompressionConfig::off(), payload);
+    const sim::Time t_mpc =
+        send_with(cluster, core::CompressionConfig::mpc_opt(info.mpc_dimensionality), payload);
+    const sim::Time t_zfp = send_with(cluster, core::CompressionConfig::zfp_opt(8), payload);
+
+    const auto decision = selector.choose(payload);
+    core::CompressionConfig dyn_cfg = core::CompressionConfig::mpc_opt(info.mpc_dimensionality);
+    core::DynamicSelector::apply(decision, dyn_cfg);
+    const sim::Time t_dyn = send_with(cluster, dyn_cfg, payload);
+
+    char choice[32];
+    if (decision.algorithm == core::Algorithm::ZFP) {
+      std::snprintf(choice, sizeof(choice), "ZFP(rate %d)", decision.zfp_rate);
+    } else {
+      std::snprintf(choice, sizeof(choice), "%s",
+                    core::algorithm_name(decision.algorithm));
+    }
+    std::printf("%-12s | %8.1fus %8.1fus %8.1fus | %-18s %8.1fus\n", info.name,
+                t_none.to_us(), t_mpc.to_us(), t_zfp.to_us(), choice, t_dyn.to_us());
+    tot_none += t_none;
+    tot_mpc += t_mpc;
+    tot_zfp += t_zfp;
+    tot_dyn += t_dyn;
+  }
+  std::printf("%-12s | %8.1fus %8.1fus %8.1fus | %-18s %8.1fus\n", "TOTAL", tot_none.to_us(),
+              tot_mpc.to_us(), tot_zfp.to_us(), "", tot_dyn.to_us());
+  const sim::Time best_static = std::min({tot_none, tot_mpc, tot_zfp});
+  std::printf("\nDynamic vs best static policy: %.2fx (>= 1.0 means dynamic wins or ties).\n",
+              best_static.to_seconds() / tot_dyn.to_seconds());
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Ablation: isolate each MPC-OPT / ZFP-OPT optimization (Sec. IV-B, V-B)
+// by toggling them one at a time on a 4MB inter-node transfer.
+#include "common.hpp"
+
+using namespace gcmpi;
+using namespace gcmpi::bench;
+
+namespace {
+
+sim::Time mpc_latency(bool pool, bool gdrcopy, bool partitions) {
+  auto cfg = core::CompressionConfig::mpc_naive();
+  cfg.use_buffer_pool = pool;
+  cfg.use_gdrcopy = gdrcopy;
+  cfg.multi_stream_partitions = partitions;
+  const auto payload = omb_dummy(4u << 20);
+  return ping_pong(net::longhorn(2, 1), cfg, payload, false).one_way;
+}
+
+sim::Time zfp_latency(bool attr_cache, bool pool) {
+  auto cfg = core::CompressionConfig::zfp_naive(16);
+  cfg.cache_device_attributes = attr_cache;
+  cfg.use_buffer_pool = pool;
+  const auto payload = omb_dummy(4u << 20);
+  return ping_pong(net::longhorn(2, 1), cfg, payload, attr_cache).one_way;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Ablation: MPC optimizations one at a time (4MB, Longhorn inter-node)");
+  const sim::Time naive = mpc_latency(false, false, false);
+  struct Row {
+    const char* name;
+    sim::Time t;
+  };
+  const Row rows[] = {
+      {"naive (no optimizations)", naive},
+      {"+ buffer pool (IV-B 1+2)", mpc_latency(true, false, false)},
+      {"+ GDRCopy readback (IV-B 3)", mpc_latency(false, true, false)},
+      {"+ multi-stream partitions", mpc_latency(false, false, true)},
+      {"MPC-OPT (all)", mpc_latency(true, true, true)},
+  };
+  std::printf("%-30s %12s %10s\n", "configuration", "latency", "vs naive");
+  for (const auto& r : rows) {
+    std::printf("%-30s %10.1fus %9.2fx\n", r.name, r.t.to_us(),
+                naive.to_seconds() / r.t.to_seconds());
+  }
+
+  std::printf("\n");
+  print_header("Ablation: ZFP optimizations (4MB, rate 16, Longhorn inter-node)");
+  const sim::Time znaive = zfp_latency(false, false);
+  const Row zrows[] = {
+      {"naive (properties/call)", znaive},
+      {"+ cached attribute (V-B)", zfp_latency(true, false)},
+      {"+ buffer pool too", zfp_latency(true, true)},
+  };
+  std::printf("%-30s %12s %10s\n", "configuration", "latency", "vs naive");
+  for (const auto& r : zrows) {
+    std::printf("%-30s %10.1fus %9.2fx\n", r.name, r.t.to_us(),
+                znaive.to_seconds() / r.t.to_seconds());
+  }
+  std::printf("\nPaper anchors: buffer pool removes the dominant cudaMalloc cost (83.4%% of\n"
+              "a 256KB message); GDRCopy cuts the 20us size readback to 1-5us; the cached\n"
+              "attribute cuts get_max_grid_dims from ~4000us to ~1us.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Ablation (Sec. IV-B): the MPC-OPT data-partitioning + multi-stream
+// design. Sweeps the partition count for several message sizes and shows
+// (1) the kernel-model claim "half the SMs is roughly as fast as the full
+// GPU", and (2) the end-to-end latency sweet spot that the tuning table
+// encodes.
+#include "common.hpp"
+
+#include "compress/kernel_cost.hpp"
+
+using namespace gcmpi;
+using namespace gcmpi::bench;
+
+namespace {
+
+sim::Time latency_with_partitions(std::size_t bytes, int partitions) {
+  auto cfg = core::CompressionConfig::mpc_opt();
+  cfg.partition_table = {{~0ull, partitions}};
+  const auto payload = omb_dummy(bytes);
+  return ping_pong(net::longhorn(2, 1), cfg, payload).one_way;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Ablation: MPC kernel time vs thread blocks (Sec. IV-B claim)");
+  const comp::KernelCostModel model;
+  const auto gpu = gpu::v100_spec();
+  std::printf("%8s %12s %12s %12s\n", "blocks", "16MB kernel", "vs 80 blocks", "sync share");
+  const sim::Time full = model.mpc_compress(16u << 20, 8u << 20, 80, gpu);
+  for (int blocks : {80, 40, 20, 10, 5}) {
+    const sim::Time t = model.mpc_compress(16u << 20, 8u << 20, blocks, gpu);
+    const double sync_us = 0.35 * blocks;
+    std::printf("%8d %10.1fus %11.2fx %10.1fus\n", blocks, t.to_us(),
+                t.to_seconds() / full.to_seconds(), sync_us);
+  }
+
+  std::printf("\n");
+  print_header("Ablation: end-to-end latency vs partition count (Longhorn inter-node)");
+  std::printf("%8s %12s %12s %12s %12s | %s\n", "size", "N=1", "N=2", "N=4", "N=8", "best");
+  for (std::size_t bytes : {1u << 20, 4u << 20, 16u << 20, 32u << 20}) {
+    sim::Time best = sim::Time::seconds(1e9);
+    int best_n = 1;
+    double us[4];
+    int idx = 0;
+    for (int n : {1, 2, 4, 8}) {
+      const sim::Time t = latency_with_partitions(bytes, n);
+      us[idx++] = t.to_us();
+      if (t < best) {
+        best = t;
+        best_n = n;
+      }
+    }
+    std::printf("%8s %10.1fus %10.1fus %10.1fus %10.1fus | N=%d\n", size_label(bytes), us[0],
+                us[1], us[2], us[3], best_n);
+  }
+  std::printf("\nPaper: partition counts are fine-tuned per message size; each kernel uses\n"
+              "1/N of the SMs with proportionally lower busy-wait sync overhead (Fig. 7).\n");
+  return 0;
+}

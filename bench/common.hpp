@@ -1,0 +1,107 @@
+// Shared harness utilities for the paper-reproduction benchmarks.
+//
+// Every bench binary regenerates one table or figure of the paper: it runs
+// the simulated cluster(s), prints the same rows/series the paper reports,
+// and (where the paper gives numbers) prints the paper's value next to the
+// measured one. Simulations are deterministic, so a single measured
+// iteration equals the paper's 1000-iteration average; ITERS exists only to
+// exercise warm-cache effects (e.g. the ZFP attribute cache).
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/manager.hpp"
+#include "data/datasets.hpp"
+#include "mpi/world.hpp"
+
+namespace gcmpi::bench {
+
+using core::CompressionConfig;
+using sim::Time;
+
+/// OMB-style message sizes 256KB..32MB (the paper's large-message range).
+inline std::vector<std::size_t> omb_sizes() {
+  std::vector<std::size_t> sizes;
+  for (std::size_t s = 256 << 10; s <= (32u << 20); s <<= 1) sizes.push_back(s);
+  return sizes;
+}
+
+inline const char* size_label(std::size_t bytes) {
+  static char buf[32];
+  if (bytes >= (1u << 20)) {
+    std::snprintf(buf, sizeof(buf), "%zuM", bytes >> 20);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%zuK", bytes >> 10);
+  }
+  return buf;
+}
+
+struct PingPongResult {
+  Time one_way = Time::zero();
+  sim::Breakdown sender;    // rank-0 compression-side costs
+  sim::Breakdown receiver;  // rank-1 decompression-side costs
+  double ratio = 1.0;
+};
+
+/// osu_latency: one-way D-D latency of `payload` (device-resident) from
+/// rank 0 to rank 1 of `cluster`. The simulation has one global clock and
+/// is deterministic, so a single one-way send measures exactly what the
+/// paper's 1000-iteration ping-pong average reports. A tiny warmup send
+/// warms the ZFP attribute cache like OMB's warmup iterations do.
+inline PingPongResult ping_pong(const net::ClusterSpec& cluster, CompressionConfig cfg,
+                                std::span<const float> payload, bool warmup = true) {
+  const std::size_t bytes = payload.size() * 4;
+  sim::Engine engine;
+  mpi::World world(engine, cluster, cfg);
+  PingPongResult result;
+  Time send_start = Time::zero();
+  world.run([&](mpi::Rank& R) {
+    auto* dev = static_cast<float*>(R.gpu_malloc(bytes));
+    std::memcpy(dev, payload.data(), bytes);
+    if (warmup && R.rank() <= 1) {
+      // Warm the attribute cache / pools with a minimal qualifying message.
+      const std::uint64_t warm_bytes = std::min<std::uint64_t>(bytes, cfg.threshold_bytes);
+      if (R.rank() == 0) {
+        R.send(dev, warm_bytes, 1, 3);
+      } else {
+        R.recv(dev, warm_bytes, 0, 3);
+      }
+      R.compression().reset_stats();
+    }
+    R.barrier();
+    if (R.rank() == 0) {
+      send_start = R.now();
+      R.send(dev, bytes, 1, 1);
+      result.sender = R.compression().sender_breakdown();
+      result.ratio = R.compression().stats().achieved_ratio();
+    } else if (R.rank() == 1) {
+      R.recv(dev, bytes, 0, 1);
+      result.one_way = R.now() - send_start;
+      result.receiver = R.compression().receiver_breakdown();
+    }
+    R.gpu_free(dev);
+  });
+  return result;
+}
+
+/// OMB dummy buffer: the constant-ish fill osu_latency transmits, on which
+/// MPC reaches the high compression ratios the paper notes (Fig. 10a).
+inline std::vector<float> omb_dummy(std::size_t bytes) {
+  return data::plateau_field(bytes / 4, 200, 256, 1234);
+}
+
+inline double pct_improvement(Time baseline, Time value) {
+  return (1.0 - value.to_seconds() / baseline.to_seconds()) * 100.0;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("=====================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("=====================================================================\n");
+}
+
+}  // namespace gcmpi::bench

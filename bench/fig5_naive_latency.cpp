@@ -1,0 +1,33 @@
+// Fig. 5: latency of NAIVELY integrating the compression algorithms into
+// the MPI library (Longhorn, inter-node, 256KB-32MB). Expected shape: both
+// naive MPC and naive ZFP(16) are strictly WORSE than the no-compression
+// baseline — the per-message cudaMalloc / cudaMemcpy / device-properties
+// overheads outweigh the reduced wire time.
+#include "common.hpp"
+
+using namespace gcmpi;
+using namespace gcmpi::bench;
+
+int main() {
+  print_header("Fig 5: naive integration, Longhorn inter-node D-D latency");
+  std::printf("%8s %14s %16s %16s | %s\n", "size", "baseline", "naive MPC",
+              "naive ZFP(16)", "naive slower?");
+  // Naive integration has no warmup benefit: every message pays full cost.
+  for (const std::size_t bytes : omb_sizes()) {
+    const auto payload = omb_dummy(bytes);
+    const auto base =
+        ping_pong(net::longhorn(2, 1), core::CompressionConfig::off(), payload, false);
+    const auto mpc =
+        ping_pong(net::longhorn(2, 1), core::CompressionConfig::mpc_naive(), payload, false);
+    const auto zfp =
+        ping_pong(net::longhorn(2, 1), core::CompressionConfig::zfp_naive(16), payload, false);
+    const bool worse = mpc.one_way > base.one_way && zfp.one_way > base.one_way;
+    std::printf("%8s %12.1fus %14.1fus %14.1fus | %s\n", size_label(bytes),
+                base.one_way.to_us(), mpc.one_way.to_us(), zfp.one_way.to_us(),
+                worse ? "yes (as in paper)" : "NO");
+  }
+  std::printf("\nPaper: naive integration shows 'poor performance ... the overhead of the\n"
+              "compression and decompression process outweighs the reduced communication\n"
+              "time' (Sec. III-B).\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Fig. 8: breakdown of overall inter-node latency using ZFP before (a) and
+// after (b) optimization, on Frontera Liquid (rate 16, 1D arrays).
+// Expected shape:
+//   (a) naive: get_max_grid_dims (cudaGetDeviceProperties, ~1840us/call)
+//       dominates at every size; zfp_stream/field creation is only ~9us.
+//   (b) ZFP-OPT: the cached attribute read costs ~1us; compression,
+//       decompression and (reduced) communication dominate.
+#include "common.hpp"
+
+using namespace gcmpi;
+using namespace gcmpi::bench;
+
+namespace {
+
+void panel(const char* title, const core::CompressionConfig& cfg, bool warm) {
+  print_header(title);
+  std::printf("%8s %10s | %10s %12s %8s %8s %8s\n", "size", "total", "grid_dims",
+              "stream/field", "comp%", "decomp%", "comm+o%");
+  for (const std::size_t bytes : omb_sizes()) {
+    const auto payload = omb_dummy(bytes);
+    const auto r = ping_pong(net::frontera_liquid(2, 1), cfg, payload, warm);
+    sim::Breakdown all = r.sender;
+    all += r.receiver;
+    const double total = r.one_way.to_us();
+    const double grid = all.get(sim::Phase::DeviceQuery).to_us();
+    const double sf = all.get(sim::Phase::StreamFieldCreation).to_us();
+    const double comp = all.get(sim::Phase::CompressionKernel).to_us() / total * 100;
+    const double decomp = all.get(sim::Phase::DecompressionKernel).to_us() / total * 100;
+    const double comm = 100.0 - comp - decomp - (grid + sf) / total * 100;
+    std::printf("%8s %8.1fus | %8.1fus %10.1fus %7.1f%% %7.1f%% %7.1f%%\n",
+                size_label(bytes), total, grid, sf, comp, decomp, comm);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  panel("Fig 8(a): ZFP naive integration breakdown (Frontera Liquid inter-node, rate 16)",
+        core::CompressionConfig::zfp_naive(16), false);
+  panel("Fig 8(b): ZFP-OPT breakdown (Frontera Liquid inter-node, rate 16)",
+        core::CompressionConfig::zfp_opt(16), true);
+  std::printf(
+      "Paper anchors: cudaGetDeviceProperties ~1840us per call (two sides => ~3.7ms\n"
+      "per message); after caching the attribute read drops to ~1us (4000us -> 1us);\n"
+      "zfp_stream/zfp_field creation ~9us (Sec. V).\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Fig. 9: inter-node and intra-node point-to-point D-D latency on Longhorn
+// (V100, NVLink, IB-EDR) and Frontera Liquid (RTX5000, PCIe, IB-FDR) for
+// baseline, MPC-OPT, and ZFP-OPT at rates 16/8/4, message sizes 256KB-32MB.
+//
+// Expected shapes (paper Sec. VI-A):
+//   (a) Longhorn inter-node: MPC-OPT wins from ~1MB, -62.5% at 32MB;
+//       ZFP-OPT(4) up to -78.3%.
+//   (b) Frontera inter-node: MPC-OPT -77.1%, ZFP-OPT(4) -83.1% at 32MB.
+//   (c) Longhorn intra-node (NVLink): MPC-OPT never wins; ZFP-OPT(4/8)
+//       only above 8MB (-40.5% / -27.7% at 32MB).
+//   (d) Frontera intra-node (PCIe): MPC-OPT -60.6%, ZFP-OPT(4) -79.8%.
+#include "common.hpp"
+
+using namespace gcmpi;
+using namespace gcmpi::bench;
+
+namespace {
+
+void panel(const char* title, const net::ClusterSpec& cluster, double paper_mpc_32m,
+           double paper_zfp4_32m) {
+  print_header(title);
+  std::printf("%8s %12s %12s %12s %12s %12s | %10s %10s\n", "size", "baseline",
+              "MPC-OPT", "ZFP-16", "ZFP-8", "ZFP-4", "MPC impr%", "ZFP4 impr%");
+  double mpc32 = 0, zfp32 = 0;
+  for (const std::size_t bytes : omb_sizes()) {
+    const auto payload = omb_dummy(bytes);
+    const auto base = ping_pong(cluster, core::CompressionConfig::off(), payload);
+    const auto mpc = ping_pong(cluster, core::CompressionConfig::mpc_opt(), payload);
+    const auto z16 = ping_pong(cluster, core::CompressionConfig::zfp_opt(16), payload);
+    const auto z8 = ping_pong(cluster, core::CompressionConfig::zfp_opt(8), payload);
+    const auto z4 = ping_pong(cluster, core::CompressionConfig::zfp_opt(4), payload);
+    const double mpc_impr = pct_improvement(base.one_way, mpc.one_way);
+    const double zfp_impr = pct_improvement(base.one_way, z4.one_way);
+    std::printf("%8s %10.1fus %10.1fus %10.1fus %10.1fus %10.1fus | %9.1f%% %9.1f%%\n",
+                size_label(bytes), base.one_way.to_us(), mpc.one_way.to_us(),
+                z16.one_way.to_us(), z8.one_way.to_us(), z4.one_way.to_us(), mpc_impr,
+                zfp_impr);
+    if (bytes == (32u << 20)) {
+      mpc32 = mpc_impr;
+      zfp32 = zfp_impr;
+    }
+  }
+  std::printf("  at 32MB: MPC-OPT %.1f%% (paper %.1f%%), ZFP-OPT(4) %.1f%% (paper %.1f%%)\n\n",
+              mpc32, paper_mpc_32m, zfp32, paper_zfp4_32m);
+}
+
+}  // namespace
+
+int main() {
+  panel("Fig 9(a) Longhorn inter-node D-D latency", net::longhorn(2, 1), 62.5, 78.3);
+  panel("Fig 9(b) Frontera Liquid inter-node D-D latency", net::frontera_liquid(2, 1), 77.1,
+        83.1);
+  panel("Fig 9(c) Longhorn intra-node (NVLink) D-D latency", net::longhorn(1, 2), -1.0, 40.5);
+  panel("Fig 9(d) Frontera Liquid intra-node (PCIe) D-D latency", net::frontera_liquid(1, 2),
+        60.6, 79.8);
+  return 0;
+}

@@ -1,0 +1,95 @@
+// google-benchmark microbenchmarks of the REAL codec implementations (CPU
+// wall-clock, this machine): MPC, ZFP at several rates, FPC. These measure
+// our from-scratch implementations honestly — the GPU throughputs used in
+// the simulation come from the calibrated model, not from these numbers.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include <vector>
+
+#include "compress/fpc.hpp"
+#include "compress/mpc.hpp"
+#include "compress/zfp.hpp"
+#include "data/datasets.hpp"
+
+namespace {
+
+using namespace gcmpi;
+
+const std::vector<float>& payload() {
+  static const auto data = data::generate("msg_sweep3d", (4u << 20) / 4);
+  return data;
+}
+
+void BM_MpcCompress(benchmark::State& state) {
+  const auto& in = payload();
+  comp::MpcCodec codec(static_cast<int>(state.range(0)));
+  std::vector<std::uint8_t> out(codec.max_compressed_bytes(in.size()));
+  std::size_t size = 0;
+  for (auto _ : state) {
+    size = codec.compress(in, out);
+    benchmark::DoNotOptimize(size);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * in.size() * 4));
+  state.counters["ratio"] = static_cast<double>(in.size() * 4) / static_cast<double>(size);
+}
+BENCHMARK(BM_MpcCompress)->Arg(1)->Arg(4);
+
+void BM_MpcDecompress(benchmark::State& state) {
+  const auto& in = payload();
+  comp::MpcCodec codec(1);
+  std::vector<std::uint8_t> buf(codec.max_compressed_bytes(in.size()));
+  const std::size_t size = codec.compress(in, buf);
+  std::vector<float> out(in.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.decompress({buf.data(), size}, out));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * in.size() * 4));
+}
+BENCHMARK(BM_MpcDecompress);
+
+void BM_ZfpCompress(benchmark::State& state) {
+  const auto& in = payload();
+  const int rate = static_cast<int>(state.range(0));
+  comp::ZfpCodec codec(rate);
+  const comp::ZfpField field = comp::ZfpField::d1(in.size());
+  std::vector<std::uint8_t> out(codec.compressed_bytes(field));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.compress(in, field, out));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * in.size() * 4));
+}
+BENCHMARK(BM_ZfpCompress)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_ZfpDecompress(benchmark::State& state) {
+  const auto& in = payload();
+  const int rate = static_cast<int>(state.range(0));
+  comp::ZfpCodec codec(rate);
+  const comp::ZfpField field = comp::ZfpField::d1(in.size());
+  std::vector<std::uint8_t> buf(codec.compressed_bytes(field));
+  (void)codec.compress(in, field, buf);
+  std::vector<float> out(in.size());
+  for (auto _ : state) {
+    codec.decompress(buf, field, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * in.size() * 4));
+}
+BENCHMARK(BM_ZfpDecompress)->Arg(4)->Arg(16);
+
+void BM_FpcCompress(benchmark::State& state) {
+  std::vector<double> in((2u << 20) / 8);
+  for (std::size_t i = 0; i < in.size(); ++i) in[i] = std::sin(1e-3 * static_cast<double>(i));
+  comp::FpcCodec codec;
+  std::vector<std::uint8_t> out(codec.max_compressed_bytes(in.size()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.compress(in, out));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * in.size() * 8));
+}
+BENCHMARK(BM_FpcCompress);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// Example: weak-scaling the AWP wave-propagation proxy with and without
+// on-the-fly MPC compression (a miniature of the paper's Fig. 12).
+//
+//   $ ./awp_weak_scaling [max_gpus]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/awp/distributed.hpp"
+#include "mpi/world.hpp"
+
+using namespace gcmpi;
+
+namespace {
+
+apps::awp::AwpReport run(int px, int py, core::CompressionConfig cfg) {
+  sim::Engine engine;
+  cfg.pool_buffer_bytes = 4u << 20;  // halo-sized pool buffers
+  const int gpus = px * py;
+  const int per_node = std::min(4, gpus);
+  mpi::World world(engine, net::longhorn(gpus / per_node, per_node), cfg);
+  apps::awp::AwpReport report;
+  world.run([&](mpi::Rank& R) {
+    apps::awp::AwpConfig c;
+    c.local = {16, 16, 96};
+    c.px = px;
+    c.py = py;
+    c.steps = 4;
+    auto rep = apps::awp::run_awp(R, c);
+    if (R.rank() == 0) report = rep;
+  });
+  return report;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int max_gpus = argc > 1 ? std::atoi(argv[1]) : 16;
+  std::printf("AWP-ODC proxy weak scaling on Longhorn-like cluster (4 GPUs/node)\n\n");
+  std::printf("%6s %14s %14s %12s %12s\n", "GPUs", "baseline ms/it", "MPC-OPT ms/it",
+              "TFLOPS base", "TFLOPS MPC");
+  for (int gpus = 4; gpus <= max_gpus; gpus *= 2) {
+    const int px = gpus >= 2 ? gpus / 2 : 1;
+    const int py = gpus / px;
+    auto base = run(px, py, core::CompressionConfig::off());
+    auto mpc_cfg = core::CompressionConfig::mpc_opt();
+    mpc_cfg.threshold_bytes = 128 * 1024;
+    auto mpc = run(px, py, mpc_cfg);
+    std::printf("%6d %14.2f %14.2f %12.2f %12.2f\n", gpus, base.time_per_step_ms,
+                mpc.time_per_step_ms, base.gpu_tflops, mpc.gpu_tflops);
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Example: the Dask cuPy "x + x.T" application benchmark (paper Sec. VII-B)
+// across worker counts, baseline vs ZFP-OPT.
+//
+//   $ ./dask_transpose [matrix_n] [chunk_n]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/dask/distributed_array.hpp"
+#include "mpi/world.hpp"
+
+using namespace gcmpi;
+
+namespace {
+
+apps::dask::DaskReport run(int workers, core::CompressionConfig cfg,
+                           const apps::dask::DaskConfig& dc) {
+  sim::Engine engine;
+  cfg.pool_buffer_bytes = std::max<std::size_t>(dc.chunk_n * dc.chunk_n * 4, 1u << 20);
+  mpi::World world(engine, net::ri2(workers, 1), cfg);
+  apps::dask::DaskReport report;
+  world.run([&](mpi::Rank& R) {
+    auto rep = apps::dask::run_transpose_sum(R, dc);
+    if (R.rank() == 0) report = rep;
+  });
+  return report;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  apps::dask::DaskConfig dc;
+  dc.matrix_n = argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 2048;
+  dc.chunk_n = argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 256;
+  dc.verify = false;
+
+  auto zfp8 = core::CompressionConfig::zfp_opt(8);
+  zfp8.threshold_bytes = 128 * 1024;
+
+  std::printf("Dask proxy: y = x + x.T on the RI2-like cluster (chunks %zux%zu)\n\n",
+              dc.chunk_n, dc.chunk_n);
+  std::printf("%8s %16s %16s %14s\n", "workers", "base time(ms)", "zfp8 time(ms)", "speedup");
+  for (int w : {2, 4, 6, 8}) {
+    const auto base = run(w, core::CompressionConfig::off(), dc);
+    const auto comp = run(w, zfp8, dc);
+    std::printf("%8d %16.2f %16.2f %13.2fx\n", w, base.exec_time.to_ms(),
+                comp.exec_time.to_ms(),
+                base.exec_time.to_seconds() / comp.exec_time.to_seconds());
+  }
+  return 0;
+}

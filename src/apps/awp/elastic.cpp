@@ -1,0 +1,263 @@
+#include "apps/awp/elastic.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gcmpi::apps::awp {
+
+double ElasticParams::vp() const { return std::sqrt((lambda + 2.0 * mu) / rho); }
+double ElasticParams::vs() const { return std::sqrt(mu / rho); }
+
+ElasticSolver::ElasticSolver(Grid grid, ElasticParams params, std::span<float> storage)
+    : grid_(grid), params_(params) {
+  if (grid_.nx == 0 || grid_.ny == 0 || grid_.nz == 0) {
+    throw std::invalid_argument("ElasticSolver: empty grid");
+  }
+  if (storage.size() < storage_floats(grid_)) {
+    throw std::invalid_argument("ElasticSolver: storage too small");
+  }
+  const double cfl = params_.vp() * params_.dt / params_.dx * std::sqrt(3.0);
+  if (cfl >= 1.0) throw std::invalid_argument("ElasticSolver: CFL condition violated");
+  const std::size_t per = grid_.storage();
+  for (int k = 0; k < kFields; ++k) {
+    fields_[k] = storage.data() + static_cast<std::size_t>(k) * per;
+  }
+}
+
+std::span<float> ElasticSolver::field(Field fld) { return {f(fld), grid_.storage()}; }
+std::span<const float> ElasticSolver::field(Field fld) const {
+  return {f(fld), grid_.storage()};
+}
+
+void ElasticSolver::inject_pulse(std::ptrdiff_t ci, std::ptrdiff_t cj, std::ptrdiff_t ck,
+                                 double amplitude, double sigma) {
+  const double inv2s2 = 1.0 / (2.0 * sigma * sigma);
+  float* sxx = f(Sxx);
+  float* syy = f(Syy);
+  float* szz = f(Szz);
+  for (std::ptrdiff_t k = 0; k < static_cast<std::ptrdiff_t>(grid_.nz); ++k) {
+    for (std::ptrdiff_t j = 0; j < static_cast<std::ptrdiff_t>(grid_.ny); ++j) {
+      for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(grid_.nx); ++i) {
+        const double r2 = static_cast<double>((i - ci) * (i - ci) + (j - cj) * (j - cj) +
+                                              (k - ck) * (k - ck));
+        const auto s = static_cast<float>(amplitude * std::exp(-r2 * inv2s2));
+        const std::size_t c = grid_.at(i, j, k);
+        sxx[c] += s;
+        syy[c] += s;
+        szz[c] += s;
+      }
+    }
+  }
+}
+
+void ElasticSolver::step_velocity() {
+  const auto nx = static_cast<std::ptrdiff_t>(grid_.nx);
+  const auto ny = static_cast<std::ptrdiff_t>(grid_.ny);
+  const auto nz = static_cast<std::ptrdiff_t>(grid_.nz);
+  const float c = static_cast<float>(params_.dt / (params_.rho * params_.dx));
+  float* vx = f(Vx);
+  float* vy = f(Vy);
+  float* vz = f(Vz);
+  const float* sxx = f(Sxx);
+  const float* syy = f(Syy);
+  const float* szz = f(Szz);
+  const float* sxy = f(Sxy);
+  const float* sxz = f(Sxz);
+  const float* syz = f(Syz);
+  for (std::ptrdiff_t k = 0; k < nz; ++k) {
+    for (std::ptrdiff_t j = 0; j < ny; ++j) {
+      for (std::ptrdiff_t i = 0; i < nx; ++i) {
+        const std::size_t at = grid_.at(i, j, k);
+        // vx at (i+1/2,j,k): forward d/dx of sxx; backward d/dy, d/dz.
+        vx[at] += c * ((sxx[grid_.at(i + 1, j, k)] - sxx[at]) +
+                       (sxy[at] - sxy[grid_.at(i, j - 1, k)]) +
+                       (sxz[at] - sxz[grid_.at(i, j, k - 1)]));
+        // vy at (i,j+1/2,k): backward d/dx; forward d/dy; backward d/dz.
+        vy[at] += c * ((sxy[at] - sxy[grid_.at(i - 1, j, k)]) +
+                       (syy[grid_.at(i, j + 1, k)] - syy[at]) +
+                       (syz[at] - syz[grid_.at(i, j, k - 1)]));
+        // vz at (i,j,k+1/2): backward d/dx, d/dy; forward d/dz.
+        vz[at] += c * ((sxz[at] - sxz[grid_.at(i - 1, j, k)]) +
+                       (syz[at] - syz[grid_.at(i, j - 1, k)]) +
+                       (szz[grid_.at(i, j, k + 1)] - szz[at]));
+      }
+    }
+  }
+}
+
+void ElasticSolver::step_stress() {
+  const auto nx = static_cast<std::ptrdiff_t>(grid_.nx);
+  const auto ny = static_cast<std::ptrdiff_t>(grid_.ny);
+  const auto nz = static_cast<std::ptrdiff_t>(grid_.nz);
+  const double dtdx = params_.dt / params_.dx;
+  const float l = static_cast<float>(params_.lambda * dtdx);
+  const float l2m = static_cast<float>((params_.lambda + 2.0 * params_.mu) * dtdx);
+  const float m = static_cast<float>(params_.mu * dtdx);
+  const float* vx = f(Vx);
+  const float* vy = f(Vy);
+  const float* vz = f(Vz);
+  float* sxx = f(Sxx);
+  float* syy = f(Syy);
+  float* szz = f(Szz);
+  float* sxy = f(Sxy);
+  float* sxz = f(Sxz);
+  float* syz = f(Syz);
+  for (std::ptrdiff_t k = 0; k < nz; ++k) {
+    for (std::ptrdiff_t j = 0; j < ny; ++j) {
+      for (std::ptrdiff_t i = 0; i < nx; ++i) {
+        const std::size_t at = grid_.at(i, j, k);
+        // Normal stresses at (i,j,k): backward differences of velocities.
+        const float dvx = vx[at] - vx[grid_.at(i - 1, j, k)];
+        const float dvy = vy[at] - vy[grid_.at(i, j - 1, k)];
+        const float dvz = vz[at] - vz[grid_.at(i, j, k - 1)];
+        sxx[at] += l2m * dvx + l * (dvy + dvz);
+        syy[at] += l2m * dvy + l * (dvx + dvz);
+        szz[at] += l2m * dvz + l * (dvx + dvy);
+        // Shear stresses: forward differences toward their stagger points.
+        sxy[at] += m * ((vx[grid_.at(i, j + 1, k)] - vx[at]) +
+                        (vy[grid_.at(i + 1, j, k)] - vy[at]));
+        sxz[at] += m * ((vx[grid_.at(i, j, k + 1)] - vx[at]) +
+                        (vz[grid_.at(i + 1, j, k)] - vz[at]));
+        syz[at] += m * ((vy[grid_.at(i, j, k + 1)] - vy[at]) +
+                        (vz[grid_.at(i, j + 1, k)] - vz[at]));
+      }
+    }
+  }
+}
+
+void ElasticSolver::apply_rigid_boundary(bool lo_x, bool hi_x, bool lo_y, bool hi_y) {
+  const auto nx = static_cast<std::ptrdiff_t>(grid_.nx);
+  const auto ny = static_cast<std::ptrdiff_t>(grid_.ny);
+  const auto nz = static_cast<std::ptrdiff_t>(grid_.nz);
+  // Rigid wall: zero every velocity in the ghost shell and mirror the
+  // stresses (zero normal gradient) so ghost reads are defined.
+  auto wall_x = [&](std::ptrdiff_t ghost, std::ptrdiff_t mirror) {
+    for (std::ptrdiff_t k = -1; k <= nz; ++k) {
+      for (std::ptrdiff_t j = -1; j <= ny; ++j) {
+        const std::size_t g = grid_.at(ghost, j, k);
+        const std::size_t s = grid_.at(mirror, j, k);
+        for (int fl = Vx; fl <= Vz; ++fl) f(static_cast<Field>(fl))[g] = 0.0f;
+        for (int fl = Sxx; fl <= Syz; ++fl) {
+          f(static_cast<Field>(fl))[g] = f(static_cast<Field>(fl))[s];
+        }
+      }
+    }
+  };
+  auto wall_y = [&](std::ptrdiff_t ghost, std::ptrdiff_t mirror) {
+    for (std::ptrdiff_t k = -1; k <= nz; ++k) {
+      for (std::ptrdiff_t i = -1; i <= nx; ++i) {
+        const std::size_t g = grid_.at(i, ghost, k);
+        const std::size_t s = grid_.at(i, mirror, k);
+        for (int fl = Vx; fl <= Vz; ++fl) f(static_cast<Field>(fl))[g] = 0.0f;
+        for (int fl = Sxx; fl <= Syz; ++fl) {
+          f(static_cast<Field>(fl))[g] = f(static_cast<Field>(fl))[s];
+        }
+      }
+    }
+  };
+  auto wall_z = [&](std::ptrdiff_t ghost, std::ptrdiff_t mirror) {
+    for (std::ptrdiff_t j = -1; j <= ny; ++j) {
+      for (std::ptrdiff_t i = -1; i <= nx; ++i) {
+        const std::size_t g = grid_.at(i, j, ghost);
+        const std::size_t s = grid_.at(i, j, mirror);
+        for (int fl = Vx; fl <= Vz; ++fl) f(static_cast<Field>(fl))[g] = 0.0f;
+        for (int fl = Sxx; fl <= Syz; ++fl) {
+          f(static_cast<Field>(fl))[g] = f(static_cast<Field>(fl))[s];
+        }
+      }
+    }
+  };
+  if (lo_x) wall_x(-1, 0);
+  if (hi_x) wall_x(nx, nx - 1);
+  if (lo_y) wall_y(-1, 0);
+  if (hi_y) wall_y(ny, ny - 1);
+  wall_z(-1, 0);
+  wall_z(nz, nz - 1);
+}
+
+double ElasticSolver::energy() const {
+  const auto nx = static_cast<std::ptrdiff_t>(grid_.nx);
+  const auto ny = static_cast<std::ptrdiff_t>(grid_.ny);
+  const auto nz = static_cast<std::ptrdiff_t>(grid_.nz);
+  // Kinetic energy + a stress-norm proxy for strain energy (exact strain
+  // energy needs the compliance tensor; the proxy is enough to detect
+  // instability growth or collapse in tests).
+  const double inv2mu = 1.0 / (2.0 * params_.mu);
+  double e = 0.0;
+  for (std::ptrdiff_t k = 0; k < nz; ++k) {
+    for (std::ptrdiff_t j = 0; j < ny; ++j) {
+      for (std::ptrdiff_t i = 0; i < nx; ++i) {
+        const std::size_t at = grid_.at(i, j, k);
+        double v2 = 0.0, s2 = 0.0;
+        for (int fl = Vx; fl <= Vz; ++fl) {
+          const double v = f(static_cast<Field>(fl))[at];
+          v2 += v * v;
+        }
+        for (int fl = Sxx; fl <= Syz; ++fl) {
+          const double s = f(static_cast<Field>(fl))[at];
+          s2 += s * s;
+        }
+        e += 0.5 * params_.rho * v2 + inv2mu * s2 * 0.25;
+      }
+    }
+  }
+  return e;
+}
+
+void ElasticSolver::pack_x(bool high, std::span<float> out) const {
+  if (out.size() < x_face_values()) throw std::invalid_argument("pack_x: buffer too small");
+  const std::ptrdiff_t i = high ? static_cast<std::ptrdiff_t>(grid_.nx) - 1 : 0;
+  std::size_t w = 0;
+  for (int fl = 0; fl < kFields; ++fl) {
+    const float* field_p = f(static_cast<Field>(fl));
+    for (std::ptrdiff_t k = 0; k < static_cast<std::ptrdiff_t>(grid_.nz); ++k) {
+      for (std::ptrdiff_t j = 0; j < static_cast<std::ptrdiff_t>(grid_.ny); ++j) {
+        out[w++] = field_p[grid_.at(i, j, k)];
+      }
+    }
+  }
+}
+
+void ElasticSolver::unpack_x(bool high, std::span<const float> in) {
+  if (in.size() < x_face_values()) throw std::invalid_argument("unpack_x: buffer too small");
+  const std::ptrdiff_t i = high ? static_cast<std::ptrdiff_t>(grid_.nx) : -1;
+  std::size_t w = 0;
+  for (int fl = 0; fl < kFields; ++fl) {
+    float* field_p = f(static_cast<Field>(fl));
+    for (std::ptrdiff_t k = 0; k < static_cast<std::ptrdiff_t>(grid_.nz); ++k) {
+      for (std::ptrdiff_t j = 0; j < static_cast<std::ptrdiff_t>(grid_.ny); ++j) {
+        field_p[grid_.at(i, j, k)] = in[w++];
+      }
+    }
+  }
+}
+
+void ElasticSolver::pack_y(bool high, std::span<float> out) const {
+  if (out.size() < y_face_values()) throw std::invalid_argument("pack_y: buffer too small");
+  const std::ptrdiff_t j = high ? static_cast<std::ptrdiff_t>(grid_.ny) - 1 : 0;
+  std::size_t w = 0;
+  for (int fl = 0; fl < kFields; ++fl) {
+    const float* field_p = f(static_cast<Field>(fl));
+    for (std::ptrdiff_t k = 0; k < static_cast<std::ptrdiff_t>(grid_.nz); ++k) {
+      for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(grid_.nx); ++i) {
+        out[w++] = field_p[grid_.at(i, j, k)];
+      }
+    }
+  }
+}
+
+void ElasticSolver::unpack_y(bool high, std::span<const float> in) {
+  if (in.size() < y_face_values()) throw std::invalid_argument("unpack_y: buffer too small");
+  const std::ptrdiff_t j = high ? static_cast<std::ptrdiff_t>(grid_.ny) : -1;
+  std::size_t w = 0;
+  for (int fl = 0; fl < kFields; ++fl) {
+    float* field_p = f(static_cast<Field>(fl));
+    for (std::ptrdiff_t k = 0; k < static_cast<std::ptrdiff_t>(grid_.nz); ++k) {
+      for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(grid_.nx); ++i) {
+        field_p[grid_.at(i, j, k)] = in[w++];
+      }
+    }
+  }
+}
+
+}  // namespace gcmpi::apps::awp

@@ -1,0 +1,203 @@
+#include "apps/awp/solver.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gcmpi::apps::awp {
+
+Solver::Solver(Grid grid, PhysicsParams params, std::span<float> p, std::span<float> vx,
+               std::span<float> vy, std::span<float> vz)
+    : grid_(grid), params_(params), p_(p), vx_(vx), vy_(vy), vz_(vz) {
+  if (grid_.nx == 0 || grid_.ny == 0 || grid_.nz == 0) {
+    throw std::invalid_argument("Solver: empty grid");
+  }
+  const std::size_t need = grid_.storage();
+  if (p.size() < need || vx.size() < need || vy.size() < need || vz.size() < need) {
+    throw std::invalid_argument("Solver: field storage too small");
+  }
+  const double cfl = params_.c * params_.dt / params_.dx * std::sqrt(3.0);
+  if (cfl >= 1.0) throw std::invalid_argument("Solver: CFL condition violated");
+}
+
+std::span<float> Solver::field(Field f) {
+  switch (f) {
+    case Field::P: return p_;
+    case Field::Vx: return vx_;
+    case Field::Vy: return vy_;
+    case Field::Vz: return vz_;
+  }
+  throw std::logic_error("bad field");
+}
+
+std::span<const float> Solver::field(Field f) const {
+  return const_cast<Solver*>(this)->field(f);
+}
+
+void Solver::inject_pulse(std::ptrdiff_t ci, std::ptrdiff_t cj, std::ptrdiff_t ck,
+                          double amplitude, double sigma) {
+  const double inv2s2 = 1.0 / (2.0 * sigma * sigma);
+  for (std::ptrdiff_t k = 0; k < static_cast<std::ptrdiff_t>(grid_.nz); ++k) {
+    for (std::ptrdiff_t j = 0; j < static_cast<std::ptrdiff_t>(grid_.ny); ++j) {
+      for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(grid_.nx); ++i) {
+        const double r2 = static_cast<double>((i - ci) * (i - ci) + (j - cj) * (j - cj) +
+                                              (k - ck) * (k - ck));
+        p_[grid_.at(i, j, k)] += static_cast<float>(amplitude * std::exp(-r2 * inv2s2));
+      }
+    }
+  }
+}
+
+void Solver::step_velocity() {
+  const float coef = static_cast<float>(-params_.dt / (params_.rho * params_.dx));
+  const auto nx = static_cast<std::ptrdiff_t>(grid_.nx);
+  const auto ny = static_cast<std::ptrdiff_t>(grid_.ny);
+  const auto nz = static_cast<std::ptrdiff_t>(grid_.nz);
+  for (std::ptrdiff_t k = 0; k < nz; ++k) {
+    for (std::ptrdiff_t j = 0; j < ny; ++j) {
+      for (std::ptrdiff_t i = 0; i < nx; ++i) {
+        const std::size_t c = grid_.at(i, j, k);
+        vx_[c] += coef * (p_[grid_.at(i + 1, j, k)] - p_[c]);
+        vy_[c] += coef * (p_[grid_.at(i, j + 1, k)] - p_[c]);
+        vz_[c] += coef * (p_[grid_.at(i, j, k + 1)] - p_[c]);
+      }
+    }
+  }
+}
+
+void Solver::step_pressure() {
+  const float coef = static_cast<float>(-params_.bulk_modulus() * params_.dt / params_.dx);
+  const auto nx = static_cast<std::ptrdiff_t>(grid_.nx);
+  const auto ny = static_cast<std::ptrdiff_t>(grid_.ny);
+  const auto nz = static_cast<std::ptrdiff_t>(grid_.nz);
+  for (std::ptrdiff_t k = 0; k < nz; ++k) {
+    for (std::ptrdiff_t j = 0; j < ny; ++j) {
+      for (std::ptrdiff_t i = 0; i < nx; ++i) {
+        const std::size_t c = grid_.at(i, j, k);
+        const float div = (vx_[c] - vx_[grid_.at(i - 1, j, k)]) +
+                          (vy_[c] - vy_[grid_.at(i, j - 1, k)]) +
+                          (vz_[c] - vz_[grid_.at(i, j, k - 1)]);
+        p_[c] += coef * div;
+      }
+    }
+  }
+}
+
+void Solver::apply_rigid_boundary(bool lo_x, bool hi_x, bool lo_y, bool hi_y) {
+  const auto nx = static_cast<std::ptrdiff_t>(grid_.nx);
+  const auto ny = static_cast<std::ptrdiff_t>(grid_.ny);
+  const auto nz = static_cast<std::ptrdiff_t>(grid_.nz);
+  // Mirror pressure into the ghost shell (zero normal gradient) and zero
+  // the normal velocity at the wall: a rigid, energy-conserving boundary.
+  for (std::ptrdiff_t k = -1; k <= nz; ++k) {
+    for (std::ptrdiff_t j = -1; j <= ny; ++j) {
+      if (lo_x) {
+        p_[grid_.at(-1, j, k)] = p_[grid_.at(0, j, k)];
+        vx_[grid_.at(-1, j, k)] = 0.0f;
+      }
+      if (hi_x) {
+        p_[grid_.at(nx, j, k)] = p_[grid_.at(nx - 1, j, k)];
+        vx_[grid_.at(nx, j, k)] = 0.0f;
+      }
+    }
+  }
+  for (std::ptrdiff_t k = -1; k <= nz; ++k) {
+    for (std::ptrdiff_t i = -1; i <= nx; ++i) {
+      if (lo_y) {
+        p_[grid_.at(i, -1, k)] = p_[grid_.at(i, 0, k)];
+        vy_[grid_.at(i, -1, k)] = 0.0f;
+      }
+      if (hi_y) {
+        p_[grid_.at(i, ny, k)] = p_[grid_.at(i, ny - 1, k)];
+        vy_[grid_.at(i, ny, k)] = 0.0f;
+      }
+    }
+  }
+  // Z boundaries are always physical (the paper decomposes in X/Y only).
+  for (std::ptrdiff_t j = -1; j <= ny; ++j) {
+    for (std::ptrdiff_t i = -1; i <= nx; ++i) {
+      p_[grid_.at(i, j, -1)] = p_[grid_.at(i, j, 0)];
+      vz_[grid_.at(i, j, -1)] = 0.0f;
+      p_[grid_.at(i, j, nz)] = p_[grid_.at(i, j, nz - 1)];
+      vz_[grid_.at(i, j, nz)] = 0.0f;
+    }
+  }
+}
+
+double Solver::energy() const {
+  const double k_bulk = params_.bulk_modulus();
+  double e = 0.0;
+  const auto nx = static_cast<std::ptrdiff_t>(grid_.nx);
+  const auto ny = static_cast<std::ptrdiff_t>(grid_.ny);
+  const auto nz = static_cast<std::ptrdiff_t>(grid_.nz);
+  for (std::ptrdiff_t k = 0; k < nz; ++k) {
+    for (std::ptrdiff_t j = 0; j < ny; ++j) {
+      for (std::ptrdiff_t i = 0; i < nx; ++i) {
+        const std::size_t c = grid_.at(i, j, k);
+        const double pv = p_[c];
+        const double v2 = static_cast<double>(vx_[c]) * vx_[c] +
+                          static_cast<double>(vy_[c]) * vy_[c] +
+                          static_cast<double>(vz_[c]) * vz_[c];
+        e += 0.5 * (pv * pv / k_bulk + params_.rho * v2);
+      }
+    }
+  }
+  return e;
+}
+
+void Solver::pack_x(bool high, std::span<float> out) const {
+  if (out.size() < x_face_values()) throw std::invalid_argument("pack_x: buffer too small");
+  const std::ptrdiff_t i = high ? static_cast<std::ptrdiff_t>(grid_.nx) - 1 : 0;
+  std::size_t w = 0;
+  const std::span<const float> fields[kFields] = {p_, vx_, vy_, vz_};
+  for (const auto& f : fields) {
+    for (std::ptrdiff_t k = 0; k < static_cast<std::ptrdiff_t>(grid_.nz); ++k) {
+      for (std::ptrdiff_t j = 0; j < static_cast<std::ptrdiff_t>(grid_.ny); ++j) {
+        out[w++] = f[grid_.at(i, j, k)];
+      }
+    }
+  }
+}
+
+void Solver::unpack_x(bool high, std::span<const float> in) {
+  if (in.size() < x_face_values()) throw std::invalid_argument("unpack_x: buffer too small");
+  const std::ptrdiff_t i = high ? static_cast<std::ptrdiff_t>(grid_.nx) : -1;
+  std::size_t w = 0;
+  const std::span<float> fields[kFields] = {p_, vx_, vy_, vz_};
+  for (const auto& f : fields) {
+    for (std::ptrdiff_t k = 0; k < static_cast<std::ptrdiff_t>(grid_.nz); ++k) {
+      for (std::ptrdiff_t j = 0; j < static_cast<std::ptrdiff_t>(grid_.ny); ++j) {
+        f[grid_.at(i, j, k)] = in[w++];
+      }
+    }
+  }
+}
+
+void Solver::pack_y(bool high, std::span<float> out) const {
+  if (out.size() < y_face_values()) throw std::invalid_argument("pack_y: buffer too small");
+  const std::ptrdiff_t j = high ? static_cast<std::ptrdiff_t>(grid_.ny) - 1 : 0;
+  std::size_t w = 0;
+  const std::span<const float> fields[kFields] = {p_, vx_, vy_, vz_};
+  for (const auto& f : fields) {
+    for (std::ptrdiff_t k = 0; k < static_cast<std::ptrdiff_t>(grid_.nz); ++k) {
+      for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(grid_.nx); ++i) {
+        out[w++] = f[grid_.at(i, j, k)];
+      }
+    }
+  }
+}
+
+void Solver::unpack_y(bool high, std::span<const float> in) {
+  if (in.size() < y_face_values()) throw std::invalid_argument("unpack_y: buffer too small");
+  const std::ptrdiff_t j = high ? static_cast<std::ptrdiff_t>(grid_.ny) : -1;
+  std::size_t w = 0;
+  const std::span<float> fields[kFields] = {p_, vx_, vy_, vz_};
+  for (const auto& f : fields) {
+    for (std::ptrdiff_t k = 0; k < static_cast<std::ptrdiff_t>(grid_.nz); ++k) {
+      for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(grid_.nx); ++i) {
+        f[grid_.at(i, j, k)] = in[w++];
+      }
+    }
+  }
+}
+
+}  // namespace gcmpi::apps::awp

@@ -1,0 +1,40 @@
+// Dask proxy: a distributed chunked 2D array over MiniMPI reproducing the
+// paper's MPI4Dask application benchmark (Sec. VII-B):
+//
+//     y = x + x.T ; y.persist() ; wait(y)
+//
+// A square float32 matrix is split into square chunks distributed
+// round-robin across workers (Dask's default for cuPy-backed arrays); the
+// transpose term forces every off-diagonal chunk to move between workers
+// over the (compressed) GPU communication path. Chunks live in simulated
+// GPU memory, so messages take the device rendezvous path.
+#pragma once
+
+#include <cstdint>
+
+#include "mpi/world.hpp"
+
+namespace gcmpi::apps::dask {
+
+struct DaskConfig {
+  std::size_t matrix_n = 4096;  // matrix is matrix_n x matrix_n floats
+  std::size_t chunk_n = 512;    // chunk is chunk_n x chunk_n
+  std::uint64_t seed = 7;
+  bool verify = true;           // check y == x + x^T (within lossy tolerance)
+  double verify_tolerance = 0.0;  // 0 => exact (no/lossless compression)
+};
+
+struct DaskReport {
+  int workers = 0;
+  sim::Time exec_time;
+  std::uint64_t bytes_transferred = 0;  // global, both directions
+  double aggregate_throughput_gbs = 0.0;
+  bool verified = false;
+  double max_error = 0.0;
+};
+
+/// Collective: all ranks (workers) call with the same config. The report is
+/// complete on every rank (results are allreduced).
+DaskReport run_transpose_sum(mpi::Rank& R, const DaskConfig& config);
+
+}  // namespace gcmpi::apps::dask

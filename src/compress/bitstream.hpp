@@ -1,0 +1,114 @@
+// Bit-granular stream writer/reader used by the ZFP codec.
+//
+// Bits are packed LSB-first into little-endian 64-bit words, matching the
+// convention of Lindstrom's zfp bitstream. The reader supports absolute
+// seeks so fixed-rate blocks (each exactly `maxbits` long) can be skipped
+// to independently of how many bits the previous block consumed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace gcmpi::comp {
+
+class BitWriter {
+ public:
+  void put_bit(std::uint32_t bit) {
+    accum_ |= static_cast<std::uint64_t>(bit & 1u) << fill_;
+    if (++fill_ == 64) flush_word();
+  }
+
+  /// Write the low `n` bits of `v` (LSB first), 0 <= n <= 64.
+  void put_bits(std::uint64_t v, int n) {
+    if (n == 0) return;
+    if (n < 0 || n > 64) throw std::invalid_argument("BitWriter::put_bits: bad n");
+    if (n < 64) v &= (std::uint64_t{1} << n) - 1;
+    accum_ |= v << fill_;
+    if (fill_ + n >= 64) {
+      words_.push_back(accum_);
+      const int rem = fill_ + n - 64;
+      accum_ = (fill_ > 0) ? (v >> (64 - fill_)) : 0;
+      fill_ = rem;
+    } else {
+      fill_ += n;
+    }
+  }
+
+  /// Pad with zero bits until the stream is exactly `bits` long.
+  void pad_to(std::size_t bits) {
+    if (bits < bit_size()) throw std::invalid_argument("BitWriter::pad_to: shrinking");
+    std::size_t todo = bits - bit_size();
+    while (todo >= 64) {
+      put_bits(0, 64);
+      todo -= 64;
+    }
+    if (todo > 0) put_bits(0, static_cast<int>(todo));
+  }
+
+  [[nodiscard]] std::size_t bit_size() const { return words_.size() * 64 + fill_; }
+
+  /// Finish the stream and return the bytes (padded to a whole word).
+  [[nodiscard]] std::vector<std::uint8_t> take() {
+    if (fill_ > 0) flush_word_partial();
+    std::vector<std::uint8_t> out(words_.size() * 8);
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      for (int b = 0; b < 8; ++b) {
+        out[i * 8 + static_cast<std::size_t>(b)] =
+            static_cast<std::uint8_t>(words_[i] >> (8 * b));
+      }
+    }
+    words_.clear();
+    accum_ = 0;
+    fill_ = 0;
+    return out;
+  }
+
+ private:
+  void flush_word() {
+    words_.push_back(accum_);
+    accum_ = 0;
+    fill_ = 0;
+  }
+  void flush_word_partial() {
+    words_.push_back(accum_);
+    accum_ = 0;
+    fill_ = 0;
+  }
+
+  std::vector<std::uint64_t> words_;
+  std::uint64_t accum_ = 0;
+  int fill_ = 0;  // bits used in accum_
+};
+
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] std::uint32_t get_bit() {
+    const std::size_t byte = pos_ >> 3;
+    const unsigned shift = static_cast<unsigned>(pos_ & 7);
+    ++pos_;
+    if (byte >= bytes_.size()) return 0;  // reading past end yields zeros
+    return (bytes_[byte] >> shift) & 1u;
+  }
+
+  /// Read `n` bits LSB-first, 0 <= n <= 64.
+  [[nodiscard]] std::uint64_t get_bits(int n) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < n; ++i) v |= static_cast<std::uint64_t>(get_bit()) << i;
+    return v;
+  }
+
+  void seek(std::size_t bit_pos) { pos_ = bit_pos; }
+  [[nodiscard]] std::size_t tell() const { return pos_; }
+  [[nodiscard]] std::size_t bit_size() const { return bytes_.size() * 8; }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace gcmpi::comp

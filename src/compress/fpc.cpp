@@ -1,0 +1,151 @@
+#include "compress/fpc.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace gcmpi::comp {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x46504331u;  // "FPC1"
+
+[[nodiscard]] int leading_zero_bytes(std::uint64_t x) {
+  if (x == 0) return 8;
+  return __builtin_clzll(x) / 8;
+}
+
+}  // namespace
+
+FpcCodec::FpcCodec(unsigned table_size_log2) : lg_(table_size_log2) {
+  if (lg_ < 4 || lg_ > 24) throw std::invalid_argument("FpcCodec: table_size_log2 must be 4..24");
+}
+
+std::size_t FpcCodec::max_compressed_bytes(std::size_t n_values) const {
+  // Header (12 bytes) + 1 code byte per pair + 8 bytes per value worst case.
+  return 12 + (n_values + 1) / 2 + n_values * 8 + 8;
+}
+
+std::size_t FpcCodec::compress(std::span<const double> in, std::span<std::uint8_t> out) const {
+  const std::size_t n = in.size();
+  if (out.size() < max_compressed_bytes(n)) {
+    throw std::invalid_argument("FpcCodec::compress: output too small");
+  }
+  const std::size_t table_size = std::size_t{1} << lg_;
+  const std::uint64_t hash_mask = table_size - 1;
+  std::vector<std::uint64_t> fcm(table_size, 0), dfcm(table_size, 0);
+
+  std::uint8_t* p = out.data();
+  std::memcpy(p, &kMagic, 4);
+  const auto n32 = static_cast<std::uint32_t>(n);
+  std::memcpy(p + 4, &n32, 4);
+  const auto lg32 = static_cast<std::uint32_t>(lg_);
+  std::memcpy(p + 8, &lg32, 4);
+  std::size_t pos = 12;
+
+  std::uint64_t fcm_hash = 0, dfcm_hash = 0, last = 0;
+
+  // Predict one value, update the tables, and return (code, residual,
+  // payload byte count). The 3-bit leading-zero-byte code cannot represent
+  // a count of 4 (the original FPC quirk): 4 keeps an extra payload byte
+  // and counts 5..8 shift down by one.
+  auto encode_one = [&](double value, std::uint8_t& code, std::uint64_t& residual,
+                        int& payload) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &value, 8);
+    const std::uint64_t pred_fcm = fcm[fcm_hash];
+    const std::uint64_t pred_dfcm = dfcm[dfcm_hash] + last;
+    fcm[fcm_hash] = bits;
+    fcm_hash = ((fcm_hash << 6) ^ (bits >> 48)) & hash_mask;
+    dfcm[dfcm_hash] = bits - last;
+    dfcm_hash = ((dfcm_hash << 2) ^ ((bits - last) >> 40)) & hash_mask;
+    last = bits;
+
+    const std::uint64_t xor_fcm = bits ^ pred_fcm;
+    const std::uint64_t xor_dfcm = bits ^ pred_dfcm;
+    const bool use_dfcm = xor_dfcm < xor_fcm;
+    residual = use_dfcm ? xor_dfcm : xor_fcm;
+
+    int lzb = leading_zero_bytes(residual);
+    if (lzb == 4) lzb = 3;
+    const int stored = lzb > 4 ? lzb - 1 : lzb;
+    payload = 8 - lzb;
+    code = static_cast<std::uint8_t>((use_dfcm ? 8 : 0) | stored);
+  };
+
+  auto put_payload = [&](std::uint64_t residual, int payload) {
+    for (int b = payload - 1; b >= 0; --b) {
+      out[pos++] = static_cast<std::uint8_t>(residual >> (8 * b));
+    }
+  };
+
+  // One shared code byte per pair of values, written BEFORE their payloads.
+  for (std::size_t i = 0; i < n; i += 2) {
+    std::uint8_t c0 = 0, c1 = 0;
+    std::uint64_t r0 = 0, r1 = 0;
+    int p0 = 0, p1 = 0;
+    encode_one(in[i], c0, r0, p0);
+    if (i + 1 < n) encode_one(in[i + 1], c1, r1, p1);
+    out[pos++] = static_cast<std::uint8_t>(c0 | (c1 << 4));
+    put_payload(r0, p0);
+    if (i + 1 < n) put_payload(r1, p1);
+  }
+  return pos;
+}
+
+std::size_t FpcCodec::decompress(std::span<const std::uint8_t> in, std::span<double> out) const {
+  if (in.size() < 12) throw std::invalid_argument("FpcCodec: truncated input");
+  std::uint32_t magic = 0, n32 = 0, lg32 = 0;
+  std::memcpy(&magic, in.data(), 4);
+  std::memcpy(&n32, in.data() + 4, 4);
+  std::memcpy(&lg32, in.data() + 8, 4);
+  if (magic != kMagic) throw std::invalid_argument("FpcCodec: bad magic");
+  if (lg32 != lg_) throw std::invalid_argument("FpcCodec: table size mismatch");
+  const std::size_t n = n32;
+  if (out.size() < n) throw std::invalid_argument("FpcCodec::decompress: output too small");
+
+  const std::size_t table_size = std::size_t{1} << lg_;
+  const std::uint64_t hash_mask = table_size - 1;
+  std::vector<std::uint64_t> fcm(table_size, 0), dfcm(table_size, 0);
+
+  std::size_t pos = 12;
+  std::uint64_t fcm_hash = 0, dfcm_hash = 0, last = 0;
+  std::uint8_t pair = 0;
+  bool have_pair = false;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint8_t code = 0;
+    if (!have_pair) {
+      if (pos >= in.size()) throw std::runtime_error("FpcCodec: truncated codes");
+      pair = in[pos++];
+      code = pair & 0x0f;
+      have_pair = true;
+    } else {
+      code = (pair >> 4) & 0x0f;
+      have_pair = false;
+    }
+    const bool use_dfcm = (code & 8) != 0;
+    const int stored = code & 7;
+    const int enc_lzb = stored >= 4 ? stored + 1 : stored;
+    const int payload = 8 - enc_lzb;
+    std::uint64_t residual = 0;
+    if (pos + static_cast<std::size_t>(payload) > in.size()) {
+      throw std::runtime_error("FpcCodec: truncated payload");
+    }
+    for (int b = 0; b < payload; ++b) {
+      residual = (residual << 8) | in[pos++];
+    }
+    const std::uint64_t pred = use_dfcm ? dfcm[dfcm_hash] + last : fcm[fcm_hash];
+    const std::uint64_t bits = residual ^ pred;
+
+    fcm[fcm_hash] = bits;
+    fcm_hash = ((fcm_hash << 6) ^ (bits >> 48)) & hash_mask;
+    dfcm[dfcm_hash] = bits - last;
+    dfcm_hash = ((dfcm_hash << 2) ^ ((bits - last) >> 40)) & hash_mask;
+    last = bits;
+
+    std::memcpy(&out[i], &bits, 8);
+  }
+  return n;
+}
+
+}  // namespace gcmpi::comp

@@ -1,0 +1,33 @@
+// FPC: lossless compression of double-precision data (Burtscher &
+// Ratanaworabhan, DCC 2007). Serial CPU algorithm — included as the
+// representative CPU-based compressor from the paper's Table I, so the
+// "CPU compressors cannot keep up with the network" claim can be measured
+// rather than asserted.
+//
+// Per value: predict with both an FCM and a DFCM hash predictor, XOR the
+// better prediction with the true bits, and emit a 4-bit code (1 selector
+// bit + 3-bit count of leading zero bytes) followed by the non-zero bytes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gcmpi::comp {
+
+class FpcCodec {
+ public:
+  /// `table_size_log2`: log2 of predictor table entries (paper default 16).
+  explicit FpcCodec(unsigned table_size_log2 = 16);
+
+  [[nodiscard]] std::size_t max_compressed_bytes(std::size_t n_values) const;
+
+  std::size_t compress(std::span<const double> in, std::span<std::uint8_t> out) const;
+  std::size_t decompress(std::span<const std::uint8_t> in, std::span<double> out) const;
+
+ private:
+  unsigned lg_;
+};
+
+}  // namespace gcmpi::comp

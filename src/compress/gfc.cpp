@@ -1,0 +1,132 @@
+#include "compress/gfc.hpp"
+
+#include <cstring>
+#include <vector>
+#include <stdexcept>
+
+namespace gcmpi::comp {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x47464331u;  // "GFC1"
+
+[[nodiscard]] int significant_bytes(std::uint64_t x) {
+  if (x == 0) return 0;
+  return 8 - __builtin_clzll(x) / 8;
+}
+
+}  // namespace
+
+GfcCodec::GfcCodec(std::size_t chunk_values) : chunk_(chunk_values) {
+  if (chunk_ == 0) throw std::invalid_argument("GfcCodec: chunk_values must be > 0");
+}
+
+std::size_t GfcCodec::max_compressed_bytes(std::size_t n_values) const {
+  // Header (16) + half a header byte and up to 8 payload bytes per value
+  // (sig-count 7 encodes 8 significant bytes).
+  return 16 + (n_values + 1) / 2 + n_values * 8 + 8;
+}
+
+std::size_t GfcCodec::compress(std::span<const double> in, std::span<std::uint8_t> out) const {
+  const std::size_t n = in.size();
+  if (out.size() < max_compressed_bytes(n)) {
+    throw std::invalid_argument("GfcCodec::compress: output too small");
+  }
+  std::uint8_t* p = out.data();
+  std::memcpy(p, &kMagic, 4);
+  const auto n32 = static_cast<std::uint32_t>(n);
+  std::memcpy(p + 4, &n32, 4);
+  const auto c32 = static_cast<std::uint32_t>(chunk_);
+  std::memcpy(p + 8, &c32, 4);
+  std::memset(p + 12, 0, 4);
+  std::size_t pos = 16;
+
+  // Nibble-packed headers: two values share one header byte. Per value:
+  // bit3 = sign of the delta, bits0..2 = significant byte count (7 => 8).
+  std::uint8_t pending = 0;
+  bool half = false;
+  auto emit_header = [&](std::uint8_t nibble) {
+    if (!half) {
+      pending = nibble;
+      half = true;
+    } else {
+      out[pos++] = static_cast<std::uint8_t>(pending | (nibble << 4));
+      half = false;
+    }
+  };
+
+  std::vector<std::uint8_t> payload;
+  payload.reserve(n * 4);
+
+  for (std::size_t base = 0; base < n; base += chunk_) {
+    const std::size_t count = std::min(chunk_, n - base);
+    std::uint64_t prev = 0;  // chunk-local predictor, like one GPU warp
+    for (std::size_t j = 0; j < count; ++j) {
+      std::uint64_t bits = 0;
+      std::memcpy(&bits, &in[base + j], 8);
+      const std::uint64_t delta = bits - prev;
+      prev = bits;
+      // Sign-fold: encode the smaller of delta and -delta.
+      const std::uint64_t neg = ~delta + 1;
+      const bool use_neg = neg < delta;
+      const std::uint64_t folded = use_neg ? neg : delta;
+      int sig = significant_bytes(folded);
+      if (sig == 4) sig = 5;  // 4 is not representable in the 3-bit field
+      const std::uint8_t stored = static_cast<std::uint8_t>(sig > 4 ? sig - 1 : sig);
+      emit_header(static_cast<std::uint8_t>((use_neg ? 8 : 0) | stored));
+      for (int b = 0; b < sig; ++b) {
+        payload.push_back(static_cast<std::uint8_t>(folded >> (8 * b)));
+      }
+    }
+  }
+  if (half) out[pos++] = pending;
+  std::memcpy(out.data() + pos, payload.data(), payload.size());
+  return pos + payload.size();
+}
+
+std::size_t GfcCodec::decompress(std::span<const std::uint8_t> in, std::span<double> out) const {
+  if (in.size() < 16) throw std::invalid_argument("GfcCodec: truncated input");
+  std::uint32_t magic = 0, n32 = 0, c32 = 0;
+  std::memcpy(&magic, in.data(), 4);
+  std::memcpy(&n32, in.data() + 4, 4);
+  std::memcpy(&c32, in.data() + 8, 4);
+  if (magic != kMagic) throw std::invalid_argument("GfcCodec: bad magic");
+  const std::size_t n = n32;
+  const std::size_t chunk = c32;
+  if (chunk == 0) throw std::invalid_argument("GfcCodec: corrupt chunk size");
+  if (out.size() < n) throw std::invalid_argument("GfcCodec::decompress: output too small");
+
+  const std::size_t header_bytes = (n + 1) / 2;
+  if (in.size() < 16 + header_bytes) throw std::runtime_error("GfcCodec: truncated headers");
+  const std::uint8_t* headers = in.data() + 16;
+  const std::uint8_t* payload = headers + header_bytes;
+  const std::size_t payload_size = in.size() - 16 - header_bytes;
+
+  std::size_t ppos = 0;
+  for (std::size_t base = 0; base < n; base += chunk) {
+    const std::size_t count = std::min(chunk, n - base);
+    std::uint64_t prev = 0;
+    for (std::size_t j = 0; j < count; ++j) {
+      const std::size_t i = base + j;
+      const std::uint8_t byte = headers[i / 2];
+      const std::uint8_t nibble = (i % 2 == 0) ? (byte & 0x0f) : (byte >> 4);
+      const bool use_neg = (nibble & 8) != 0;
+      const int stored = nibble & 7;
+      const int sig = stored >= 4 ? stored + 1 : stored;
+      if (ppos + static_cast<std::size_t>(sig) > payload_size) {
+        throw std::runtime_error("GfcCodec: truncated payload");
+      }
+      std::uint64_t folded = 0;
+      for (int b = 0; b < sig; ++b) {
+        folded |= static_cast<std::uint64_t>(payload[ppos++]) << (8 * b);
+      }
+      const std::uint64_t delta = use_neg ? (~folded + 1) : folded;
+      const std::uint64_t bits = prev + delta;
+      prev = bits;
+      std::memcpy(&out[i], &bits, 8);
+    }
+  }
+  return n;
+}
+
+}  // namespace gcmpi::comp

@@ -1,0 +1,32 @@
+// GFC-style lossless compression of double-precision data (after O'Neil &
+// Burtscher, "Floating-Point Data Compression at 75 Gb/s on a GPU",
+// GPGPU-4 2011) — the other GPU-based lossless compressor of Table I.
+//
+// Structure mirrors the GPU algorithm: the array is cut into chunks (one
+// per warp in the original); within a chunk each value is predicted by the
+// previous value (last-value delta on the raw 64-bit integers), the
+// residual is sign-folded, and encoded as a 4-bit header (sign bit + 3-bit
+// count of significant bytes, with the 4/8 quirk resolved toward keeping
+// an extra byte) followed by the non-zero residual bytes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace gcmpi::comp {
+
+class GfcCodec {
+ public:
+  explicit GfcCodec(std::size_t chunk_values = 1024);
+
+  [[nodiscard]] std::size_t max_compressed_bytes(std::size_t n_values) const;
+
+  std::size_t compress(std::span<const double> in, std::span<std::uint8_t> out) const;
+  std::size_t decompress(std::span<const std::uint8_t> in, std::span<double> out) const;
+
+ private:
+  std::size_t chunk_;
+};
+
+}  // namespace gcmpi::comp

@@ -1,0 +1,175 @@
+#include "compress/huffman.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace gcmpi::comp {
+
+namespace {
+constexpr int kMaxLength = 32;
+constexpr std::uint32_t kEmptySlot = 0xFFFFFFFFu;  // value-slot sentinel (indices are small)
+
+struct Node {
+  std::uint64_t weight;
+  int left = -1, right = -1;
+  std::uint32_t symbol = 0;
+  bool leaf = false;
+};
+}  // namespace
+
+HuffmanEncoder::HuffmanEncoder(std::span<const std::uint32_t> symbols) {
+  std::unordered_map<std::uint32_t, std::uint64_t> hist;
+  hist.reserve(1024);
+  for (std::uint32_t s : symbols) ++hist[s];
+  if (hist.empty()) return;
+
+  // Build the Huffman tree.
+  std::vector<Node> nodes;
+  nodes.reserve(hist.size() * 2);
+  using QItem = std::pair<std::uint64_t, int>;  // (weight, node index)
+  std::priority_queue<QItem, std::vector<QItem>, std::greater<>> queue;
+  for (const auto& [sym, w] : hist) {
+    nodes.push_back(Node{w, -1, -1, sym, true});
+    queue.emplace(w, static_cast<int>(nodes.size() - 1));
+  }
+  while (queue.size() > 1) {
+    const auto [wa, a] = queue.top();
+    queue.pop();
+    const auto [wb, b] = queue.top();
+    queue.pop();
+    nodes.push_back(Node{wa + wb, a, b, 0, false});
+    queue.emplace(wa + wb, static_cast<int>(nodes.size() - 1));
+  }
+
+  // Depth-first code lengths.
+  std::vector<std::pair<int, int>> stack;  // (node, depth)
+  stack.emplace_back(queue.top().second, 0);
+  while (!stack.empty()) {
+    const auto [idx, depth] = stack.back();
+    stack.pop_back();
+    const Node& nd = nodes[static_cast<std::size_t>(idx)];
+    if (nd.leaf) {
+      const int len = std::max(1, depth);
+      if (len > kMaxLength) {
+        throw std::runtime_error("HuffmanEncoder: code length limit exceeded");
+      }
+      entries_.push_back(Entry{nd.symbol, static_cast<std::uint8_t>(len), 0});
+    } else {
+      stack.emplace_back(nd.left, depth + 1);
+      stack.emplace_back(nd.right, depth + 1);
+    }
+  }
+
+  // Canonical code assignment: sort by (length, symbol), sequential codes.
+  std::sort(entries_.begin(), entries_.end(), [](const Entry& a, const Entry& b) {
+    if (a.length != b.length) return a.length < b.length;
+    return a.symbol < b.symbol;
+  });
+  std::uint32_t code = 0;
+  int prev_len = entries_.front().length;
+  for (auto& e : entries_) {
+    code <<= (e.length - prev_len);
+    prev_len = e.length;
+    e.code = code++;
+  }
+
+  // Mean code length under the histogram.
+  double weighted = 0;
+  std::uint64_t total = 0;
+  for (const auto& e : entries_) {
+    const std::uint64_t w = hist[e.symbol];
+    weighted += static_cast<double>(w) * e.length;
+    total += w;
+  }
+  mean_length_ = weighted / static_cast<double>(total);
+
+  // Open-addressing lookup table for encode().
+  std::size_t cap = 16;
+  while (cap < entries_.size() * 2) cap <<= 1;
+  hash_mask_ = static_cast<std::uint32_t>(cap - 1);
+  hash_keys_.assign(cap, 0);
+  hash_vals_.assign(cap, kEmptySlot);
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    std::uint32_t h = (entries_[i].symbol * 2654435761u) & hash_mask_;
+    while (hash_vals_[h] != kEmptySlot) h = (h + 1) & hash_mask_;
+    hash_keys_[h] = entries_[i].symbol;
+    hash_vals_[h] = static_cast<std::uint32_t>(i);
+  }
+}
+
+const HuffmanEncoder::Entry* HuffmanEncoder::find(std::uint32_t symbol) const {
+  if (entries_.empty()) return nullptr;
+  std::uint32_t h = (symbol * 2654435761u) & hash_mask_;
+  while (hash_vals_[h] != kEmptySlot) {
+    if (hash_keys_[h] == symbol) return &entries_[hash_vals_[h]];
+    h = (h + 1) & hash_mask_;
+  }
+  return nullptr;
+}
+
+void HuffmanEncoder::write_table(BitWriter& w) const {
+  w.put_bits(entries_.size(), 32);
+  for (const auto& e : entries_) {
+    w.put_bits(e.symbol, 32);
+    w.put_bits(e.length, 6);
+  }
+}
+
+void HuffmanEncoder::encode(BitWriter& w, std::uint32_t symbol) const {
+  const Entry* e = find(symbol);
+  if (e == nullptr) throw std::invalid_argument("HuffmanEncoder: unknown symbol");
+  for (int j = e->length - 1; j >= 0; --j) {
+    w.put_bit((e->code >> j) & 1u);
+  }
+}
+
+HuffmanDecoder::HuffmanDecoder(BitReader& r) {
+  const auto n = static_cast<std::size_t>(r.get_bits(32));
+  if (n > (1u << 26)) throw std::invalid_argument("HuffmanDecoder: corrupt table size");
+  struct Item {
+    std::uint32_t symbol;
+    std::uint8_t length;
+  };
+  std::vector<Item> items;
+  items.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto sym = static_cast<std::uint32_t>(r.get_bits(32));
+    const auto len = static_cast<std::uint8_t>(r.get_bits(6));
+    if (len == 0 || len > kMaxLength) throw std::invalid_argument("HuffmanDecoder: bad length");
+    items.push_back({sym, len});
+    max_length_ = std::max(max_length_, static_cast<int>(len));
+  }
+  std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+    if (a.length != b.length) return a.length < b.length;
+    return a.symbol < b.symbol;
+  });
+  symbols_.reserve(n);
+  for (const auto& it : items) {
+    ++count_[it.length];
+    symbols_.push_back(it.symbol);
+  }
+  std::uint32_t code = 0;
+  std::uint32_t index = 0;
+  for (int len = 1; len <= kMaxLength; ++len) {
+    first_code_[len] = code;
+    first_index_[len] = index;
+    code = (code + count_[len]) << 1;
+    index += count_[len];
+  }
+}
+
+std::uint32_t HuffmanDecoder::decode(BitReader& r) const {
+  if (symbols_.empty()) throw std::logic_error("HuffmanDecoder: empty codebook");
+  std::uint32_t acc = 0;
+  for (int len = 1; len <= max_length_; ++len) {
+    acc = (acc << 1) | r.get_bit();
+    if (count_[len] != 0 && acc - first_code_[len] < count_[len]) {
+      return symbols_[first_index_[len] + (acc - first_code_[len])];
+    }
+  }
+  throw std::runtime_error("HuffmanDecoder: invalid code in stream");
+}
+
+}  // namespace gcmpi::comp

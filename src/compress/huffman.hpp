@@ -1,0 +1,67 @@
+// Canonical Huffman coding over 32-bit symbols — the entropy-coding stage
+// of the SZ-style error-bounded compressor (SZ couples linear-scaling
+// quantization with Huffman coding of the quantization codes).
+//
+// Canonical form: only the code lengths are serialized (per used symbol),
+// and both sides rebuild identical codebooks, which keeps the header small
+// even for large quantization ranges.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "compress/bitstream.hpp"
+
+namespace gcmpi::comp {
+
+class HuffmanEncoder {
+ public:
+  /// Build a length-limited (<= 32 bits) canonical code for `symbols`.
+  explicit HuffmanEncoder(std::span<const std::uint32_t> symbols);
+
+  /// Serialize the codebook (symbol/length pairs) into the writer.
+  void write_table(BitWriter& w) const;
+
+  /// Encode one symbol (must have appeared in the constructor input).
+  void encode(BitWriter& w, std::uint32_t symbol) const;
+
+  [[nodiscard]] std::size_t distinct_symbols() const { return entries_.size(); }
+
+  /// Expected bits per symbol under the built code (for cost prediction).
+  [[nodiscard]] double mean_code_length() const { return mean_length_; }
+
+ private:
+  struct Entry {
+    std::uint32_t symbol;
+    std::uint8_t length;
+    std::uint32_t code;  // canonical, MSB-first semantics stored LSB-first
+  };
+  // Sparse symbol -> entry index lookup (symbols can be arbitrary u32).
+  [[nodiscard]] const Entry* find(std::uint32_t symbol) const;
+
+  std::vector<Entry> entries_;      // sorted by (length, symbol)
+  std::vector<std::uint32_t> hash_keys_;
+  std::vector<std::uint32_t> hash_vals_;
+  std::uint32_t hash_mask_ = 0;
+  double mean_length_ = 0.0;
+};
+
+class HuffmanDecoder {
+ public:
+  /// Rebuild the codebook from a serialized table.
+  explicit HuffmanDecoder(BitReader& r);
+
+  [[nodiscard]] std::uint32_t decode(BitReader& r) const;
+  [[nodiscard]] std::size_t distinct_symbols() const { return symbols_.size(); }
+
+ private:
+  // Canonical decode tables: first code value and symbol offset per length.
+  std::vector<std::uint32_t> symbols_;           // in canonical order
+  std::uint32_t first_code_[33] = {};
+  std::uint32_t first_index_[33] = {};
+  std::uint16_t count_[33] = {};
+  int max_length_ = 0;
+};
+
+}  // namespace gcmpi::comp

@@ -1,0 +1,52 @@
+#include "compress/kernel_cost.hpp"
+
+#include <algorithm>
+
+namespace gcmpi::comp {
+
+double KernelCostModel::block_efficiency(int blocks, const GpuSpec& gpu) const {
+  const double b = std::max(1, blocks);
+  const double full = static_cast<double>(gpu.sm_count);
+  const double eff = b / (b + mpc_block_half_saturation);
+  const double norm = full / (full + mpc_block_half_saturation);
+  return eff / norm;
+}
+
+Time KernelCostModel::mpc_compress(std::uint64_t in_bytes, std::uint64_t out_bytes,
+                                   int blocks, const GpuSpec& gpu) const {
+  const double bw = mpc_compress_base_gbs * 1e9 * gpu.compute_scale *
+                    block_efficiency(blocks, gpu);
+  const double weighted = mpc_read_weight * static_cast<double>(in_bytes) +
+                          mpc_write_weight * static_cast<double>(out_bytes);
+  return Time::seconds(weighted / bw) +
+         Time::us(mpc_sync_us_per_block * std::max(1, blocks));
+}
+
+Time KernelCostModel::mpc_decompress(std::uint64_t in_bytes, std::uint64_t out_bytes,
+                                     int blocks, const GpuSpec& gpu) const {
+  const double bw = mpc_decompress_base_gbs * 1e9 * gpu.compute_scale *
+                    block_efficiency(blocks, gpu);
+  // Decompression reads the compressed stream and writes the original.
+  const double weighted = mpc_read_weight * static_cast<double>(out_bytes) +
+                          mpc_write_weight * static_cast<double>(in_bytes);
+  return Time::seconds(weighted / bw) +
+         Time::us(mpc_sync_us_per_block * std::max(1, blocks));
+}
+
+Time KernelCostModel::zfp_compress(std::uint64_t original_bytes, int rate,
+                                   const GpuSpec& gpu) const {
+  const double gbps = zfp_compress_k_gbs / (zfp_c0 + static_cast<double>(rate)) *
+                      gpu.compute_scale;
+  const double bits = static_cast<double>(original_bytes) * 8.0;
+  return zfp_kernel_floor + Time::seconds(bits / (gbps * 1e9));
+}
+
+Time KernelCostModel::zfp_decompress(std::uint64_t original_bytes, int rate,
+                                     const GpuSpec& gpu) const {
+  const double gbps = zfp_decompress_k_gbs / (zfp_c0 + static_cast<double>(rate)) *
+                      gpu.compute_scale;
+  const double bits = static_cast<double>(original_bytes) * 8.0;
+  return zfp_kernel_floor + Time::seconds(bits / (gbps * 1e9));
+}
+
+}  // namespace gcmpi::comp

@@ -1,0 +1,74 @@
+// Virtual-time cost model for the GPU compression/decompression kernels.
+//
+// Calibration anchors (Table III of the paper, NVIDIA V100, all SMs):
+//   MPC  compress  ~205 Gb/s, decompress ~185 Gb/s (input-referenced, on
+//        real datasets whose compression ratio is ~1.4);
+//   ZFP  rate 16: compress ~450 Gb/s, decompress ~735 Gb/s.
+//
+// Behavioural features the model must reproduce:
+//   * MPC throughput is data-dependent: a large part of the kernel cost is
+//     writing the output, so highly compressible data (the paper's OMB
+//     dummy buffers, AWP wavefields with CR 3-31) compresses much faster
+//     than CR~1.4 datasets. We split cost into a read term and a
+//     write term weighted by the realized output size.
+//   * MPC kernels busy-wait to synchronize across thread blocks, so
+//     per-kernel overhead grows with the number of blocks used, and
+//     throughput saturates near half the SMs (Sec. IV-B: "half of the
+//     available SMs is roughly the same as using full GPU"). This is what
+//     makes MPC-OPT's partitioned multi-stream launch profitable.
+//   * ZFP cost per value is roughly proportional to the number of encoded
+//     bit planes, i.e. the rate: lower rates are faster as well as smaller.
+//   * Other GPUs rescale by GpuSpec::compute_scale.
+#pragma once
+
+#include <cstdint>
+
+#include "gpu/cost_model.hpp"
+#include "sim/time.hpp"
+
+namespace gcmpi::comp {
+
+using gcmpi::gpu::GpuSpec;
+using sim::Time;
+
+struct KernelCostModel {
+  // MPC read/write cost split: time = (read_w*in + write_w*out) / base_bw.
+  // With the Table-III CR of ~1.4 (out/in ~ 0.71) this reproduces 205 Gb/s.
+  double mpc_read_weight = 0.5;
+  double mpc_write_weight = 0.7;
+  double mpc_compress_base_gbs = 25.6;    // GB/s input-referenced at CR 1.4
+  double mpc_decompress_base_gbs = 23.1;  // ~185 Gb/s
+  double mpc_sync_us_per_block = 0.35;    // busy-wait inter-block sync
+  double mpc_block_half_saturation = 8.0; // blocks at which eff = 50%
+
+  // ZFP: time = bits / throughput(rate); throughput = K / (c0 + rate) Gb/s.
+  // c0 = 0: the embedded coder touches exactly `rate` bit planes per value,
+  // so kernel time is proportional to the rate — rate 4 runs ~4x faster
+  // than rate 16, which is what makes ZFP-OPT(4) profitable even against
+  // NVLink for large messages (Fig. 9c).
+  double zfp_c0 = 0.0;
+  double zfp_compress_k_gbs = 7200.0;    // => 450 Gb/s at rate 16 (Table III)
+  double zfp_decompress_k_gbs = 11760.0; // => 735 Gb/s at rate 16
+  Time zfp_kernel_floor = Time::us(8);   // scheduling floor per kernel
+
+  /// MPC compression kernel over `in_bytes` producing `out_bytes`, run with
+  /// `blocks` thread blocks on `gpu`.
+  [[nodiscard]] Time mpc_compress(std::uint64_t in_bytes, std::uint64_t out_bytes,
+                                  int blocks, const GpuSpec& gpu) const;
+
+  /// MPC decompression kernel consuming `in_bytes` restoring `out_bytes`.
+  [[nodiscard]] Time mpc_decompress(std::uint64_t in_bytes, std::uint64_t out_bytes,
+                                    int blocks, const GpuSpec& gpu) const;
+
+  /// ZFP fixed-rate kernels; `original_bytes` is the uncompressed size.
+  [[nodiscard]] Time zfp_compress(std::uint64_t original_bytes, int rate,
+                                  const GpuSpec& gpu) const;
+  [[nodiscard]] Time zfp_decompress(std::uint64_t original_bytes, int rate,
+                                    const GpuSpec& gpu) const;
+
+  /// Block-count efficiency: blocks/(blocks + half_sat), normalized so that
+  /// using every SM of `gpu` gives 1.0.
+  [[nodiscard]] double block_efficiency(int blocks, const GpuSpec& gpu) const;
+};
+
+}  // namespace gcmpi::comp

@@ -1,0 +1,89 @@
+// From-scratch reimplementation of MPC, the Massively Parallel Compression
+// algorithm for single-precision scientific data (Yang, Mukka, Hesaaraki,
+// Burtscher, IEEE Cluster 2015).
+//
+// Structure mirrors the GPU algorithm:
+//   * the array is cut into fixed-size chunks, one per "thread block";
+//   * within a chunk, each value is predicted by the value `dim` positions
+//     earlier (the dimensionality-based last-value predictor that makes MPC
+//     effective on interleaved multi-field data);
+//   * the 32-bit residuals are mapped to put the information into the low
+//     bits, bit-transposed in 32x32 tiles so that equal high bits across
+//     neighbouring values form all-zero words, and zero words are elided
+//     behind a 32-bit presence mask (zero elimination);
+//   * chunks compress to different sizes, so a per-chunk size table is
+//     emitted — the serial analog of the `d_off` offset array the CUDA
+//     kernels synchronize through (Sec. III of the paper).
+//
+// The codec is bit-exact lossless for arbitrary payloads (NaNs, infinities,
+// denormals included) because all arithmetic is modular on the raw bits.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gcmpi::comp {
+
+class MpcCodec {
+ public:
+  /// `dimensionality`: stride of the value predictor (1..32; the MPC paper
+  /// tunes it per dataset). `chunk_values`: values per thread-block chunk;
+  /// must be a positive multiple of 32.
+  explicit MpcCodec(int dimensionality = 1, std::size_t chunk_values = 1024);
+
+  [[nodiscard]] int dimensionality() const { return dim_; }
+  [[nodiscard]] std::size_t chunk_values() const { return chunk_; }
+
+  /// Number of thread-block chunks (== GPU thread blocks == d_off entries).
+  [[nodiscard]] std::size_t chunk_count(std::size_t n_values) const {
+    return (n_values + chunk_ - 1) / chunk_;
+  }
+
+  /// Worst-case compressed size (incompressible data expands by ~3.5%).
+  [[nodiscard]] std::size_t max_compressed_bytes(std::size_t n_values) const;
+
+  /// Compress `in` into `out`; returns bytes written.
+  std::size_t compress(std::span<const float> in, std::span<std::uint8_t> out) const;
+
+  /// Decompress; returns number of values restored (must equal out.size()
+  /// capacity check is enforced).
+  std::size_t decompress(std::span<const std::uint8_t> in, std::span<float> out) const;
+
+  /// Number of float values encoded in a compressed buffer (header peek).
+  [[nodiscard]] static std::size_t encoded_values(std::span<const std::uint8_t> in);
+
+  /// Pick the dimensionality in [1, 8] giving the best ratio on a sample
+  /// prefix of the data — the "fine-tuned dimensionality" of Table III.
+  [[nodiscard]] static int tune_dimensionality(std::span<const float> data,
+                                               std::size_t sample_values = 1u << 16);
+
+ private:
+  int dim_;
+  std::size_t chunk_;
+};
+
+/// Double-precision MPC (the published algorithm supports both widths):
+/// identical pipeline with 64-bit residuals, 64x64 bit-transpose tiles,
+/// and 64-bit zero-elimination masks.
+class MpcCodec64 {
+ public:
+  explicit MpcCodec64(int dimensionality = 1, std::size_t chunk_values = 1024);
+
+  [[nodiscard]] int dimensionality() const { return dim_; }
+  [[nodiscard]] std::size_t chunk_values() const { return chunk_; }
+  [[nodiscard]] std::size_t chunk_count(std::size_t n_values) const {
+    return (n_values + chunk_ - 1) / chunk_;
+  }
+  [[nodiscard]] std::size_t max_compressed_bytes(std::size_t n_values) const;
+
+  std::size_t compress(std::span<const double> in, std::span<std::uint8_t> out) const;
+  std::size_t decompress(std::span<const std::uint8_t> in, std::span<double> out) const;
+
+ private:
+  int dim_;
+  std::size_t chunk_;
+};
+
+}  // namespace gcmpi::comp

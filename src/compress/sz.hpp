@@ -1,0 +1,50 @@
+// SZ-style error-bounded lossy compression for float32 streams (after
+// Di & Cappello, "Fast Error-Bounded Lossy HPC Data Compression with SZ",
+// IPDPS 2016, and the SZ 1.4 linear-scaling quantization design).
+//
+// Pipeline per value, against the *reconstructed* history (so the bound
+// holds end to end):
+//   1. predict with the best of three curve-fitting models — preceding
+//      neighbor, linear extrapolation, quadratic extrapolation;
+//   2. linear-scaling quantization of the prediction error into
+//      2^quant_bits bins of width 2*error_bound;
+//   3. in-range codes are Huffman-coded; out-of-range values are emitted
+//      verbatim behind an escape code (the "unpredictable data" path).
+//
+// This is the error-bounded alternative to ZFP's fixed-rate mode: the
+// ratio is data-dependent but every reconstructed value differs from the
+// original by at most `error_bound`.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gcmpi::comp {
+
+class SzCodec {
+ public:
+  /// `error_bound`: maximum absolute reconstruction error (> 0).
+  /// `quant_bits`: log2 of the quantization bins (4..24; SZ default 16).
+  explicit SzCodec(double error_bound, int quant_bits = 16);
+
+  [[nodiscard]] double error_bound() const { return error_bound_; }
+
+  [[nodiscard]] std::size_t max_compressed_bytes(std::size_t n_values) const;
+
+  /// Compress; returns bytes written into `out`.
+  std::size_t compress(std::span<const float> in, std::span<std::uint8_t> out) const;
+
+  /// Decompress; returns the number of values restored.
+  std::size_t decompress(std::span<const std::uint8_t> in, std::span<float> out) const;
+
+  /// Number of values held by a compressed buffer (header peek).
+  [[nodiscard]] static std::size_t encoded_values(std::span<const std::uint8_t> in);
+
+ private:
+  double error_bound_;
+  int quant_bits_;
+};
+
+}  // namespace gcmpi::comp

@@ -1,0 +1,440 @@
+#include "compress/zfp.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+
+#include "compress/bitstream.hpp"
+
+namespace gcmpi::comp {
+
+namespace {
+
+constexpr int kIntPrec = 32;      // bit planes per coefficient
+constexpr int kEmaxBias = 150;    // covers float exponents incl. denormals
+constexpr int kEmaxBits = 9;
+
+/// zfp forward lifting transform over 4 values with stride s.
+void fwd_lift(std::int32_t* p, std::size_t s) {
+  std::int32_t x = p[0 * s], y = p[1 * s], z = p[2 * s], w = p[3 * s];
+  x += w; x >>= 1; w -= x;
+  z += y; z >>= 1; y -= z;
+  x += z; x >>= 1; z -= x;
+  w += y; w >>= 1; y -= w;
+  w += y >> 1; y -= w >> 1;
+  p[0 * s] = x; p[1 * s] = y; p[2 * s] = z; p[3 * s] = w;
+}
+
+/// Exact inverse of fwd_lift.
+void inv_lift(std::int32_t* p, std::size_t s) {
+  std::int32_t x = p[0 * s], y = p[1 * s], z = p[2 * s], w = p[3 * s];
+  y += w >> 1; w -= y >> 1;
+  y += w; w <<= 1; w -= y;
+  z += x; x <<= 1; x -= z;
+  y += z; z <<= 1; z -= y;
+  w += x; x <<= 1; x -= w;
+  p[0 * s] = x; p[1 * s] = y; p[2 * s] = z; p[3 * s] = w;
+}
+
+/// Total-sequency coefficient order for a d-dimensional block: low-frequency
+/// (small coordinate sum) coefficients first so truncation drops the least
+/// important bits. Tie-break by linear index (deterministic; not
+/// bit-identical to libzfp's table but serves the same purpose).
+template <int Dims>
+const std::array<std::uint8_t, std::size_t(1) << (2 * Dims)>& perm() {
+  static const auto table = [] {
+    constexpr std::size_t n = std::size_t(1) << (2 * Dims);
+    std::array<std::uint8_t, n> t{};
+    std::array<std::uint8_t, n> idx{};
+    std::iota(idx.begin(), idx.end(), std::uint8_t{0});
+    auto coord_sum = [](std::size_t i) {
+      return (i & 3u) + ((i >> 2) & 3u) + ((i >> 4) & 3u);
+    };
+    std::stable_sort(idx.begin(), idx.end(), [&](std::uint8_t a, std::uint8_t b) {
+      return coord_sum(a) < coord_sum(b);
+    });
+    t = idx;
+    return t;
+  }();
+  return table;
+}
+
+[[nodiscard]] std::uint32_t int_to_negabinary(std::int32_t x) {
+  const std::uint32_t mask = 0xAAAAAAAAu;
+  return (static_cast<std::uint32_t>(x) + mask) ^ mask;
+}
+
+[[nodiscard]] std::int32_t negabinary_to_int(std::uint32_t x) {
+  const std::uint32_t mask = 0xAAAAAAAAu;
+  return static_cast<std::int32_t>((x ^ mask) - mask);
+}
+
+/// Embedded bit-plane encoder with group testing (zfp's encode_ints).
+/// Writes at most `budget` bits; stops above plane `kmin` (fixed-precision
+/// and fixed-accuracy modes truncate by plane instead of by budget).
+template <int BlockSize>
+void encode_ints(BitWriter& w, const std::uint32_t* u, std::size_t budget, int kmin) {
+  constexpr std::uint32_t bs = BlockSize;
+  std::size_t bits = budget;
+  std::uint32_t n = 0;  // values known to be significant so far
+  for (int k = kIntPrec; bits > 0 && k-- > kmin;) {
+    // Extract bit plane k across the block.
+    std::uint64_t x = 0;
+    for (std::uint32_t i = 0; i < bs; ++i) {
+      x += static_cast<std::uint64_t>((u[i] >> k) & 1u) << i;
+    }
+    // Verbatim bits for the already-significant prefix.
+    const std::uint32_t m = static_cast<std::uint32_t>(std::min<std::size_t>(n, bits));
+    bits -= m;
+    w.put_bits(x, static_cast<int>(m));
+    x = (m < 64) ? (x >> m) : 0;
+    // Group-tested unary expansion of the remainder of the plane.
+    auto write_bit = [&w](std::uint32_t b) {
+      w.put_bit(b);
+      return b;
+    };
+    for (; n < bs && bits && (bits--, write_bit(x != 0 ? 1u : 0u)); x >>= 1, n++) {
+      for (; n < bs - 1 && bits && (bits--, !write_bit(x & 1u)); x >>= 1, n++) {
+      }
+    }
+  }
+}
+
+/// Mirror of encode_ints.
+template <int BlockSize>
+void decode_ints(BitReader& r, std::uint32_t* u, std::size_t budget, int kmin) {
+  constexpr std::uint32_t bs = BlockSize;
+  std::fill_n(u, BlockSize, 0u);
+  std::size_t bits = budget;
+  std::uint32_t n = 0;
+  for (int k = kIntPrec; bits > 0 && k-- > kmin;) {
+    const std::uint32_t m = static_cast<std::uint32_t>(std::min<std::size_t>(n, bits));
+    bits -= m;
+    std::uint64_t x = r.get_bits(static_cast<int>(m));
+    for (; n < bs && bits && (bits--, r.get_bit());
+         x += std::uint64_t{1} << n, n++) {
+      for (; n < bs - 1 && bits && (bits--, !r.get_bit()); n++) {
+      }
+    }
+    // Deposit plane k.
+    for (std::uint32_t i = 0; x != 0; ++i, x >>= 1) {
+      if (x & 1u) u[i] |= 1u << k;
+    }
+  }
+}
+
+template <int Dims>
+struct BlockTraits {
+  static constexpr int kSize = 1 << (2 * Dims);
+};
+
+template <int Dims>
+void fwd_xform(std::int32_t* b) {
+  if constexpr (Dims == 1) {
+    fwd_lift(b, 1);
+  } else if constexpr (Dims == 2) {
+    for (int y = 0; y < 4; ++y) fwd_lift(b + 4 * y, 1);
+    for (int x = 0; x < 4; ++x) fwd_lift(b + x, 4);
+  } else {
+    for (int z = 0; z < 4; ++z)
+      for (int y = 0; y < 4; ++y) fwd_lift(b + 16 * z + 4 * y, 1);
+    for (int z = 0; z < 4; ++z)
+      for (int x = 0; x < 4; ++x) fwd_lift(b + 16 * z + x, 4);
+    for (int y = 0; y < 4; ++y)
+      for (int x = 0; x < 4; ++x) fwd_lift(b + 4 * y + x, 16);
+  }
+}
+
+template <int Dims>
+void inv_xform(std::int32_t* b) {
+  if constexpr (Dims == 1) {
+    inv_lift(b, 1);
+  } else if constexpr (Dims == 2) {
+    for (int x = 0; x < 4; ++x) inv_lift(b + x, 4);
+    for (int y = 0; y < 4; ++y) inv_lift(b + 4 * y, 1);
+  } else {
+    for (int y = 0; y < 4; ++y)
+      for (int x = 0; x < 4; ++x) inv_lift(b + 4 * y + x, 16);
+    for (int z = 0; z < 4; ++z)
+      for (int x = 0; x < 4; ++x) inv_lift(b + 16 * z + x, 4);
+    for (int z = 0; z < 4; ++z)
+      for (int y = 0; y < 4; ++y) inv_lift(b + 16 * z + 4 * y, 1);
+  }
+}
+
+/// Per-mode coding bounds for one block; kmin is the lowest bit plane kept.
+struct BlockCoding {
+  std::size_t budget;
+  int kmin;
+  bool pad;  // fixed rate pads to exactly `budget` + header bits
+};
+
+template <int Dims>
+BlockCoding block_coding(ZfpMode mode, int rate, int precision, double tolerance, int emax) {
+  constexpr int BS = BlockTraits<Dims>::kSize;
+  switch (mode) {
+    case ZfpMode::FixedPrecision:
+      return {std::size_t{10} + 64u * BS, kIntPrec - precision, false};
+    case ZfpMode::FixedAccuracy: {
+      // Keep every plane whose original-domain weight exceeds the
+      // tolerance; guard planes absorb quantization + transform gain.
+      int minexp = 0;
+      (void)std::frexp(tolerance, &minexp);
+      int kmin = minexp + (kIntPrec - 2) - emax - (2 + Dims);
+      if (kmin < 0) kmin = 0;
+      if (kmin > kIntPrec) kmin = kIntPrec;
+      return {std::size_t{10} + 64u * BS, kmin, false};
+    }
+    case ZfpMode::FixedRate:
+    default:
+      return {static_cast<std::size_t>(rate) * BS, 0, true};
+  }
+}
+
+template <int Dims>
+void encode_block(BitWriter& w, const float* fblock, ZfpMode mode, int rate, int precision,
+                  double tolerance) {
+  constexpr int BS = BlockTraits<Dims>::kSize;
+  const std::size_t block_start = w.bit_size();
+  const std::size_t rate_bits = static_cast<std::size_t>(rate) * BS;
+
+  float fmax = 0.0f;
+  for (int i = 0; i < BS; ++i) {
+    const float a = std::fabs(fblock[i]);
+    if (std::isfinite(a) && a > fmax) fmax = a;
+  }
+  if (fmax == 0.0f) {
+    w.put_bit(0);  // all-zero block
+    if (mode == ZfpMode::FixedRate) w.pad_to(block_start + rate_bits);
+    return;
+  }
+  w.put_bit(1);
+  int emax = 0;
+  (void)std::frexp(fmax, &emax);  // fmax = m * 2^emax, 0.5 <= m < 1
+  w.put_bits(static_cast<std::uint64_t>(emax + kEmaxBias), kEmaxBits);
+
+  // Block floating point: quantize with 2 guard bits => |q| < 2^30.
+  std::int32_t iblock[BS];
+  const double scale = std::ldexp(1.0, (kIntPrec - 2) - emax);
+  for (int i = 0; i < BS; ++i) {
+    const float f = fblock[i];
+    iblock[i] = std::isfinite(f) ? static_cast<std::int32_t>(static_cast<double>(f) * scale) : 0;
+  }
+
+  fwd_xform<Dims>(iblock);
+
+  const auto& p = perm<Dims>();
+  std::uint32_t ublock[BS];
+  for (int i = 0; i < BS; ++i) ublock[i] = int_to_negabinary(iblock[p[static_cast<std::size_t>(i)]]);
+
+  const BlockCoding c = block_coding<Dims>(mode, rate, precision, tolerance, emax);
+  const std::size_t used = w.bit_size() - block_start;
+  encode_ints<BS>(w, ublock, c.pad ? c.budget - used : c.budget, c.kmin);
+  if (c.pad) w.pad_to(block_start + c.budget);
+}
+
+template <int Dims>
+void decode_block(BitReader& r, float* fblock, ZfpMode mode, int rate, int precision,
+                  double tolerance) {
+  constexpr int BS = BlockTraits<Dims>::kSize;
+  const std::size_t block_start = r.tell();
+  const std::size_t rate_bits = static_cast<std::size_t>(rate) * BS;
+
+  if (r.get_bit() == 0) {
+    std::fill_n(fblock, BS, 0.0f);
+    if (mode == ZfpMode::FixedRate) r.seek(block_start + rate_bits);
+    return;
+  }
+  const int emax = static_cast<int>(r.get_bits(kEmaxBits)) - kEmaxBias;
+
+  std::uint32_t ublock[BS];
+  const BlockCoding c = block_coding<Dims>(mode, rate, precision, tolerance, emax);
+  const std::size_t used = r.tell() - block_start;
+  decode_ints<BS>(r, ublock, c.pad ? c.budget - used : c.budget, c.kmin);
+  if (c.pad) r.seek(block_start + c.budget);
+
+  const auto& p = perm<Dims>();
+  std::int32_t iblock[BS];
+  for (int i = 0; i < BS; ++i) iblock[p[static_cast<std::size_t>(i)]] = negabinary_to_int(ublock[i]);
+
+  inv_xform<Dims>(iblock);
+
+  const double scale = std::ldexp(1.0, emax - (kIntPrec - 2));
+  for (int i = 0; i < BS; ++i) {
+    fblock[i] = static_cast<float>(iblock[i] * scale);
+  }
+}
+
+/// Gather a (possibly partial) block, replicating edge values as padding.
+template <int Dims>
+void gather(const float* data, const ZfpField& f, std::size_t bx, std::size_t by,
+            std::size_t bz, float* block) {
+  for (std::size_t z = 0; z < (Dims >= 3 ? 4u : 1u); ++z) {
+    const std::size_t sz = std::min(4 * bz + z, f.nz - 1);
+    for (std::size_t y = 0; y < (Dims >= 2 ? 4u : 1u); ++y) {
+      const std::size_t sy = std::min(4 * by + y, f.ny - 1);
+      for (std::size_t x = 0; x < 4u; ++x) {
+        const std::size_t sx = std::min(4 * bx + x, f.nx - 1);
+        block[16 * z + 4 * y + x] = data[(sz * f.ny + sy) * f.nx + sx];
+      }
+    }
+  }
+}
+
+/// Scatter a block back, dropping padded lanes.
+template <int Dims>
+void scatter(const float* block, const ZfpField& f, std::size_t bx, std::size_t by,
+             std::size_t bz, float* data) {
+  for (std::size_t z = 0; z < (Dims >= 3 ? 4u : 1u); ++z) {
+    const std::size_t dz = 4 * bz + z;
+    if (dz >= f.nz) break;
+    for (std::size_t y = 0; y < (Dims >= 2 ? 4u : 1u); ++y) {
+      const std::size_t dy = 4 * by + y;
+      if (dy >= f.ny) break;
+      for (std::size_t x = 0; x < 4u; ++x) {
+        const std::size_t dx = 4 * bx + x;
+        if (dx >= f.nx) break;
+        data[(dz * f.ny + dy) * f.nx + dx] = block[16 * z + 4 * y + x];
+      }
+    }
+  }
+}
+
+struct ModeParams {
+  ZfpMode mode;
+  int rate;
+  int precision;
+  double tolerance;
+};
+
+template <int Dims>
+void compress_impl(const float* in, const ZfpField& f, const ModeParams& m, BitWriter& w) {
+  constexpr int BS = BlockTraits<Dims>::kSize;
+  float block[64];
+  const std::size_t bx_n = (f.nx + 3) / 4;
+  const std::size_t by_n = Dims >= 2 ? (f.ny + 3) / 4 : 1;
+  const std::size_t bz_n = Dims >= 3 ? (f.nz + 3) / 4 : 1;
+  for (std::size_t bz = 0; bz < bz_n; ++bz) {
+    for (std::size_t by = 0; by < by_n; ++by) {
+      for (std::size_t bx = 0; bx < bx_n; ++bx) {
+        // For 1D blocks only the first 4 lanes are populated.
+        std::fill_n(block, BS, 0.0f);
+        gather<Dims>(in, f, bx, by, bz, block);
+        encode_block<Dims>(w, block, m.mode, m.rate, m.precision, m.tolerance);
+      }
+    }
+  }
+}
+
+template <int Dims>
+void decompress_impl(BitReader& r, const ZfpField& f, const ModeParams& m, float* out) {
+  float block[64];
+  const std::size_t bx_n = (f.nx + 3) / 4;
+  const std::size_t by_n = Dims >= 2 ? (f.ny + 3) / 4 : 1;
+  const std::size_t bz_n = Dims >= 3 ? (f.nz + 3) / 4 : 1;
+  for (std::size_t bz = 0; bz < bz_n; ++bz) {
+    for (std::size_t by = 0; by < by_n; ++by) {
+      for (std::size_t bx = 0; bx < bx_n; ++bx) {
+        decode_block<Dims>(r, block, m.mode, m.rate, m.precision, m.tolerance);
+        scatter<Dims>(block, f, bx, by, bz, out);
+      }
+    }
+  }
+}
+
+void validate_field(const ZfpField& f) {
+  if (f.dims < 1 || f.dims > 3) throw std::invalid_argument("ZfpField: dims must be 1..3");
+  if (f.nx == 0 || f.ny == 0 || f.nz == 0) {
+    throw std::invalid_argument("ZfpField: zero extent");
+  }
+  if (f.dims < 3 && f.nz != 1) throw std::invalid_argument("ZfpField: nz must be 1 for dims<3");
+  if (f.dims < 2 && f.ny != 1) throw std::invalid_argument("ZfpField: ny must be 1 for dims<2");
+}
+
+}  // namespace
+
+std::size_t ZfpField::blocks() const {
+  const std::size_t bx = (nx + 3) / 4;
+  const std::size_t by = dims >= 2 ? (ny + 3) / 4 : 1;
+  const std::size_t bz = dims >= 3 ? (nz + 3) / 4 : 1;
+  return bx * by * bz;
+}
+
+ZfpCodec::ZfpCodec(int rate) : rate_(rate) {
+  // Rate 4 is the paper's most aggressive setting; below that a 1D block's
+  // bit budget cannot even hold the exponent header.
+  if (rate < 4 || rate > 32) throw std::invalid_argument("ZfpCodec: rate must be 4..32");
+}
+
+ZfpCodec ZfpCodec::fixed_precision(int precision) {
+  if (precision < 1 || precision > 32) {
+    throw std::invalid_argument("ZfpCodec: precision must be 1..32");
+  }
+  return ZfpCodec(ZfpMode::FixedPrecision, 32, precision, 0.0);
+}
+
+ZfpCodec ZfpCodec::fixed_accuracy(double tolerance) {
+  if (!(tolerance > 0.0) || !std::isfinite(tolerance)) {
+    throw std::invalid_argument("ZfpCodec: tolerance must be positive and finite");
+  }
+  return ZfpCodec(ZfpMode::FixedAccuracy, 32, 32, tolerance);
+}
+
+std::size_t ZfpCodec::compressed_bytes(const ZfpField& field) const {
+  validate_field(field);
+  const std::size_t block_values = std::size_t(1) << (2 * field.dims);
+  const std::size_t maxbits = mode_ == ZfpMode::FixedRate
+                                  ? static_cast<std::size_t>(rate_) * block_values
+                                  : 10 + 64 * block_values;  // variable-mode bound
+  const std::size_t total_bits = field.blocks() * maxbits;
+  return ((total_bits + 63) / 64) * 8;  // word-aligned stream
+}
+
+std::size_t ZfpCodec::compress(std::span<const float> in, const ZfpField& field,
+                               std::span<std::uint8_t> out) const {
+  validate_field(field);
+  if (in.size() < field.values()) throw std::invalid_argument("ZfpCodec::compress: input too small");
+  const std::size_t need = compressed_bytes(field);
+  if (out.size() < need) throw std::invalid_argument("ZfpCodec::compress: output too small");
+
+  const ModeParams m{mode_, rate_, precision_, tolerance_};
+  BitWriter w;
+  switch (field.dims) {
+    case 1: compress_impl<1>(in.data(), field, m, w); break;
+    case 2: compress_impl<2>(in.data(), field, m, w); break;
+    case 3: compress_impl<3>(in.data(), field, m, w); break;
+    default: break;
+  }
+  const std::vector<std::uint8_t> bytes = w.take();
+  std::memcpy(out.data(), bytes.data(), bytes.size());
+  return bytes.size();
+}
+
+void ZfpCodec::decompress(std::span<const std::uint8_t> in, const ZfpField& field,
+                          std::span<float> out) const {
+  validate_field(field);
+  if (out.size() < field.values()) throw std::invalid_argument("ZfpCodec::decompress: output too small");
+  const ModeParams m{mode_, rate_, precision_, tolerance_};
+  BitReader r(in);
+  switch (field.dims) {
+    case 1: decompress_impl<1>(r, field, m, out.data()); break;
+    case 2: decompress_impl<2>(r, field, m, out.data()); break;
+    case 3: decompress_impl<3>(r, field, m, out.data()); break;
+    default: break;
+  }
+}
+
+double ZfpCodec::error_bound(double max_abs) const {
+  if (max_abs <= 0.0) return 0.0;
+  // Truncating to `rate` bit planes of a 30-bit quantization aligned at the
+  // block exponent leaves at most ~2^(emax - rate + dims + 2) of error
+  // (transform gain <= 2^dims). Conservative envelope:
+  int emax = 0;
+  (void)std::frexp(max_abs, &emax);
+  return std::ldexp(1.0, emax - rate_ + 5);
+}
+
+}  // namespace gcmpi::comp

@@ -1,0 +1,86 @@
+#include "core/dynamic.hpp"
+
+#include <algorithm>
+
+#include "compress/mpc.hpp"
+
+namespace gcmpi::core {
+
+DynamicSelector::DynamicSelector(gpu::GpuSpec gpu, double network_gbs, bool lossy_allowed,
+                                 int min_zfp_rate)
+    : gpu_(gpu),
+      network_gbs_(network_gbs),
+      lossy_allowed_(lossy_allowed),
+      min_zfp_rate_(min_zfp_rate) {}
+
+double DynamicSelector::estimate_mpc_ratio(std::span<const float> message,
+                                           std::size_t sample_values) const {
+  const std::size_t n = std::min(sample_values, message.size());
+  if (n < 64) return 1.0;
+  const comp::MpcCodec codec(1);
+  std::vector<std::uint8_t> buf(codec.max_compressed_bytes(n));
+  const std::size_t size = codec.compress(message.subspan(0, n), buf);
+  return static_cast<double>(n * 4) / static_cast<double>(size);
+}
+
+std::vector<CandidateCost> DynamicSelector::evaluate(std::uint64_t message_bytes,
+                                                     double mpc_cr) const {
+  const double wire_bps = network_gbs_ * 1e9;
+  auto wire = [&](double bytes) { return Time::seconds(bytes / wire_bps); };
+  std::vector<CandidateCost> out;
+
+  // No compression: T = S/B (eq. 1, setup time common to all candidates).
+  out.push_back({Algorithm::None, 0, 1.0, wire(static_cast<double>(message_bytes))});
+
+  // MPC: partitioned kernels on both sides + compressed wire (eq. 2).
+  {
+    const auto compressed =
+        static_cast<std::uint64_t>(static_cast<double>(message_bytes) / std::max(1.0, mpc_cr));
+    const int blocks = std::max(1, gpu_.sm_count / 4);
+    const Time t = model_.mpc_compress(message_bytes / 4, compressed / 4, blocks, gpu_) +
+                   wire(static_cast<double>(compressed)) +
+                   model_.mpc_decompress(compressed / 4, message_bytes / 4, blocks, gpu_);
+    out.push_back({Algorithm::MPC, 0, mpc_cr, t});
+  }
+
+  // ZFP at the allowed fixed rates.
+  if (lossy_allowed_) {
+    for (int rate : {16, 8, 4}) {
+      if (rate < min_zfp_rate_) continue;
+      const double cr = 32.0 / rate;
+      const Time t = model_.zfp_compress(message_bytes, rate, gpu_) +
+                     wire(static_cast<double>(message_bytes) / cr) +
+                     model_.zfp_decompress(message_bytes, rate, gpu_);
+      out.push_back({Algorithm::ZFP, rate, cr, t});
+    }
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const CandidateCost& a, const CandidateCost& b) { return a.predicted < b.predicted; });
+  return out;
+}
+
+CandidateCost DynamicSelector::choose(std::span<const float> message) const {
+  const double cr = estimate_mpc_ratio(message);
+  return evaluate(message.size() * 4, cr).front();
+}
+
+void DynamicSelector::apply(const CandidateCost& decision, CompressionConfig& config) {
+  switch (decision.algorithm) {
+    case Algorithm::None:
+      config.enabled = false;
+      config.algorithm = Algorithm::None;
+      break;
+    case Algorithm::MPC:
+      config.enabled = true;
+      config.algorithm = Algorithm::MPC;
+      break;
+    case Algorithm::ZFP:
+      config.enabled = true;
+      config.algorithm = Algorithm::ZFP;
+      config.zfp_rate = decision.zfp_rate;
+      break;
+  }
+}
+
+}  // namespace gcmpi::core

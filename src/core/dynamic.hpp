@@ -1,0 +1,66 @@
+// Dynamic compression selection — the paper's future work (Sec. IX):
+// "explore the dynamic design to automatically determine the use of
+// compression or selection of different algorithms for specific
+// communication calls based on the compression costs and communication
+// time".
+//
+// The selector estimates the MPC compression ratio from a small real
+// sample of the message, evaluates the analytical cost model of Sec. II-A
+// (eq. 2) for every candidate scheme, and picks the minimum-latency one:
+//
+//   T' = T_compr + T_oh_compr + S/(CR*B) + T_decompr + T_oh_decompr
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "compress/kernel_cost.hpp"
+#include "core/config.hpp"
+#include "gpu/cost_model.hpp"
+#include "sim/time.hpp"
+
+namespace gcmpi::core {
+
+using sim::Time;
+
+struct CandidateCost {
+  Algorithm algorithm = Algorithm::None;
+  int zfp_rate = 0;          // 0 for None/MPC
+  double estimated_cr = 1.0;
+  Time predicted;            // end-to-end predicted transfer latency
+};
+
+class DynamicSelector {
+ public:
+  /// `network_gbs`: bandwidth of the link the message will traverse.
+  /// `lossy_allowed`: whether the application tolerates ZFP's fixed-rate
+  /// loss for this buffer (AWP at rate 4 does not — Sec. VII-A).
+  DynamicSelector(gpu::GpuSpec gpu, double network_gbs, bool lossy_allowed = true,
+                  int min_zfp_rate = 8);
+
+  /// Estimate the MPC ratio by really compressing `sample_values` values
+  /// of the message (cheap: default 16K values).
+  [[nodiscard]] double estimate_mpc_ratio(std::span<const float> message,
+                                          std::size_t sample_values = 16384) const;
+
+  /// Evaluate every candidate for a `message_bytes`-sized device message
+  /// whose sampled MPC ratio is `mpc_cr`; sorted best-first.
+  [[nodiscard]] std::vector<CandidateCost> evaluate(std::uint64_t message_bytes,
+                                                    double mpc_cr) const;
+
+  /// One-call convenience: sample + evaluate + pick.
+  [[nodiscard]] CandidateCost choose(std::span<const float> message) const;
+
+  /// Apply a decision onto a config (keeps all other knobs).
+  static void apply(const CandidateCost& decision, CompressionConfig& config);
+
+ private:
+  gpu::GpuSpec gpu_;
+  double network_gbs_;
+  bool lossy_allowed_;
+  int min_zfp_rate_;
+  comp::KernelCostModel model_;
+};
+
+}  // namespace gcmpi::core

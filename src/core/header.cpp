@@ -1,0 +1,66 @@
+#include "core/header.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace gcmpi::core {
+
+namespace {
+template <typename T>
+void put(std::vector<std::uint8_t>& out, T v) {
+  const std::size_t at = out.size();
+  out.resize(at + sizeof(T));
+  std::memcpy(out.data() + at, &v, sizeof(T));
+}
+
+template <typename T>
+T get(std::span<const std::uint8_t> in, std::size_t& pos) {
+  if (pos + sizeof(T) > in.size()) throw std::invalid_argument("CompressionHeader: truncated");
+  T v;
+  std::memcpy(&v, in.data() + pos, sizeof(T));
+  pos += sizeof(T);
+  return v;
+}
+}  // namespace
+
+std::size_t CompressionHeader::wire_bytes() const {
+  return 1 + 1 + 8 + 8 + 2 + 4 + 2 + 2 + partition_bytes.size() * 4;
+}
+
+std::vector<std::uint8_t> CompressionHeader::serialize() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(wire_bytes());
+  put<std::uint8_t>(out, static_cast<std::uint8_t>(algorithm));
+  put<std::uint8_t>(out, compressed ? 1 : 0);
+  put<std::uint64_t>(out, original_bytes);
+  put<std::uint64_t>(out, compressed_bytes);
+  put<std::uint16_t>(out, mpc_dimensionality);
+  put<std::uint32_t>(out, mpc_chunk_values);
+  put<std::uint16_t>(out, zfp_rate);
+  put<std::uint16_t>(out, static_cast<std::uint16_t>(partition_bytes.size()));
+  for (std::uint32_t b : partition_bytes) put<std::uint32_t>(out, b);
+  return out;
+}
+
+CompressionHeader CompressionHeader::deserialize(std::span<const std::uint8_t> in) {
+  CompressionHeader h;
+  std::size_t pos = 0;
+  const auto alg = get<std::uint8_t>(in, pos);
+  if (alg > 2) throw std::invalid_argument("CompressionHeader: bad algorithm");
+  h.algorithm = static_cast<Algorithm>(alg);
+  h.compressed = get<std::uint8_t>(in, pos) != 0;
+  h.original_bytes = get<std::uint64_t>(in, pos);
+  h.compressed_bytes = get<std::uint64_t>(in, pos);
+  h.mpc_dimensionality = get<std::uint16_t>(in, pos);
+  h.mpc_chunk_values = get<std::uint32_t>(in, pos);
+  h.zfp_rate = get<std::uint16_t>(in, pos);
+  const auto nparts = get<std::uint16_t>(in, pos);
+  h.partition_bytes.reserve(nparts);
+  for (std::uint16_t i = 0; i < nparts; ++i) {
+    h.partition_bytes.push_back(get<std::uint32_t>(in, pos));
+  }
+  if (pos != in.size()) throw std::invalid_argument("CompressionHeader: trailing bytes");
+  return h;
+}
+
+}  // namespace gcmpi::core

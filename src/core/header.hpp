@@ -1,0 +1,46 @@
+// Compression header piggybacked on the rendezvous RTS packet (Fig. 3/4).
+//
+// Carries the control parameters ("A": algorithm + its kernel
+// configuration) and the results of compression ("B": compressed sizes,
+// per-partition sizes for MPC-OPT's multi-stream scheme) so the receiver
+// can launch the matching decompression kernels without an extra message
+// exchange. The struct serializes to a compact wire format so its on-wire
+// size is charged accurately on the RTS.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/config.hpp"
+
+namespace gcmpi::core {
+
+struct CompressionHeader {
+  Algorithm algorithm = Algorithm::None;
+  bool compressed = false;  // false => payload sent raw (e.g. fallback)
+  std::uint64_t original_bytes = 0;
+  std::uint64_t compressed_bytes = 0;
+
+  // MPC control parameters + per-partition compressed sizes (bytes).
+  std::uint16_t mpc_dimensionality = 1;
+  std::uint32_t mpc_chunk_values = 1024;
+  std::vector<std::uint32_t> partition_bytes;
+
+  // ZFP control parameters (1D fixed-rate as used in the paper).
+  std::uint16_t zfp_rate = 16;
+
+  [[nodiscard]] int partitions() const {
+    return partition_bytes.empty() ? 1 : static_cast<int>(partition_bytes.size());
+  }
+
+  /// Size of the serialized header as carried in the RTS packet.
+  [[nodiscard]] std::size_t wire_bytes() const;
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  [[nodiscard]] static CompressionHeader deserialize(std::span<const std::uint8_t> in);
+
+  bool operator==(const CompressionHeader&) const = default;
+};
+
+}  // namespace gcmpi::core

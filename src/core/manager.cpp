@@ -1,0 +1,384 @@
+#include "core/manager.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace gcmpi::core {
+
+using sim::Phase;
+
+namespace {
+
+constexpr Time kZfpStreamFieldCreation = Time::us(9);  // Sec. V-A
+
+void charge(Timeline& tl, Time t, Breakdown* bd, Phase phase) {
+  tl.advance(t);
+  if (bd != nullptr) bd->add(phase, t);
+}
+
+/// Contiguous value ranges for MPC-OPT's data partitioning (Fig. 7); each
+/// partition is chunk-aligned so chunk/thread-block boundaries never split.
+struct Partition {
+  std::size_t offset;  // in values
+  std::size_t count;
+};
+
+std::vector<Partition> make_partitions(std::size_t n_values, int requested,
+                                       std::size_t chunk) {
+  std::vector<Partition> parts;
+  const std::size_t max_parts = std::max<std::size_t>(1, n_values / chunk);
+  const std::size_t n = std::min<std::size_t>(static_cast<std::size_t>(std::max(1, requested)), max_parts);
+  std::size_t per = (n_values + n - 1) / n;
+  per = ((per + chunk - 1) / chunk) * chunk;
+  std::size_t off = 0;
+  while (off < n_values) {
+    const std::size_t cnt = std::min(per, n_values - off);
+    parts.push_back({off, cnt});
+    off += cnt;
+  }
+  return parts;
+}
+
+}  // namespace
+
+CompressionManager::CompressionManager(gpu::Gpu& gpu, CompressionConfig config)
+    : gpu_(gpu), config_(std::move(config)) {
+  if (config_.enabled && config_.use_buffer_pool) {
+    // Pre-allocated at init time (MPI_Init), hence untimed (Sec. IV-B 1).
+    pool_.emplace(gpu_, config_.pool_buffer_bytes, config_.pool_buffers);
+  }
+}
+
+bool CompressionManager::should_compress(const void* buf, std::uint64_t bytes) const {
+  return config_.enabled && config_.algorithm != Algorithm::None &&
+         bytes >= config_.threshold_bytes && bytes % 4 == 0 && bytes >= 16 &&
+         gpu_.owns(buf);
+}
+
+void CompressionManager::acquire_staging(Timeline& tl, std::size_t bytes, Breakdown* bd,
+                                         gpu::BufferPool::Lease& lease,
+                                         void*& naive_buffer, bool& used_pool) {
+  if (config_.use_buffer_pool) {
+    lease = pool_->acquire(tl, bytes, bd);
+    naive_buffer = nullptr;
+    used_pool = true;
+  } else {
+    naive_buffer = gpu_.malloc_device(tl, bytes, bd);
+    used_pool = false;
+  }
+}
+
+CompressionManager::WireData CompressionManager::compress_for_send(
+    Timeline& tl, const void* buf, std::uint64_t bytes) {
+  const Time started = tl.now();
+  WireData wire;
+  wire.header.original_bytes = bytes;
+  ++stats_.messages_considered;
+
+  if (!should_compress(buf, bytes)) {
+    wire.data = buf;
+    wire.bytes = bytes;
+    wire.header.compressed = false;
+    wire.header.compressed_bytes = bytes;
+    stats_.original_bytes += bytes;
+    stats_.wire_bytes += bytes;
+    if (telemetry_ != nullptr) {
+      telemetry_->record({started, rank_id_, EventKind::RawBypass, Algorithm::None, bytes,
+                          bytes, Time::zero()});
+    }
+    return wire;
+  }
+
+  const auto* values = static_cast<const float*>(buf);
+  const std::size_t n = bytes / 4;
+  Breakdown* bd = &sender_bd_;
+
+  if (config_.algorithm == Algorithm::MPC) {
+    const comp::MpcCodec codec(config_.mpc_dimensionality, config_.mpc_chunk_values);
+    const std::size_t capacity = codec.max_compressed_bytes(n) +
+                                 16 * static_cast<std::size_t>(config_.partitions_for(bytes));
+    acquire_staging(tl, capacity, bd, wire.lease, wire.naive_buffer, wire.used_pool);
+    auto* out = static_cast<std::uint8_t*>(wire.used_pool ? wire.lease.data : wire.naive_buffer);
+
+    const MpcOutput result = run_mpc_compress(tl, values, n, out, capacity, bd);
+
+    wire.header.algorithm = Algorithm::MPC;
+    wire.header.mpc_dimensionality = static_cast<std::uint16_t>(config_.mpc_dimensionality);
+    wire.header.mpc_chunk_values = static_cast<std::uint32_t>(config_.mpc_chunk_values);
+    wire.header.partition_bytes = result.partition_bytes;
+    wire.header.compressed_bytes = result.total_bytes;
+
+    if (result.total_bytes >= bytes) {
+      // Compression did not pay off: fall back to sending the raw buffer.
+      // The kernel time was already spent (and charged) — this is the real
+      // cost of a lossless compressor on incompressible data.
+      release_send(tl, wire);
+      wire.data = buf;
+      wire.bytes = bytes;
+      wire.header.compressed = false;
+      wire.header.compressed_bytes = bytes;
+      wire.header.partition_bytes.clear();
+      ++stats_.messages_fallback_raw;
+      stats_.original_bytes += bytes;
+      stats_.wire_bytes += bytes;
+      if (telemetry_ != nullptr) {
+        telemetry_->record({started, rank_id_, EventKind::FallbackRaw, Algorithm::MPC, bytes,
+                            bytes, tl.now() - started});
+      }
+      return wire;
+    }
+    wire.data = out;
+    wire.bytes = result.total_bytes;
+    wire.header.compressed = true;
+  } else {  // ZFP
+    const comp::ZfpCodec codec(config_.zfp_rate);
+    const comp::ZfpField field = comp::ZfpField::d1(n);
+    const std::size_t out_bytes = codec.compressed_bytes(field);
+    acquire_staging(tl, out_bytes, bd, wire.lease, wire.naive_buffer, wire.used_pool);
+    auto* out = static_cast<std::uint8_t*>(wire.used_pool ? wire.lease.data : wire.naive_buffer);
+
+    const std::uint64_t written = run_zfp_compress(tl, values, n, out, out_bytes, bd);
+
+    wire.header.algorithm = Algorithm::ZFP;
+    wire.header.zfp_rate = static_cast<std::uint16_t>(config_.zfp_rate);
+    wire.header.compressed_bytes = written;
+    wire.header.compressed = true;
+    wire.data = out;
+    wire.bytes = written;
+  }
+
+  ++stats_.messages_compressed;
+  stats_.original_bytes += bytes;
+  stats_.wire_bytes += wire.bytes;
+  if (telemetry_ != nullptr) {
+    telemetry_->record({started, rank_id_, EventKind::Compress, config_.algorithm, bytes,
+                        wire.bytes, tl.now() - started});
+  }
+  return wire;
+}
+
+CompressionManager::MpcOutput CompressionManager::run_mpc_compress(
+    Timeline& tl, const float* values, std::size_t n, std::uint8_t* out,
+    std::size_t out_capacity, Breakdown* bd) {
+  const comp::MpcCodec codec(config_.mpc_dimensionality, config_.mpc_chunk_values);
+  const auto parts = make_partitions(n, config_.partitions_for(n * 4), config_.mpc_chunk_values);
+  const int n_parts = static_cast<int>(parts.size());
+  const int blocks_per_kernel =
+      config_.multi_stream_partitions
+          ? std::max(1, gpu_.spec().sm_count / std::max(1, n_parts))
+          : gpu_.spec().sm_count;  // original MPC always uses every SM
+
+  // d_off scratch: cudaMalloc'ed per message in the naive scheme, pooled in
+  // MPC-OPT; either way it is memset to -1 before the kernels run.
+  const std::size_t d_off_bytes = codec.chunk_count(n) * 4;
+  if (!config_.use_buffer_pool) {
+    charge(tl, gpu_.costs().cuda_malloc(d_off_bytes), bd, Phase::MemoryAllocation);
+  }
+  charge(tl, gpu_.costs().cuda_memset_launch, bd, Phase::MemoryAllocation);
+
+  // Launch one compression kernel per partition, round-robin over streams.
+  MpcOutput result;
+  std::size_t out_off = 0;
+  std::vector<int> used_streams;
+  for (int p = 0; p < n_parts; ++p) {
+    const auto& part = parts[static_cast<std::size_t>(p)];
+    const std::size_t cap = codec.max_compressed_bytes(part.count);
+    if (out_off + cap > out_capacity) throw std::runtime_error("MPC staging overflow");
+    const std::size_t psize = codec.compress({values + part.offset, part.count},
+                                             {out + out_off, cap});
+    const int sid = p % gpu_.num_streams();
+    used_streams.push_back(sid);
+    gpu_.stream(sid).launch(
+        tl, cost_model_.mpc_compress(part.count * 4, psize, blocks_per_kernel, gpu_.spec()),
+        bd, Phase::CompressionKernel);
+    result.partition_bytes.push_back(static_cast<std::uint32_t>(psize));
+    out_off += psize;
+  }
+  result.total_bytes = out_off;
+
+  // Wait for all partition kernels.
+  for (int sid : used_streams) {
+    gpu_.stream(sid).synchronize(tl, bd, Phase::CompressionKernel);
+  }
+
+  // Combine the partitions into one contiguous buffer in fixed order
+  // (Fig. 7). One D2D copy per partition on the copy stream.
+  if (n_parts > 1) {
+    gpu::Stream& copy_stream = gpu_.stream(0);
+    for (std::uint32_t psize : result.partition_bytes) {
+      copy_stream.launch(tl, gpu_.costs().d2d_copy(psize), bd, Phase::CombinePartitions);
+    }
+    copy_stream.synchronize(tl, bd, Phase::CombinePartitions);
+  }
+
+  // Read back the compressed sizes (the 4-byte control words): cudaMemcpy
+  // costs ~20us per call; GDRCopy reduces it to a few microseconds.
+  for (int p = 0; p < n_parts; ++p) {
+    const std::uint32_t device_word = result.partition_bytes[static_cast<std::size_t>(p)];
+    std::uint32_t host_word = 0;
+    if (config_.use_gdrcopy) {
+      gpu_.gdrcopy_small(tl, &host_word, &device_word, 4, bd);
+    } else {
+      gpu_.memcpy_d2h_small(tl, &host_word, &device_word, 4, bd);
+    }
+  }
+
+  if (!config_.use_buffer_pool) {
+    charge(tl, gpu_.costs().cuda_free, bd, Phase::MemoryAllocation);  // d_off
+  }
+  return result;
+}
+
+std::uint64_t CompressionManager::run_zfp_compress(Timeline& tl, const float* values,
+                                                   std::size_t n, std::uint8_t* out,
+                                                   std::size_t out_capacity,
+                                                   Breakdown* bd) {
+  // zfp_stream / zfp_field construction on the CPU (cheap, Sec. V-A).
+  charge(tl, kZfpStreamFieldCreation, bd, Phase::StreamFieldCreation);
+  // get_max_grid_dims: the dominant naive overhead vs the ZFP-OPT cache.
+  if (config_.cache_device_attributes) {
+    (void)gpu_.query_max_grid_dim_cached(tl, bd);
+  } else {
+    (void)gpu_.query_max_grid_dim_via_properties(tl, bd);
+  }
+
+  const comp::ZfpCodec codec(config_.zfp_rate);
+  const comp::ZfpField field = comp::ZfpField::d1(n);
+  const std::size_t written = codec.compress({values, n}, field, {out, out_capacity});
+
+  gpu_.stream(0).launch(tl, cost_model_.zfp_compress(n * 4, config_.zfp_rate, gpu_.spec()),
+                        bd, Phase::CompressionKernel);
+  gpu_.stream(0).synchronize(tl, bd, Phase::CompressionKernel);
+  return written;
+}
+
+void CompressionManager::release_send(Timeline& tl, WireData& wire) {
+  if (wire.used_pool) {
+    pool_->release(wire.lease);
+    wire.lease = {};
+    wire.used_pool = false;
+  } else if (wire.naive_buffer != nullptr) {
+    gpu_.free_device(tl, wire.naive_buffer, &sender_bd_);
+    wire.naive_buffer = nullptr;
+  }
+}
+
+CompressionManager::RecvStaging CompressionManager::prepare_receive(
+    Timeline& tl, const CompressionHeader& header) {
+  RecvStaging staging;
+  if (!header.compressed) return staging;
+  Breakdown* bd = &receiver_bd_;
+  acquire_staging(tl, header.compressed_bytes, bd, staging.lease, staging.naive_buffer,
+                  staging.used_pool);
+  staging.data = staging.used_pool ? staging.lease.data : staging.naive_buffer;
+  return staging;
+}
+
+void CompressionManager::decompress_received(Timeline& tl, const CompressionHeader& header,
+                                             const RecvStaging& staging, void* user_buf,
+                                             std::uint64_t user_bytes, bool synchronize) {
+  if (!header.compressed) return;
+  if (header.original_bytes > user_bytes) {
+    throw std::runtime_error("CompressionManager: user buffer too small");
+  }
+  Breakdown* bd = &receiver_bd_;
+  const auto* in = static_cast<const std::uint8_t*>(staging.data);
+  auto* out = static_cast<float*>(user_buf);
+  const std::size_t n = header.original_bytes / 4;
+
+  const Time started = tl.now();
+  if (header.algorithm == Algorithm::MPC) {
+    run_mpc_decompress(tl, header, in, out, n, bd, synchronize);
+  } else if (header.algorithm == Algorithm::ZFP) {
+    run_zfp_decompress(tl, header, in, out, n, bd, synchronize);
+  } else {
+    throw std::runtime_error("CompressionManager: compressed payload with no algorithm");
+  }
+  if (telemetry_ != nullptr) {
+    telemetry_->record({started, rank_id_, EventKind::Decompress, header.algorithm,
+                        header.original_bytes, header.compressed_bytes, tl.now() - started});
+  }
+}
+
+void CompressionManager::run_mpc_decompress(Timeline& tl, const CompressionHeader& header,
+                                            const std::uint8_t* in, float* out,
+                                            std::size_t n, Breakdown* bd, bool synchronize) {
+  const comp::MpcCodec codec(header.mpc_dimensionality,
+                             header.mpc_chunk_values);
+  const int n_parts = header.partitions();
+  const int blocks_per_kernel =
+      config_.multi_stream_partitions
+          ? std::max(1, gpu_.spec().sm_count / std::max(1, n_parts))
+          : gpu_.spec().sm_count;
+
+  // d_off scratch on the receiver side as well (Algorithm 2).
+  const std::size_t d_off_bytes = codec.chunk_count(n) * 4;
+  if (!config_.use_buffer_pool) {
+    charge(tl, gpu_.costs().cuda_malloc(d_off_bytes), bd, Phase::MemoryAllocation);
+  }
+  charge(tl, gpu_.costs().cuda_memset_launch, bd, Phase::MemoryAllocation);
+
+  std::size_t in_off = 0;
+  std::size_t val_off = 0;
+  std::vector<int> used_streams;
+  for (int p = 0; p < n_parts; ++p) {
+    const std::size_t psize = header.partition_bytes.empty()
+                                  ? header.compressed_bytes
+                                  : header.partition_bytes[static_cast<std::size_t>(p)];
+    const std::span<const std::uint8_t> pin{in + in_off, psize};
+    const std::size_t pvalues = comp::MpcCodec::encoded_values(pin);
+    if (val_off + pvalues > n) throw std::runtime_error("MPC partition overflow");
+    codec.decompress(pin, {out + val_off, pvalues});
+
+    const int sid = p % gpu_.num_streams();
+    used_streams.push_back(sid);
+    gpu_.stream(sid).launch(
+        tl, cost_model_.mpc_decompress(psize, pvalues * 4, blocks_per_kernel, gpu_.spec()),
+        bd, Phase::DecompressionKernel);
+    in_off += psize;
+    val_off += pvalues;
+  }
+  if (val_off != n) throw std::runtime_error("MPC partitions do not cover message");
+  if (synchronize) {
+    for (int sid : used_streams) {
+      gpu_.stream(sid).synchronize(tl, bd, Phase::DecompressionKernel);
+    }
+  }
+  if (!config_.use_buffer_pool) {
+    charge(tl, gpu_.costs().cuda_free, bd, Phase::MemoryAllocation);  // d_off
+  }
+}
+
+void CompressionManager::run_zfp_decompress(Timeline& tl, const CompressionHeader& header,
+                                            const std::uint8_t* in, float* out,
+                                            std::size_t n, Breakdown* bd, bool synchronize) {
+  charge(tl, kZfpStreamFieldCreation, bd, Phase::StreamFieldCreation);
+  if (config_.cache_device_attributes) {
+    (void)gpu_.query_max_grid_dim_cached(tl, bd);
+  } else {
+    (void)gpu_.query_max_grid_dim_via_properties(tl, bd);
+  }
+
+  const comp::ZfpCodec codec(header.zfp_rate);
+  const comp::ZfpField field = comp::ZfpField::d1(n);
+  codec.decompress({in, header.compressed_bytes}, field, {out, n});
+
+  gpu_.stream(0).launch(tl, cost_model_.zfp_decompress(n * 4, header.zfp_rate, gpu_.spec()),
+                        bd, Phase::DecompressionKernel);
+  if (synchronize) gpu_.stream(0).synchronize(tl, bd, Phase::DecompressionKernel);
+}
+
+void CompressionManager::release_receive(Timeline& tl, RecvStaging& staging) {
+  if (staging.used_pool) {
+    pool_->release(staging.lease);
+    staging.lease = {};
+    staging.used_pool = false;
+  } else if (staging.naive_buffer != nullptr) {
+    gpu_.free_device(tl, staging.naive_buffer, &receiver_bd_);
+    staging.naive_buffer = nullptr;
+  }
+  staging.data = nullptr;
+}
+
+}  // namespace gcmpi::core

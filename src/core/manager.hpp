@@ -1,0 +1,156 @@
+// CompressionManager: the per-rank engine implementing Algorithms 1-3 of
+// the paper. The MPI rendezvous protocol calls into it on both sides:
+//
+//   sender:   compress_for_send()  -> wire buffer + header for the RTS
+//             release_send()       -> return pooled / free naive buffers
+//   receiver: prepare_receive()    -> temp device buffer for the payload
+//             decompress_received()-> restore into the user buffer
+//             release_receive()
+//
+// Every CUDA-call cost is charged to the provided Timeline and attributed
+// to a Breakdown phase, which is how the Fig. 6/8/10 breakdown benchmarks
+// are produced.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "compress/kernel_cost.hpp"
+#include "compress/mpc.hpp"
+#include "compress/zfp.hpp"
+#include "core/config.hpp"
+#include "core/header.hpp"
+#include "core/telemetry.hpp"
+#include "gpu/buffer_pool.hpp"
+#include "gpu/device.hpp"
+#include "sim/stats.hpp"
+#include "sim/timeline.hpp"
+
+namespace gcmpi::core {
+
+using sim::Breakdown;
+using sim::Time;
+using sim::Timeline;
+
+/// Counters for the experiment reports.
+struct CompressionStats {
+  std::uint64_t messages_considered = 0;
+  std::uint64_t messages_compressed = 0;
+  std::uint64_t messages_fallback_raw = 0;  // compression did not pay off
+  std::uint64_t original_bytes = 0;
+  std::uint64_t wire_bytes = 0;
+
+  [[nodiscard]] double achieved_ratio() const {
+    return wire_bytes == 0 ? 1.0
+                           : static_cast<double>(original_bytes) /
+                                 static_cast<double>(wire_bytes);
+  }
+};
+
+class CompressionManager {
+ public:
+  CompressionManager(gpu::Gpu& gpu, CompressionConfig config);
+
+  [[nodiscard]] const CompressionConfig& config() const { return config_; }
+  CompressionConfig& mutable_config() { return config_; }
+  [[nodiscard]] gpu::Gpu& gpu() { return gpu_; }
+
+  /// Does this message qualify for on-the-fly compression? (device-resident
+  /// float payload of at least threshold size, Sec. III-A step 1).
+  [[nodiscard]] bool should_compress(const void* buf, std::uint64_t bytes) const;
+
+  struct WireData {
+    const void* data = nullptr;        // bytes to put on the wire
+    std::uint64_t bytes = 0;
+    CompressionHeader header;
+    // ownership of the staging buffer (one of the two below, or none if raw)
+    gpu::BufferPool::Lease lease;      // OPT path
+    void* naive_buffer = nullptr;      // naive path (timed cudaMalloc)
+    bool used_pool = false;
+  };
+
+  struct RecvStaging {
+    void* data = nullptr;
+    gpu::BufferPool::Lease lease;
+    void* naive_buffer = nullptr;
+    bool used_pool = false;
+  };
+
+  /// Sender side (Algorithms 1 and 3). Returns the wire view; if
+  /// compression did not pay off, header.compressed is false and `data`
+  /// aliases `buf`.
+  WireData compress_for_send(Timeline& tl, const void* buf, std::uint64_t bytes);
+
+  /// Release sender staging once the payload left the node (send complete).
+  void release_send(Timeline& tl, WireData& wire);
+
+  /// Receiver side, on RTS match (Algorithm 2, steps before CTS).
+  RecvStaging prepare_receive(Timeline& tl, const CompressionHeader& header);
+
+  /// Receiver side, after the compressed payload arrived (steps 6-7).
+  /// With `synchronize == false` the decompression kernels are only
+  /// enqueued on the GPU streams (the compression-aware collectives overlap
+  /// them with subsequent transfers); the caller must device_synchronize()
+  /// before touching `user_buf`'s results or releasing the staging.
+  void decompress_received(Timeline& tl, const CompressionHeader& header,
+                           const RecvStaging& staging, void* user_buf,
+                           std::uint64_t user_bytes, bool synchronize = true);
+
+  void release_receive(Timeline& tl, RecvStaging& staging);
+
+  /// Attach an INAM-style monitor; every (de)compression is recorded.
+  void attach_telemetry(Telemetry* telemetry, int rank) {
+    telemetry_ = telemetry;
+    rank_id_ = rank;
+  }
+
+  [[nodiscard]] const CompressionStats& stats() const { return stats_; }
+  [[nodiscard]] Breakdown& sender_breakdown() { return sender_bd_; }
+  [[nodiscard]] Breakdown& receiver_breakdown() { return receiver_bd_; }
+  void reset_stats() {
+    stats_ = {};
+    sender_bd_.clear();
+    receiver_bd_.clear();
+  }
+
+ private:
+  struct MpcOutput {
+    std::vector<std::uint32_t> partition_bytes;
+    std::uint64_t total_bytes = 0;
+  };
+
+  /// Run the (possibly partitioned) MPC compression kernels; writes the
+  /// compressed stream into `out` and charges all kernel/copy/readback
+  /// costs. `bd` selects sender vs receiver attribution.
+  MpcOutput run_mpc_compress(Timeline& tl, const float* values, std::size_t n,
+                             std::uint8_t* out, std::size_t out_capacity,
+                             Breakdown* bd);
+  void run_mpc_decompress(Timeline& tl, const CompressionHeader& header,
+                          const std::uint8_t* in, float* out, std::size_t n,
+                          Breakdown* bd, bool synchronize);
+
+  std::uint64_t run_zfp_compress(Timeline& tl, const float* values, std::size_t n,
+                                 std::uint8_t* out, std::size_t out_capacity,
+                                 Breakdown* bd);
+  void run_zfp_decompress(Timeline& tl, const CompressionHeader& header,
+                          const std::uint8_t* in, float* out, std::size_t n,
+                          Breakdown* bd, bool synchronize);
+
+  /// Acquire a staging device buffer: pooled (OPT) or cudaMalloc'ed (naive).
+  void acquire_staging(Timeline& tl, std::size_t bytes, Breakdown* bd,
+                       gpu::BufferPool::Lease& lease, void*& naive_buffer,
+                       bool& used_pool);
+
+  gpu::Gpu& gpu_;
+  CompressionConfig config_;
+  comp::KernelCostModel cost_model_;
+  std::optional<gpu::BufferPool> pool_;  // compressed-data buffers
+  CompressionStats stats_;
+  Breakdown sender_bd_;
+  Breakdown receiver_bd_;
+  Telemetry* telemetry_ = nullptr;
+  int rank_id_ = -1;
+};
+
+}  // namespace gcmpi::core

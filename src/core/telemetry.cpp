@@ -1,0 +1,51 @@
+#include "core/telemetry.hpp"
+
+namespace gcmpi::core {
+
+const char* event_kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::Compress: return "compress";
+    case EventKind::Decompress: return "decompress";
+    case EventKind::RawBypass: return "raw";
+    case EventKind::FallbackRaw: return "fallback";
+  }
+  return "?";
+}
+
+Telemetry::Summary Telemetry::summarize(int rank) const {
+  Summary s;
+  for (const auto& ev : events_) {
+    if (rank >= 0 && ev.rank != rank) continue;
+    switch (ev.kind) {
+      case EventKind::Compress:
+        ++s.compressions;
+        s.original_bytes += ev.original_bytes;
+        s.wire_bytes += ev.wire_bytes;
+        s.compression_time += ev.duration;
+        break;
+      case EventKind::Decompress:
+        ++s.decompressions;
+        s.decompression_time += ev.duration;
+        break;
+      case EventKind::RawBypass:
+        ++s.raw_bypasses;
+        break;
+      case EventKind::FallbackRaw:
+        ++s.fallbacks;
+        s.compression_time += ev.duration;
+        break;
+    }
+  }
+  return s;
+}
+
+void Telemetry::write_csv(std::ostream& os) const {
+  os << "time_us,rank,kind,algorithm,original_bytes,wire_bytes,duration_us\n";
+  for (const auto& ev : events_) {
+    os << ev.at.to_us() << ',' << ev.rank << ',' << event_kind_name(ev.kind) << ','
+       << algorithm_name(ev.algorithm) << ',' << ev.original_bytes << ',' << ev.wire_bytes
+       << ',' << ev.duration.to_us() << '\n';
+  }
+}
+
+}  // namespace gcmpi::core

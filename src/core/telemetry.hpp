@@ -1,0 +1,78 @@
+// Telemetry: in-flight monitoring of the compression framework, modeled on
+// the paper's future-work plan to drive dynamic compression decisions with
+// a real-time monitor "like OSU INAM" (Sec. IX).
+//
+// Every compression/decompression/fallback on any rank is recorded with
+// its virtual timestamp, sizes, and time spent, enabling:
+//   * per-rank and global summaries (ratio achieved, time in kernels,
+//     bytes saved on the wire);
+//   * time-series export (CSV) for external analysis;
+//   * the feedback signal a DynamicSelector-style policy consumes.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "core/config.hpp"
+#include "sim/time.hpp"
+
+namespace gcmpi::core {
+
+enum class EventKind : std::uint8_t {
+  Compress,     // sender-side compression performed
+  Decompress,   // receiver-side decompression performed
+  RawBypass,    // message did not qualify (threshold / host / disabled)
+  FallbackRaw,  // compression ran but did not pay off; sent raw
+};
+
+[[nodiscard]] const char* event_kind_name(EventKind k);
+
+struct TelemetryEvent {
+  sim::Time at;                 // virtual time of the operation's start
+  int rank = -1;
+  EventKind kind = EventKind::RawBypass;
+  Algorithm algorithm = Algorithm::None;
+  std::uint64_t original_bytes = 0;
+  std::uint64_t wire_bytes = 0;
+  sim::Time duration;           // virtual time spent in the operation
+};
+
+class Telemetry {
+ public:
+  void record(const TelemetryEvent& ev) { events_.push_back(ev); }
+
+  [[nodiscard]] const std::vector<TelemetryEvent>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+  struct Summary {
+    std::uint64_t compressions = 0;
+    std::uint64_t decompressions = 0;
+    std::uint64_t raw_bypasses = 0;
+    std::uint64_t fallbacks = 0;
+    std::uint64_t original_bytes = 0;  // over compressed sends
+    std::uint64_t wire_bytes = 0;
+    sim::Time compression_time;
+    sim::Time decompression_time;
+
+    [[nodiscard]] double achieved_ratio() const {
+      return wire_bytes == 0 ? 1.0
+                             : static_cast<double>(original_bytes) /
+                                   static_cast<double>(wire_bytes);
+    }
+    [[nodiscard]] std::uint64_t bytes_saved() const {
+      return original_bytes >= wire_bytes ? original_bytes - wire_bytes : 0;
+    }
+  };
+
+  /// Aggregate over all events; `rank` = -1 for the whole job.
+  [[nodiscard]] Summary summarize(int rank = -1) const;
+
+  /// One CSV row per event: time_us,rank,kind,algorithm,original,wire,duration_us
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<TelemetryEvent> events_;
+};
+
+}  // namespace gcmpi::core

@@ -1,0 +1,61 @@
+// Synthetic stand-ins for the eight HPC datasets of Table III (msg_bt,
+// msg_lu, msg_sp, msg_sppm, msg_sweep3d, obs_error, obs_info, num_plasma —
+// originally from Burtscher's FPC/MPC corpus, not redistributable here).
+//
+// Each generator is tuned along the two axes the paper characterizes the
+// real sets by — unique-value fraction and MPC compression ratio — so the
+// collective/microbenchmark results keep the same per-dataset ordering
+// (e.g. msg_sppm compresses ~9x and benefits most from MPC-OPT).
+// EXPERIMENTS.md records paper-vs-measured CR per dataset.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace gcmpi::data {
+
+struct DatasetInfo {
+  const char* name;
+  double size_mb_paper;        // original dataset size
+  double unique_pct_paper;     // % unique values (Table III)
+  double mpc_cr_paper;         // MPC compression ratio (Table III)
+  double zfp_cr_paper;         // always 2 at rate 16
+  int mpc_dimensionality;      // tuned dim used by our generator/benchmarks
+};
+
+/// The eight Table III rows, in paper order.
+[[nodiscard]] const std::vector<DatasetInfo>& table3_datasets();
+
+/// Generate `n` float32 values of the named dataset. Deterministic in
+/// (name, n, seed). Throws on unknown name.
+[[nodiscard]] std::vector<float> generate(const std::string& name, std::size_t n,
+                                          std::uint64_t seed = 42);
+
+// --- generic field generators, used by the datasets and the app proxies ---
+
+/// Smooth multi-frequency field with additive noise; `noise` is relative to
+/// the signal amplitude. Low noise => highly MPC-compressible.
+[[nodiscard]] std::vector<float> smooth_field(std::size_t n, double noise,
+                                              std::uint64_t seed);
+
+/// Piecewise-constant plateaus from a small alphabet of levels (the
+/// msg_sppm texture: ~10% unique values, long duplicate runs).
+[[nodiscard]] std::vector<float> plateau_field(std::size_t n, int levels,
+                                               std::size_t mean_run, std::uint64_t seed);
+
+/// Values drawn from a small alphabet in random order (low unique %, but
+/// unpredictable deltas => low lossless CR, the num_plasma regime).
+[[nodiscard]] std::vector<float> quantized_noise(std::size_t n, int unique_values,
+                                                 std::uint64_t seed);
+
+/// Interleaved multi-field record data: `fields` smooth series interleaved
+/// value-by-value, so the best MPC dimensionality equals `fields`.
+[[nodiscard]] std::vector<float> interleaved_fields(std::size_t n, int fields,
+                                                    double noise, std::uint64_t seed);
+
+/// Fraction of distinct values in `v` (matches Table III's "Unique vals").
+[[nodiscard]] double unique_fraction(std::span<const float> v);
+
+}  // namespace gcmpi::data

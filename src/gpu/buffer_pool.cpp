@@ -1,0 +1,42 @@
+#include "gpu/buffer_pool.hpp"
+
+#include <stdexcept>
+
+namespace gcmpi::gpu {
+
+BufferPool::BufferPool(Gpu& gpu, std::size_t buffer_bytes, std::size_t count)
+    : gpu_(gpu), buffer_bytes_(buffer_bytes) {
+  buffers_.reserve(count);
+  free_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    buffers_.emplace_back(gpu_, buffer_bytes_);
+    free_.push_back(i);
+  }
+}
+
+BufferPool::Lease BufferPool::acquire(Timeline& tl, std::size_t bytes, Breakdown* bd) {
+  if (bytes <= buffer_bytes_ && !free_.empty()) {
+    const std::size_t idx = free_.back();
+    free_.pop_back();
+    return Lease{buffers_[idx].data(), buffer_bytes_, idx};
+  }
+  // Grow on demand: this is a real cudaMalloc on the critical path, exactly
+  // the cost the pre-allocation is designed to avoid in the common case.
+  const std::size_t alloc_bytes = bytes > buffer_bytes_ ? bytes : buffer_bytes_;
+  const Time t = gpu_.costs().cuda_malloc(alloc_bytes);
+  tl.advance(t);
+  if (bd != nullptr) bd->add(Phase::MemoryAllocation, t);
+  buffers_.emplace_back(gpu_, alloc_bytes);
+  ++grow_count_;
+  return Lease{buffers_.back().data(), alloc_bytes, buffers_.size() - 1};
+}
+
+void BufferPool::release(const Lease& lease) {
+  if (!lease.valid()) return;
+  if (lease.index >= buffers_.size() || buffers_[lease.index].data() != lease.data) {
+    throw std::invalid_argument("BufferPool::release: stale lease");
+  }
+  free_.push_back(lease.index);
+}
+
+}  // namespace gcmpi::gpu

@@ -1,0 +1,52 @@
+// Pre-allocated device buffer pool (MPC-OPT optimization #1, Sec. IV-B).
+//
+// Buffers are cudaMalloc'ed once at initialization time (the paper does it
+// in MPI_Init) so that per-message sends/receives pay zero allocation cost:
+// acquire() hands out a free pooled buffer in O(1); if the pool is
+// exhausted it grows on demand, which *is* charged as a cudaMalloc — the
+// same behaviour the paper describes ("dynamically increased on demand").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "gpu/buffer.hpp"
+#include "gpu/device.hpp"
+
+namespace gcmpi::gpu {
+
+class BufferPool {
+ public:
+  /// Pre-allocate `count` buffers of `buffer_bytes` each, untimed.
+  BufferPool(Gpu& gpu, std::size_t buffer_bytes, std::size_t count);
+
+  /// Handle to a pooled buffer; release() must be called when the request
+  /// completes (the framework does this from the protocol layer).
+  struct Lease {
+    void* data = nullptr;
+    std::size_t size = 0;
+    std::size_t index = static_cast<std::size_t>(-1);
+    [[nodiscard]] bool valid() const { return data != nullptr; }
+  };
+
+  /// Acquire a buffer able to hold `bytes`. Free pooled buffer: no time
+  /// charged. Pool exhausted or request too large: grows with a real,
+  /// timed cudaMalloc (attributed to MemoryAllocation).
+  [[nodiscard]] Lease acquire(Timeline& tl, std::size_t bytes,
+                              Breakdown* bd = nullptr);
+  void release(const Lease& lease);
+
+  [[nodiscard]] std::size_t buffer_bytes() const { return buffer_bytes_; }
+  [[nodiscard]] std::size_t total_buffers() const { return buffers_.size(); }
+  [[nodiscard]] std::size_t free_buffers() const { return free_.size(); }
+  [[nodiscard]] std::size_t grow_count() const { return grow_count_; }
+
+ private:
+  Gpu& gpu_;
+  std::size_t buffer_bytes_;
+  std::vector<DeviceBuffer> buffers_;
+  std::vector<std::size_t> free_;
+  std::size_t grow_count_ = 0;
+};
+
+}  // namespace gcmpi::gpu

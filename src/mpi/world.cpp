@@ -1,0 +1,446 @@
+#include "mpi/world.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace gcmpi::mpi {
+
+using sim::Time;
+using sim::Timeline;
+
+World::World(sim::Engine& engine, net::ClusterSpec cluster,
+             core::CompressionConfig compression, WorldOptions options)
+    : engine_(engine),
+      cluster_(std::move(cluster)),
+      compression_(std::move(compression)),
+      options_(options),
+      fabric_(std::make_unique<net::Fabric>(cluster_)) {
+  ranks_.resize(static_cast<std::size_t>(cluster_.ranks()));
+  int rank_id = 0;
+  for (auto& r : ranks_) {
+    r.gpu = std::make_unique<gpu::Gpu>(cluster_.gpu);
+    r.mgr = std::make_unique<core::CompressionManager>(*r.gpu, compression_);
+    if (options_.telemetry != nullptr) {
+      r.mgr->attach_telemetry(options_.telemetry, rank_id);
+    }
+    ++rank_id;
+  }
+}
+
+World::~World() = default;
+
+gpu::Gpu& World::gpu_of(int rank) { return *ranks_.at(static_cast<std::size_t>(rank)).gpu; }
+
+core::CompressionManager& World::compression_of(int rank) {
+  return *ranks_.at(static_cast<std::size_t>(rank)).mgr;
+}
+
+void World::run(std::function<void(Rank&)> main) {
+  for (int r = 0; r < cluster_.ranks(); ++r) {
+    engine_.spawn("rank" + std::to_string(r), [this, r, main](sim::ActorContext& ctx) {
+      Rank rank(*this, r, ctx);
+      main(rank);
+    });
+  }
+  engine_.run();
+}
+
+void World::complete(const Request& req, Status status) {
+  req->status = status;
+  req->complete = true;
+  if (req->waiter != sim::kNoActor) {
+    const sim::ActorId waiter = req->waiter;
+    req->waiter = sim::kNoActor;
+    engine_.wake(waiter, engine_.now());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Point-to-point protocol
+// ---------------------------------------------------------------------------
+
+Request World::do_isend(sim::ActorContext& ctx, int src, const void* buf,
+                        std::uint64_t bytes, int dst, int tag) {
+  if (dst < 0 || dst >= cluster_.ranks()) throw std::invalid_argument("isend: bad destination");
+  auto req = std::make_shared<RequestState>();
+  Envelope env{src, dst, tag, bytes};
+
+  // Self-sends and small messages use the eager path: the payload is staged
+  // (buffered-send semantics) and the send completes locally.
+  if (dst == src || bytes <= options_.eager_threshold) {
+    auto payload = std::make_shared<std::vector<std::uint8_t>>(
+        static_cast<const std::uint8_t*>(buf),
+        static_cast<const std::uint8_t*>(buf) + bytes);
+    ctx.advance(options_.host_send_overhead);
+    const Time t_arr = fabric_->transfer(ctx.now(), src, dst, bytes + options_.envelope_bytes);
+    EagerMsg msg{env, std::move(payload)};
+    engine_.schedule(t_arr, [this, msg = std::move(msg)]() mutable {
+      on_eager_arrival(std::move(msg));
+    });
+    complete(req, Status{src, tag, bytes});
+    return req;
+  }
+
+  // Rendezvous: compress on the sender GPU (Algorithm 1 / 3), then RTS with
+  // the piggybacked compression header. Intra-node paths may be exempted
+  // from compression (CompressionConfig::compress_intra_node).
+  const bool allow = compression_.compress_intra_node || !cluster_.same_node(src, dst);
+  WireMessage wire = allow ? do_make_wire(ctx, src, buf, bytes)
+                           : make_raw_wire(buf, bytes);
+  ctx.advance(options_.host_send_overhead);
+
+  const Time t_rts = fabric_->control(ctx.now(), src, dst,
+                                      options_.rts_bytes + wire.header.wire_bytes());
+  RtsMsg rts{env, wire.header, std::move(wire.payload), req};
+  engine_.schedule(t_rts, [this, rts = std::move(rts)]() mutable {
+    on_rts_arrival(std::move(rts));
+  });
+  return req;
+}
+
+WireMessage World::make_raw_wire(const void* buf, std::uint64_t bytes) {
+  core::CompressionHeader raw;
+  raw.original_bytes = bytes;
+  raw.compressed_bytes = bytes;
+  auto payload = std::make_shared<std::vector<std::uint8_t>>(
+      static_cast<const std::uint8_t*>(buf),
+      static_cast<const std::uint8_t*>(buf) + bytes);
+  return WireMessage{raw, std::move(payload)};
+}
+
+WireMessage World::do_make_wire(sim::ActorContext& ctx, int rank, const void* buf,
+                                std::uint64_t bytes) {
+  auto& state = ranks_[static_cast<std::size_t>(rank)];
+  Timeline tl(ctx.now());
+  auto wire = state.mgr->compress_for_send(tl, buf, bytes);
+  auto payload = std::make_shared<std::vector<std::uint8_t>>(
+      static_cast<const std::uint8_t*>(wire.data),
+      static_cast<const std::uint8_t*>(wire.data) + wire.bytes);
+  WireMessage msg{wire.header, std::move(payload)};
+  state.mgr->release_send(tl, wire);
+  ctx.advance_to(tl.now());
+  return msg;
+}
+
+Request World::do_isend_wire(sim::ActorContext& ctx, int src, const WireMessage& msg,
+                             int dst, int tag) {
+  if (dst < 0 || dst >= cluster_.ranks()) throw std::invalid_argument("isend_wire: bad destination");
+  if (dst == src) throw std::invalid_argument("isend_wire: self-send unsupported");
+  if (!msg.payload) throw std::invalid_argument("isend_wire: empty message");
+  auto req = std::make_shared<RequestState>();
+  Envelope env{src, dst, tag, msg.original_bytes()};
+  // Forwarding a pre-built wire representation: protocol costs only — the
+  // whole point of the compression-aware collectives.
+  ctx.advance(options_.host_send_overhead);
+  const Time t_rts = fabric_->control(ctx.now(), src, dst,
+                                      options_.rts_bytes + msg.header.wire_bytes());
+  RtsMsg rts{env, msg.header, msg.payload, req};
+  engine_.schedule(t_rts, [this, rts = std::move(rts)]() mutable {
+    on_rts_arrival(std::move(rts));
+  });
+  return req;
+}
+
+void World::deliver_eager_to(PostedRecv& recv, const EagerMsg& msg) {
+  if (recv.capacity < msg.env.bytes) {
+    throw std::runtime_error("MiniMPI: eager message truncation (receive buffer too small)");
+  }
+  std::memcpy(recv.buf, msg.payload->data(), msg.payload->size());
+}
+
+void World::wake_probers(RankState& state, const Envelope& env) {
+  for (auto it = state.probe_waiters.begin(); it != state.probe_waiters.end(); ++it) {
+    const bool match = (it->src == kAnySource || it->src == env.src) &&
+                       (it->tag == kAnyTag || it->tag == env.tag);
+    if (match) {
+      const sim::ActorId actor = it->actor;
+      state.probe_waiters.erase(it);
+      engine_.wake(actor, engine_.now());
+      return;  // one arrival satisfies one prober; others re-scan on wake
+    }
+  }
+}
+
+void World::on_eager_arrival(EagerMsg msg) {
+  auto& state = ranks_[static_cast<std::size_t>(msg.env.dst)];
+  for (auto it = state.posted.begin(); it != state.posted.end(); ++it) {
+    if (matches(*it, msg.env)) {
+      PostedRecv recv = *it;
+      state.posted.erase(it);
+      if (recv.wire_out != nullptr) {
+        core::CompressionHeader raw;
+        raw.original_bytes = msg.env.bytes;
+        raw.compressed_bytes = msg.env.bytes;
+        *recv.wire_out = WireMessage{raw, msg.payload};
+      } else {
+        deliver_eager_to(recv, msg);
+      }
+      complete(recv.req, Status{msg.env.src, msg.env.tag, msg.env.bytes});
+      return;
+    }
+  }
+  wake_probers(state, msg.env);
+  msg.arrival = state.next_arrival++;
+  state.unexpected_eager.push_back(std::move(msg));
+}
+
+void World::on_rts_arrival(RtsMsg rts) {
+  auto& state = ranks_[static_cast<std::size_t>(rts.env.dst)];
+  for (auto it = state.posted.begin(); it != state.posted.end(); ++it) {
+    if (matches(*it, rts.env)) {
+      PostedRecv recv = *it;
+      state.posted.erase(it);
+      Timeline tl(engine_.now() + options_.progress_overhead);
+      begin_rndv_receive(tl, std::move(rts), std::move(recv));
+      return;
+    }
+  }
+  wake_probers(state, rts.env);
+  rts.arrival = state.next_arrival++;
+  state.pending_rts.push_back(std::move(rts));
+}
+
+void World::begin_rndv_receive(Timeline& tl, RtsMsg rts, PostedRecv recv) {
+  auto& state = ranks_[static_cast<std::size_t>(rts.env.dst)];
+  // Receiver prepares the temporary device buffer for the compressed
+  // payload (Algorithm 2), then clears the sender to send. Wire-form
+  // receives keep the payload compressed, so no staging buffer is needed.
+  auto staging = std::make_shared<core::CompressionManager::RecvStaging>(
+      recv.wire_out != nullptr ? core::CompressionManager::RecvStaging{}
+                               : state.mgr->prepare_receive(tl, rts.header));
+  const int dst = rts.env.dst;
+  const int src = rts.env.src;
+  const Time t_cts = fabric_->control(tl.now(), dst, src, options_.cts_bytes);
+
+  engine_.schedule(t_cts, [this, rts = std::move(rts), recv = std::move(recv),
+                           staging]() mutable {
+    // Sender-side CTS handling: push the (compressed) payload.
+    const Time start = engine_.now() + options_.progress_overhead;
+    const std::uint64_t wire_bytes = rts.payload->size() + options_.envelope_bytes;
+    const Time t_arr = fabric_->transfer(start, rts.env.src, rts.env.dst, wire_bytes);
+    engine_.schedule(t_arr, [this, rts = std::move(rts), recv = std::move(recv),
+                             staging]() mutable {
+      complete(rts.send_req, Status{rts.env.dst, rts.env.tag, rts.env.bytes});
+      on_data_arrival(std::move(rts), std::move(recv), staging);
+    });
+  });
+}
+
+void World::on_data_arrival(RtsMsg rts, PostedRecv recv,
+                            std::shared_ptr<core::CompressionManager::RecvStaging> staging) {
+  auto& state = ranks_[static_cast<std::size_t>(rts.env.dst)];
+  Timeline tl(engine_.now() + options_.progress_overhead);
+
+  if (recv.wire_out != nullptr) {
+    // Deliver the wire representation as-is; the application decompresses
+    // later (or forwards it on).
+    *recv.wire_out = WireMessage{rts.header, rts.payload};
+  } else if (rts.header.compressed) {
+    // The payload landed in the receiver's temporary device buffer;
+    // decompress into the user buffer (Algorithm 2, steps 6-7).
+    std::memcpy(staging->data, rts.payload->data(), rts.payload->size());
+    state.mgr->decompress_received(tl, rts.header, *staging, recv.buf, recv.capacity);
+    state.mgr->release_receive(tl, *staging);
+  } else {
+    if (recv.capacity < rts.env.bytes) {
+      throw std::runtime_error("MiniMPI: rendezvous truncation (receive buffer too small)");
+    }
+    std::memcpy(recv.buf, rts.payload->data(), rts.payload->size());
+  }
+
+  const Request req = recv.req;
+  const Status status{rts.env.src, rts.env.tag, rts.env.bytes};
+  req->status = status;
+  req->complete = true;
+  if (req->waiter != sim::kNoActor) {
+    const sim::ActorId waiter = req->waiter;
+    req->waiter = sim::kNoActor;
+    engine_.wake(waiter, tl.now());
+  }
+}
+
+Request World::do_irecv(sim::ActorContext& ctx, int dst, void* buf, std::uint64_t capacity,
+                        int src, int tag, WireMessage* wire_out) {
+  auto req = std::make_shared<RequestState>();
+  auto& state = ranks_[static_cast<std::size_t>(dst)];
+  PostedRecv self{buf, capacity, src, tag, req, wire_out};
+
+  // Find the OLDEST matching unexpected message across both queues so a
+  // later eager message can never overtake an earlier rendezvous one.
+  auto eager_it = state.unexpected_eager.end();
+  for (auto it = state.unexpected_eager.begin(); it != state.unexpected_eager.end(); ++it) {
+    if (matches(self, it->env)) {
+      eager_it = it;
+      break;
+    }
+  }
+  auto rts_it = state.pending_rts.end();
+  for (auto it = state.pending_rts.begin(); it != state.pending_rts.end(); ++it) {
+    if (matches(self, it->env)) {
+      rts_it = it;
+      break;
+    }
+  }
+  const bool has_eager = eager_it != state.unexpected_eager.end();
+  const bool has_rts = rts_it != state.pending_rts.end();
+
+  if (has_eager && (!has_rts || eager_it->arrival < rts_it->arrival)) {
+    if (wire_out != nullptr) {
+      core::CompressionHeader raw;
+      raw.original_bytes = eager_it->env.bytes;
+      raw.compressed_bytes = eager_it->env.bytes;
+      *wire_out = WireMessage{raw, eager_it->payload};
+    } else {
+      deliver_eager_to(self, *eager_it);
+    }
+    const Status status{eager_it->env.src, eager_it->env.tag, eager_it->env.bytes};
+    state.unexpected_eager.erase(eager_it);
+    ctx.advance(options_.host_recv_overhead);
+    req->status = status;
+    req->complete = true;
+    return req;
+  }
+  if (has_rts) {
+    RtsMsg rts = std::move(*rts_it);
+    state.pending_rts.erase(rts_it);
+    Timeline tl(ctx.now());
+    begin_rndv_receive(tl, std::move(rts), std::move(self));
+    ctx.advance_to(tl.now());
+    return req;
+  }
+  // Nothing waiting: post the receive.
+  state.posted.push_back(std::move(self));
+  ctx.advance(options_.host_recv_overhead);
+  return req;
+}
+
+bool World::do_iprobe(int rank, int src, int tag, Status* status) {
+  auto& state = ranks_[static_cast<std::size_t>(rank)];
+  auto match = [&](const Envelope& env) {
+    return (src == kAnySource || src == env.src) && (tag == kAnyTag || tag == env.tag);
+  };
+  for (const auto& m : state.unexpected_eager) {
+    if (match(m.env)) {
+      if (status != nullptr) *status = Status{m.env.src, m.env.tag, m.env.bytes};
+      return true;
+    }
+  }
+  for (const auto& m : state.pending_rts) {
+    if (match(m.env)) {
+      if (status != nullptr) *status = Status{m.env.src, m.env.tag, m.env.bytes};
+      return true;
+    }
+  }
+  return false;
+}
+
+Status World::do_probe(sim::ActorContext& ctx, int rank, int src, int tag) {
+  Status status;
+  while (!do_iprobe(rank, src, tag, &status)) {
+    auto& state = ranks_[static_cast<std::size_t>(rank)];
+    state.probe_waiters.push_back(ProbeWaiter{src, tag, ctx.id()});
+    ctx.block();
+  }
+  return status;
+}
+
+// ---------------------------------------------------------------------------
+// Rank facade
+// ---------------------------------------------------------------------------
+
+int Rank::size() const { return world_.size(); }
+
+gpu::Gpu& Rank::gpu() { return world_.gpu_of(rank_); }
+
+core::CompressionManager& Rank::compression() { return world_.compression_of(rank_); }
+
+void* Rank::gpu_malloc(std::size_t bytes) {
+  Timeline tl(ctx_.now());
+  void* p = gpu().malloc_device(tl, bytes);
+  ctx_.advance_to(tl.now());
+  return p;
+}
+
+void Rank::gpu_free(void* p) {
+  Timeline tl(ctx_.now());
+  gpu().free_device(tl, p);
+  ctx_.advance_to(tl.now());
+}
+
+Request Rank::isend(const void* buf, std::uint64_t bytes, int dst, int tag) {
+  return world_.do_isend(ctx_, rank_, buf, bytes, dst, tag);
+}
+
+Request Rank::irecv(void* buf, std::uint64_t capacity, int src, int tag) {
+  return world_.do_irecv(ctx_, rank_, buf, capacity, src, tag);
+}
+
+WireMessage Rank::make_wire(const void* buf, std::uint64_t bytes) {
+  return world_.do_make_wire(ctx_, rank_, buf, bytes);
+}
+
+Request Rank::isend_wire(const WireMessage& msg, int dst, int tag) {
+  return world_.do_isend_wire(ctx_, rank_, msg, dst, tag);
+}
+
+Request Rank::irecv_wire(WireMessage* out, int src, int tag) {
+  return world_.do_irecv(ctx_, rank_, nullptr, ~0ull, src, tag, out);
+}
+
+void Rank::decompress_wire(const WireMessage& msg, void* buf, std::uint64_t capacity) {
+  if (!msg.payload) throw std::invalid_argument("decompress_wire: empty message");
+  auto& mgr = compression();
+  sim::Timeline tl(ctx_.now());
+  if (msg.header.compressed) {
+    auto staging = mgr.prepare_receive(tl, msg.header);
+    std::memcpy(staging.data, msg.payload->data(), msg.payload->size());
+    mgr.decompress_received(tl, msg.header, staging, buf, capacity);
+    mgr.release_receive(tl, staging);
+  } else {
+    if (capacity < msg.payload->size()) {
+      throw std::runtime_error("decompress_wire: buffer too small");
+    }
+    std::memcpy(buf, msg.payload->data(), msg.payload->size());
+  }
+  ctx_.advance_to(tl.now());
+}
+
+Status Rank::wait(Request& req) {
+  if (!req) throw std::invalid_argument("wait: null request");
+  while (!req->complete) {
+    req->waiter = ctx_.id();
+    ctx_.block();
+  }
+  req->waiter = sim::kNoActor;
+  return req->status;
+}
+
+void Rank::waitall(std::vector<Request>& reqs) {
+  for (auto& r : reqs) (void)wait(r);
+}
+
+void Rank::send(const void* buf, std::uint64_t bytes, int dst, int tag) {
+  Request req = isend(buf, bytes, dst, tag);
+  (void)wait(req);
+}
+
+Status Rank::recv(void* buf, std::uint64_t capacity, int src, int tag) {
+  Request req = irecv(buf, capacity, src, tag);
+  return wait(req);
+}
+
+Status Rank::probe(int src, int tag) { return world_.do_probe(ctx_, rank_, src, tag); }
+
+bool Rank::iprobe(int src, int tag, Status* status) {
+  return world_.do_iprobe(rank_, src, tag, status);
+}
+
+void Rank::sendrecv(const void* sendbuf, std::uint64_t send_bytes, int dst, int sendtag,
+                    void* recvbuf, std::uint64_t recv_capacity, int src, int recvtag) {
+  Request rr = irecv(recvbuf, recv_capacity, src, recvtag);
+  Request sr = isend(sendbuf, send_bytes, dst, sendtag);
+  (void)wait(rr);
+  (void)wait(sr);
+}
+
+}  // namespace gcmpi::mpi

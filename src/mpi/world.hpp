@@ -1,0 +1,252 @@
+// MiniMPI: an MPI-like message-passing library running on the simulated
+// GPU cluster, with the paper's on-the-fly compression framework integrated
+// into its rendezvous protocol.
+//
+// Protocol (mirrors MVAPICH2's, Sec. III-A):
+//   * eager:      messages <= eager_threshold are staged and delivered with
+//                 their envelope in one hop; sends complete locally.
+//   * rendezvous: the sender first (optionally) compresses the payload on
+//                 its GPU, then sends an RTS carrying the compression
+//                 header; the receiver, once a matching receive exists,
+//                 prepares a temporary device buffer and answers with CTS;
+//                 the sender then pushes the (compressed) payload; on
+//                 arrival the receiver decompresses into the user buffer.
+//
+// Each rank is an actor thread; the receiver side of the protocol runs in
+// engine events, modeling MVAPICH2-GDR's asynchronous progress engine.
+// Collectives (bcast, allgather, allreduce, reduce, alltoall, gather,
+// scatter, barrier) are built from these point-to-point primitives, so they
+// inherit per-hop compression exactly as in the paper's OMB experiments.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/manager.hpp"
+#include "gpu/device.hpp"
+#include "net/cluster.hpp"
+#include "sim/engine.hpp"
+
+namespace gcmpi::mpi {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+struct Status {
+  int source = -1;
+  int tag = -1;
+  std::uint64_t bytes = 0;
+};
+
+struct RequestState {
+  bool complete = false;
+  Status status{};
+  sim::ActorId waiter = sim::kNoActor;
+};
+using Request = std::shared_ptr<RequestState>;
+
+/// A message in its on-the-wire (possibly compressed) representation.
+/// Produced by Rank::make_wire / irecv_wire, consumed by isend_wire /
+/// decompress_wire. Lets collectives compress once and forward the
+/// compressed bytes through the tree/ring instead of paying a
+/// decompress+recompress cycle per hop (the compression-aware collectives
+/// design; see Sec. VI-B reproduction notes in DESIGN.md).
+struct WireMessage {
+  core::CompressionHeader header;
+  std::shared_ptr<std::vector<std::uint8_t>> payload;
+  [[nodiscard]] std::uint64_t original_bytes() const { return header.original_bytes; }
+};
+
+/// Reduction operators for reduce/allreduce on float data.
+enum class ReduceOp : std::uint8_t { Sum, Max, Min };
+
+struct WorldOptions {
+  std::uint64_t eager_threshold = 16 * 1024;
+  core::Telemetry* telemetry = nullptr;  // optional INAM-style monitor
+  sim::Time host_send_overhead = sim::Time::us(0.4);
+  sim::Time host_recv_overhead = sim::Time::us(0.4);
+  sim::Time progress_overhead = sim::Time::us(0.5);  // per protocol event
+  std::uint64_t envelope_bytes = 48;                 // wire header per message
+  std::uint64_t rts_bytes = 64;                      // RTS before piggyback
+  std::uint64_t cts_bytes = 32;
+};
+
+class World;
+
+/// Per-rank facade handed to the application function: the MPI API.
+class Rank {
+ public:
+  Rank(World& world, int rank, sim::ActorContext& ctx) : world_(world), rank_(rank), ctx_(ctx) {}
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const;
+  [[nodiscard]] sim::Time now() const { return ctx_.now(); }
+  [[nodiscard]] gpu::Gpu& gpu();
+  [[nodiscard]] core::CompressionManager& compression();
+  [[nodiscard]] sim::ActorContext& ctx() { return ctx_; }
+
+  /// Elapse virtual compute time (e.g. a GPU kernel of the application).
+  void compute(sim::Time t) { ctx_.advance(t); }
+
+  // --- device memory helpers ---
+  [[nodiscard]] void* gpu_malloc(std::size_t bytes);
+  void gpu_free(void* p);
+
+  // --- point-to-point ---
+  Request isend(const void* buf, std::uint64_t bytes, int dst, int tag);
+  Request irecv(void* buf, std::uint64_t capacity, int src, int tag);
+
+  // --- wire-level primitives (compression-aware collectives) ---
+  /// Compress `buf` once into its wire representation (charges the full
+  /// sender-side compression cost; raw pass-through if not eligible).
+  [[nodiscard]] WireMessage make_wire(const void* buf, std::uint64_t bytes);
+  /// Send an existing wire representation: no recompression, only protocol
+  /// and transfer costs.
+  Request isend_wire(const WireMessage& msg, int dst, int tag);
+  /// Receive a message in wire form: completes at payload arrival, without
+  /// decompressing. `out` must stay alive until the request completes.
+  Request irecv_wire(WireMessage* out, int src, int tag);
+  /// Decompress a wire message into `buf` (charges receiver-side costs).
+  void decompress_wire(const WireMessage& msg, void* buf, std::uint64_t capacity);
+  void send(const void* buf, std::uint64_t bytes, int dst, int tag);
+  Status recv(void* buf, std::uint64_t capacity, int src, int tag);
+  /// Block until a matching message is available without receiving it
+  /// (MPI_Probe); the status reports source, tag, and size.
+  Status probe(int src, int tag);
+  /// Non-blocking probe (MPI_Iprobe); true if a matching message waits.
+  bool iprobe(int src, int tag, Status* status = nullptr);
+  Status wait(Request& req);
+  void waitall(std::vector<Request>& reqs);
+  void sendrecv(const void* sendbuf, std::uint64_t send_bytes, int dst, int sendtag,
+                void* recvbuf, std::uint64_t recv_capacity, int src, int recvtag);
+
+  // --- collectives ---
+  void barrier();
+  void bcast(void* buf, std::uint64_t bytes, int root);
+  /// Gather `block_bytes` from every rank into recvbuf (size*block_bytes).
+  void allgather(const void* sendbuf, std::uint64_t block_bytes, void* recvbuf);
+  void reduce(const float* sendbuf, float* recvbuf, std::size_t n, ReduceOp op, int root);
+  void allreduce(const float* sendbuf, float* recvbuf, std::size_t n, ReduceOp op);
+  void alltoall(const void* sendbuf, std::uint64_t block_bytes, void* recvbuf);
+  void gather(const void* sendbuf, std::uint64_t block_bytes, void* recvbuf, int root);
+  void scatter(const void* sendbuf, std::uint64_t block_bytes, void* recvbuf, int root);
+
+ private:
+  int next_coll_tag();
+
+  World& world_;
+  int rank_;
+  sim::ActorContext& ctx_;
+  int coll_seq_ = 0;
+};
+
+class World {
+ public:
+  World(sim::Engine& engine, net::ClusterSpec cluster,
+        core::CompressionConfig compression = core::CompressionConfig::off(),
+        WorldOptions options = {});
+  ~World();
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  /// Spawn one actor per rank running `main` and run the simulation.
+  void run(std::function<void(Rank&)> main);
+
+  [[nodiscard]] int size() const { return cluster_.ranks(); }
+  [[nodiscard]] const net::ClusterSpec& cluster() const { return cluster_; }
+  [[nodiscard]] net::Fabric& fabric() { return *fabric_; }
+  [[nodiscard]] gpu::Gpu& gpu_of(int rank);
+  [[nodiscard]] core::CompressionManager& compression_of(int rank);
+  [[nodiscard]] const WorldOptions& options() const { return options_; }
+
+ private:
+  friend class Rank;
+
+  struct Envelope {
+    int src = -1;
+    int dst = -1;
+    int tag = 0;
+    std::uint64_t bytes = 0;  // original message size
+  };
+
+  using Payload = std::shared_ptr<std::vector<std::uint8_t>>;
+
+  struct EagerMsg {
+    Envelope env;
+    Payload payload;
+    std::uint64_t arrival = 0;  // per-receiver arrival order (matching)
+  };
+
+  struct RtsMsg {
+    Envelope env;
+    core::CompressionHeader header;
+    Payload payload;  // wire bytes, staged at send time
+    Request send_req;
+    std::uint64_t arrival = 0;
+  };
+
+  struct PostedRecv {
+    void* buf = nullptr;
+    std::uint64_t capacity = 0;
+    int src = kAnySource;
+    int tag = kAnyTag;
+    Request req;
+    WireMessage* wire_out = nullptr;  // set => deliver wire form, skip decompress
+  };
+
+  struct ProbeWaiter {
+    int src = kAnySource;
+    int tag = kAnyTag;
+    sim::ActorId actor = sim::kNoActor;
+  };
+
+  struct RankState {
+    std::unique_ptr<gpu::Gpu> gpu;
+    std::unique_ptr<core::CompressionManager> mgr;
+    std::deque<PostedRecv> posted;
+    std::deque<EagerMsg> unexpected_eager;
+    std::deque<RtsMsg> pending_rts;
+    std::vector<ProbeWaiter> probe_waiters;
+    std::uint64_t next_arrival = 0;  // stamps unexpected messages so a
+                                     // receive matches the OLDEST arrival
+                                     // across both unexpected queues (MPI
+                                     // non-overtaking)
+  };
+
+  [[nodiscard]] static bool matches(const PostedRecv& r, const Envelope& e) {
+    return (r.src == kAnySource || r.src == e.src) && (r.tag == kAnyTag || r.tag == e.tag);
+  }
+
+  // Protocol steps (see .cpp). Receiver-side handlers run in engine events.
+  Request do_isend(sim::ActorContext& ctx, int src, const void* buf,
+                   std::uint64_t bytes, int dst, int tag);
+  Request do_irecv(sim::ActorContext& ctx, int dst, void* buf, std::uint64_t capacity,
+                   int src, int tag, WireMessage* wire_out = nullptr);
+  WireMessage do_make_wire(sim::ActorContext& ctx, int rank, const void* buf,
+                           std::uint64_t bytes);
+  static WireMessage make_raw_wire(const void* buf, std::uint64_t bytes);
+  Request do_isend_wire(sim::ActorContext& ctx, int src, const WireMessage& msg, int dst,
+                        int tag);
+  void on_eager_arrival(EagerMsg msg);
+  void on_rts_arrival(RtsMsg rts);
+  void begin_rndv_receive(sim::Timeline& tl, RtsMsg rts, PostedRecv recv);
+  void on_data_arrival(RtsMsg rts, PostedRecv recv,
+                       std::shared_ptr<core::CompressionManager::RecvStaging> staging);
+  void complete(const Request& req, Status status);
+  void deliver_eager_to(PostedRecv& recv, const EagerMsg& msg);
+  bool do_iprobe(int rank, int src, int tag, Status* status);
+  Status do_probe(sim::ActorContext& ctx, int rank, int src, int tag);
+  void wake_probers(RankState& state, const Envelope& env);
+
+  sim::Engine& engine_;
+  net::ClusterSpec cluster_;
+  core::CompressionConfig compression_;
+  WorldOptions options_;
+  std::unique_ptr<net::Fabric> fabric_;
+  std::vector<RankState> ranks_;
+};
+
+}  // namespace gcmpi::mpi

@@ -1,0 +1,90 @@
+#include "net/cluster.hpp"
+
+#include "gpu/device.hpp"
+
+namespace gcmpi::net {
+
+ClusterSpec longhorn(int nodes, int gpus_per_node) {
+  ClusterSpec c;
+  c.name = "Longhorn (V100, NVLink, IB-EDR)";
+  c.nodes = nodes;
+  c.gpus_per_node = gpus_per_node;
+  c.gpu = gpu::v100_spec();
+  c.intra = nvlink3();
+  c.inter = ib_edr();
+  return c;
+}
+
+ClusterSpec frontera_liquid(int nodes, int gpus_per_node) {
+  ClusterSpec c;
+  c.name = "Frontera Liquid (RTX5000, PCIe, IB-FDR)";
+  c.nodes = nodes;
+  c.gpus_per_node = gpus_per_node;
+  c.gpu = gpu::rtx5000_spec();
+  c.intra = pcie3_x16();
+  c.inter = ib_fdr();
+  return c;
+}
+
+ClusterSpec lassen(int nodes, int gpus_per_node) {
+  ClusterSpec c;
+  c.name = "Lassen (V100, NVLink, IB-EDR)";
+  c.nodes = nodes;
+  c.gpus_per_node = gpus_per_node;
+  c.gpu = gpu::v100_spec();
+  c.intra = nvlink3();
+  c.inter = ib_edr();
+  return c;
+}
+
+ClusterSpec ri2(int nodes, int gpus_per_node) {
+  ClusterSpec c;
+  c.name = "RI2 (V100, PCIe host bridge, IB-EDR)";
+  c.nodes = nodes;
+  c.gpus_per_node = gpus_per_node;
+  c.gpu = gpu::v100_spec();
+  c.intra = pcie3_x16();
+  c.inter = ib_edr();
+  return c;
+}
+
+Fabric::Fabric(const ClusterSpec& spec) : spec_(spec) {
+  if (spec_.nodes < 1 || spec_.gpus_per_node < 1) {
+    throw std::invalid_argument("Fabric: bad cluster dimensions");
+  }
+  node_tx_.resize(static_cast<std::size_t>(spec_.nodes));
+  node_rx_.resize(static_cast<std::size_t>(spec_.nodes));
+  gpu_tx_.resize(static_cast<std::size_t>(spec_.ranks()));
+  gpu_rx_.resize(static_cast<std::size_t>(spec_.ranks()));
+}
+
+Fabric::Port& Fabric::tx_port(int src, int dst) {
+  return spec_.same_node(src, dst) ? gpu_tx_[static_cast<std::size_t>(src)]
+                                   : node_tx_[static_cast<std::size_t>(spec_.node_of(src))];
+}
+
+Fabric::Port& Fabric::rx_port(int src, int dst) {
+  return spec_.same_node(src, dst) ? gpu_rx_[static_cast<std::size_t>(dst)]
+                                   : node_rx_[static_cast<std::size_t>(spec_.node_of(dst))];
+}
+
+Time Fabric::transfer(Time earliest, int src_rank, int dst_rank, std::uint64_t bytes) {
+  if (src_rank == dst_rank) return earliest;  // self-send: no wire
+  const LinkSpec& link = route(src_rank, dst_rank);
+  Port& tx = tx_port(src_rank, dst_rank);
+  Port& rx = rx_port(src_rank, dst_rank);
+  Time start = earliest;
+  if (tx.busy_until > start) start = tx.busy_until;
+  if (rx.busy_until > start) start = rx.busy_until;
+  const Time wire = link.wire_time(bytes) + link.per_message_overhead;
+  tx.busy_until = start + wire;
+  rx.busy_until = start + wire;
+  bytes_moved_ += bytes;
+  return start + wire + link.latency;
+}
+
+Time Fabric::control(Time earliest, int src_rank, int dst_rank, std::uint64_t bytes) {
+  return transfer(earliest, src_rank, dst_rank, bytes);
+}
+
+}  // namespace gcmpi::net

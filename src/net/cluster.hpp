@@ -1,0 +1,83 @@
+// Cluster topology: `nodes` x `gpus_per_node` GPUs, an intra-node link
+// between GPUs of the same node, an inter-node link between nodes, plus
+// the Fabric that tracks port occupancy for deterministic contention.
+//
+// One MPI rank maps to one GPU (block distribution: rank r lives on node
+// r / gpus_per_node), matching the paper's "N nodes, P ppn" runs.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "gpu/cost_model.hpp"
+#include "net/link.hpp"
+#include "sim/time.hpp"
+
+namespace gcmpi::net {
+
+using sim::Time;
+
+struct ClusterSpec {
+  std::string name;
+  int nodes = 2;
+  int gpus_per_node = 1;
+  gpu::GpuSpec gpu;
+  LinkSpec intra;  // GPU <-> GPU within a node (NVLink or PCIe)
+  LinkSpec inter;  // node <-> node (InfiniBand)
+
+  [[nodiscard]] int ranks() const { return nodes * gpus_per_node; }
+  [[nodiscard]] int node_of(int rank) const { return rank / gpus_per_node; }
+  [[nodiscard]] bool same_node(int a, int b) const { return node_of(a) == node_of(b); }
+};
+
+/// TACC Longhorn: V100, NVLink intra-node, IB EDR inter-node.
+[[nodiscard]] ClusterSpec longhorn(int nodes, int gpus_per_node);
+/// TACC Frontera "Liquid" subsystem: Quadro RTX 5000, PCIe, IB FDR.
+[[nodiscard]] ClusterSpec frontera_liquid(int nodes, int gpus_per_node);
+/// LLNL Lassen: V100, NVLink, IB EDR (dual-rail modeled as single EDR).
+[[nodiscard]] ClusterSpec lassen(int nodes, int gpus_per_node);
+/// OSU RI2: V100 on PCIe host bridge, IB EDR.
+[[nodiscard]] ClusterSpec ri2(int nodes, int gpus_per_node);
+
+/// Port-occupancy tracker. For every transfer it serializes on the source
+/// egress port and destination ingress port of the traversed link and
+/// returns the arrival time of the last byte.
+class Fabric {
+ public:
+  explicit Fabric(const ClusterSpec& spec);
+
+  /// Move `bytes` from `src_rank` to `dst_rank` starting no earlier than
+  /// `earliest`. Returns arrival time of the full message.
+  [[nodiscard]] Time transfer(Time earliest, int src_rank, int dst_rank,
+                              std::uint64_t bytes);
+
+  /// Small control message (RTS/CTS): pays latency + overhead and a
+  /// negligible serialization term, but still ordered through the ports so
+  /// protocol messages cannot overtake each other.
+  [[nodiscard]] Time control(Time earliest, int src_rank, int dst_rank,
+                             std::uint64_t bytes = 64);
+
+  [[nodiscard]] const ClusterSpec& spec() const { return spec_; }
+  [[nodiscard]] std::uint64_t bytes_moved() const { return bytes_moved_; }
+
+ private:
+  struct Port {
+    Time busy_until = Time::zero();
+  };
+  [[nodiscard]] const LinkSpec& route(int src, int dst) const {
+    return spec_.same_node(src, dst) ? spec_.intra : spec_.inter;
+  }
+  Port& tx_port(int src, int dst);
+  Port& rx_port(int src, int dst);
+
+  ClusterSpec spec_;
+  // Inter-node: one egress + one ingress port per node (the IB HCA).
+  std::vector<Port> node_tx_, node_rx_;
+  // Intra-node: one port per GPU endpoint (NVLink/PCIe lane).
+  std::vector<Port> gpu_tx_, gpu_rx_;
+  std::uint64_t bytes_moved_ = 0;
+};
+
+}  // namespace gcmpi::net

@@ -1,0 +1,189 @@
+#include "sim/engine.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace gcmpi::sim {
+
+std::string to_string(Time t) {
+  char buf[64];
+  if (t.count_ns() < 1'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.3f us", t.to_us());
+  } else if (t.count_ns() < 1'000'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", t.to_ms());
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6f s", t.to_seconds());
+  }
+  return buf;
+}
+
+Time ActorContext::now() const { return engine_.now(); }
+
+void ActorContext::advance(Time dt) {
+  if (dt < Time::zero()) throw std::invalid_argument("ActorContext::advance: negative dt");
+  engine_.actor_yield_runnable_at(id_, engine_.now() + dt);
+}
+
+void ActorContext::advance_to(Time t) {
+  if (t <= engine_.now()) return;
+  engine_.actor_yield_runnable_at(id_, t);
+}
+
+void ActorContext::block() { engine_.actor_yield_blocked(id_); }
+
+Engine::~Engine() { join_all(); }
+
+ActorId Engine::spawn(std::string name, std::function<void(ActorContext&)> body) {
+  if (running_) throw std::logic_error("Engine::spawn: cannot spawn while running");
+  auto actor = std::make_unique<Actor>();
+  actor->name = std::move(name);
+  actor->body = std::move(body);
+  actors_.push_back(std::move(actor));
+  return static_cast<ActorId>(actors_.size() - 1);
+}
+
+void Engine::schedule(Time t, std::function<void()> fn) {
+  if (t < now_) throw std::invalid_argument("Engine::schedule: time in the past");
+  queue_.push(Event{t, next_seq_++, kNoActor, std::move(fn)});
+}
+
+void Engine::wake(ActorId id, Time t) {
+  Actor& a = *actors_.at(id);
+  if (a.state != ActorState::Blocked) {
+    throw std::logic_error("Engine::wake: actor '" + a.name + "' is not blocked");
+  }
+  a.state = ActorState::Runnable;
+  enqueue_resume(id, t < now_ ? now_ : t);
+}
+
+void Engine::enqueue_resume(ActorId id, Time t) {
+  queue_.push(Event{t, next_seq_++, id, nullptr});
+}
+
+void Engine::actor_main(ActorId id) {
+  Actor& a = *actors_[id];
+  {
+    // Wait for the first resume before touching any engine state.
+    std::unique_lock lock(a.mutex);
+    a.cv.wait(lock, [&] { return a.resume_flag; });
+    a.resume_flag = false;
+  }
+  ActorContext ctx(*this, id);
+  try {
+    a.body(ctx);
+  } catch (...) {
+    a.error = std::current_exception();
+  }
+  std::unique_lock lock(a.mutex);
+  a.state = ActorState::Finished;
+  a.yield_flag = true;
+  a.cv.notify_all();
+}
+
+void Engine::yield_to_engine(Actor& a) {
+  std::unique_lock lock(a.mutex);
+  a.yield_flag = true;
+  a.cv.notify_all();
+  a.cv.wait(lock, [&] { return a.resume_flag; });
+  a.resume_flag = false;
+}
+
+void Engine::actor_yield_runnable_at(ActorId id, Time t) {
+  Actor& a = *actors_[id];
+  a.state = ActorState::Runnable;
+  enqueue_resume(id, t);
+  yield_to_engine(a);
+  if (aborting_) throw SimulationAborted{};
+}
+
+void Engine::actor_yield_blocked(ActorId id) {
+  Actor& a = *actors_[id];
+  a.state = ActorState::Blocked;
+  yield_to_engine(a);
+  if (aborting_) throw SimulationAborted{};
+}
+
+void Engine::resume_actor(ActorId id) {
+  Actor& a = *actors_[id];
+  if (a.state == ActorState::NotStarted) {
+    a.thread = std::thread([this, id] { actor_main(id); });
+  }
+  a.state = ActorState::Running;
+  std::unique_lock lock(a.mutex);
+  a.resume_flag = true;
+  a.cv.notify_all();
+  a.cv.wait(lock, [&] { return a.yield_flag; });
+  a.yield_flag = false;
+}
+
+void Engine::run() {
+  if (running_) throw std::logic_error("Engine::run: re-entered");
+  running_ = true;
+  // All actors start at time zero.
+  for (ActorId id = 0; id < actors_.size(); ++id) enqueue_resume(id, Time::zero());
+
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    if (ev.actor == kNoActor) {
+      try {
+        ev.fn();
+      } catch (...) {
+        abort_all();
+        running_ = false;
+        throw;
+      }
+    } else {
+      Actor& a = *actors_[ev.actor];
+      if (a.state == ActorState::Finished) continue;
+      resume_actor(ev.actor);
+      if (a.error) {
+        const std::exception_ptr error = a.error;
+        a.error = nullptr;
+        abort_all();
+        running_ = false;
+        std::rethrow_exception(error);
+      }
+    }
+  }
+
+  // Queue drained: every actor must have finished, otherwise we deadlocked.
+  std::ostringstream blocked;
+  bool deadlock = false;
+  for (const auto& a : actors_) {
+    if (a->state != ActorState::Finished && a->state != ActorState::NotStarted) {
+      deadlock = true;
+      blocked << " '" << a->name << "'";
+    }
+  }
+  running_ = false;
+  if (deadlock) {
+    abort_all();
+    throw std::runtime_error("Engine::run: deadlock, blocked actors:" + blocked.str());
+  }
+  join_all();
+}
+
+void Engine::abort_all() {
+  // Resume every parked actor with the abort flag set so its thread
+  // unwinds (SimulationAborted) and can be joined.
+  aborting_ = true;
+  queue_ = {};
+  for (ActorId id = 0; id < actors_.size(); ++id) {
+    Actor& a = *actors_[id];
+    if (a.state == ActorState::Blocked || a.state == ActorState::Runnable) {
+      resume_actor(id);
+    }
+  }
+  join_all();
+}
+
+void Engine::join_all() {
+  for (auto& a : actors_) {
+    if (a->thread.joinable()) a->thread.join();
+  }
+}
+
+}  // namespace gcmpi::sim

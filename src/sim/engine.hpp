@@ -1,0 +1,156 @@
+// Sequential discrete-event engine with threaded actors.
+//
+// An MPI rank in the simulated cluster is an "actor": a user function that
+// runs on its own std::thread but is scheduled cooperatively — the engine
+// resumes exactly one actor at a time and advances a single global virtual
+// clock. Actor code therefore reads like ordinary blocking MPI code while
+// the whole simulation stays deterministic and data-race free.
+//
+// Scheduling model:
+//   * The engine owns a priority queue of events ordered by (time, seq).
+//   * ActorContext::advance(dt) re-enqueues the caller at now+dt and yields.
+//   * ActorContext::block() yields without re-enqueueing; some other event
+//     must later call Engine::wake(actor, t).
+//   * Plain callbacks scheduled with Engine::schedule(t, fn) run on the
+//     engine thread between actor resumptions (never concurrently with one).
+//
+// Deadlock (all actors blocked, queue empty) throws with a diagnostic that
+// lists the blocked actors — invaluable when debugging protocol bugs.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace gcmpi::sim {
+
+class Engine;
+
+using ActorId = std::uint32_t;
+inline constexpr ActorId kNoActor = static_cast<ActorId>(-1);
+
+/// Handed to each actor body; the actor's only interface to virtual time.
+class ActorContext {
+ public:
+  ActorContext(Engine& engine, ActorId id) : engine_(engine), id_(id) {}
+
+  [[nodiscard]] ActorId id() const { return id_; }
+  [[nodiscard]] Engine& engine() { return engine_; }
+
+  /// Current virtual time (global clock; valid while this actor runs).
+  [[nodiscard]] Time now() const;
+
+  /// Elapse `dt` of virtual time (models computation / driver overhead).
+  void advance(Time dt);
+
+  /// Elapse until absolute time `t` (no-op if `t` <= now()).
+  void advance_to(Time t);
+
+  /// Yield until some event calls Engine::wake(id()). Returns at the wake
+  /// time. Used by blocking receive / wait primitives.
+  void block();
+
+ private:
+  Engine& engine_;
+  ActorId id_;
+};
+
+class Engine {
+ public:
+  Engine() = default;
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Register an actor. Must be called before run(). The body runs on its
+  /// own thread once run() starts; all bodies begin at time zero.
+  ActorId spawn(std::string name, std::function<void(ActorContext&)> body);
+
+  /// Run the simulation to completion. Rethrows the first actor exception.
+  /// Throws std::runtime_error on deadlock.
+  void run();
+
+  /// Global virtual clock (time of the event being dispatched).
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedule a callback on the engine thread at absolute time `t`.
+  void schedule(Time t, std::function<void()> fn);
+
+  /// Schedule a callback `dt` after the current time.
+  void schedule_after(Time dt, std::function<void()> fn) { schedule(now_ + dt, std::move(fn)); }
+
+  /// Wake a blocked actor at absolute time `t` (>= now). It is an error to
+  /// wake an actor that is not blocked.
+  void wake(ActorId id, Time t);
+
+  /// Wake a blocked actor `dt` after the current time.
+  void wake_after(ActorId id, Time dt) { wake(id, now_ + dt); }
+
+  [[nodiscard]] std::size_t actor_count() const { return actors_.size(); }
+  [[nodiscard]] const std::string& actor_name(ActorId id) const { return actors_[id]->name; }
+
+ private:
+  friend class ActorContext;
+
+  enum class ActorState : std::uint8_t { NotStarted, Runnable, Running, Blocked, Finished };
+
+  struct Actor {
+    std::string name;
+    std::function<void(ActorContext&)> body;
+    std::thread thread;
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool resume_flag = false;  // engine -> actor: you may run
+    bool yield_flag = false;   // actor -> engine: I have yielded
+    ActorState state = ActorState::NotStarted;
+    std::exception_ptr error;
+  };
+
+  struct Event {
+    Time time;
+    std::uint64_t seq;
+    ActorId actor;                // kNoActor for plain callbacks
+    std::function<void()> fn;     // only for plain callbacks
+    bool operator>(const Event& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  // Actor-side primitives (called from actor threads via ActorContext).
+  void actor_yield_runnable_at(ActorId id, Time t);  // advance()
+  void actor_yield_blocked(ActorId id);              // block()
+
+  void resume_actor(ActorId id);   // engine side: hand control + wait for yield
+  void actor_main(ActorId id);     // thread body
+  void yield_to_engine(Actor& a);  // actor side: flip flags, wait for resume
+  void enqueue_resume(ActorId id, Time t);
+  void join_all();
+  /// Unwind every live actor (SimulationAborted) and join; used on any
+  /// abnormal termination so run() can throw without leaking parked threads.
+  void abort_all();
+
+  std::vector<std::unique_ptr<Actor>> actors_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  Time now_ = Time::zero();
+  std::uint64_t next_seq_ = 0;
+  bool running_ = false;
+  bool aborting_ = false;  // set on deadlock; resumed actors unwind
+};
+
+/// Thrown out of blocking primitives when the engine aborts a deadlocked
+/// simulation so actor threads can unwind and be joined.
+struct SimulationAborted : std::exception {
+  const char* what() const noexcept override { return "simulation aborted (deadlock)"; }
+};
+
+}  // namespace gcmpi::sim

@@ -1,0 +1,57 @@
+// Virtual time for the discrete-event simulation.
+//
+// Time is an integer count of nanoseconds wrapped in a strong type so that
+// raw integers (byte counts, ranks, ...) cannot be accidentally mixed with
+// durations. All cost models produce Time values; the engine never consults
+// the wall clock.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <string>
+
+namespace gcmpi::sim {
+
+class Time {
+ public:
+  constexpr Time() = default;
+  constexpr explicit Time(std::int64_t nanoseconds) : ns_(nanoseconds) {}
+
+  [[nodiscard]] static constexpr Time zero() { return Time{0}; }
+  [[nodiscard]] static constexpr Time ns(std::int64_t v) { return Time{v}; }
+  [[nodiscard]] static constexpr Time us(double v) {
+    return Time{static_cast<std::int64_t>(v * 1e3)};
+  }
+  [[nodiscard]] static constexpr Time ms(double v) {
+    return Time{static_cast<std::int64_t>(v * 1e6)};
+  }
+  [[nodiscard]] static constexpr Time seconds(double v) {
+    return Time{static_cast<std::int64_t>(v * 1e9)};
+  }
+
+  [[nodiscard]] constexpr std::int64_t count_ns() const { return ns_; }
+  [[nodiscard]] constexpr double to_us() const { return static_cast<double>(ns_) / 1e3; }
+  [[nodiscard]] constexpr double to_ms() const { return static_cast<double>(ns_) / 1e6; }
+  [[nodiscard]] constexpr double to_seconds() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr Time& operator+=(Time o) { ns_ += o.ns_; return *this; }
+  constexpr Time& operator-=(Time o) { ns_ -= o.ns_; return *this; }
+
+  friend constexpr Time operator+(Time a, Time b) { return Time{a.ns_ + b.ns_}; }
+  friend constexpr Time operator-(Time a, Time b) { return Time{a.ns_ - b.ns_}; }
+  friend constexpr Time operator*(Time a, std::int64_t k) { return Time{a.ns_ * k}; }
+  friend constexpr Time operator*(std::int64_t k, Time a) { return Time{a.ns_ * k}; }
+  friend constexpr auto operator<=>(Time a, Time b) = default;
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+/// Time to move `bytes` at `gigabytes_per_second` (pure serialization term).
+[[nodiscard]] constexpr Time transfer_time(std::uint64_t bytes, double gigabytes_per_second) {
+  return Time::seconds(static_cast<double>(bytes) / (gigabytes_per_second * 1e9));
+}
+
+[[nodiscard]] std::string to_string(Time t);
+
+}  // namespace gcmpi::sim

@@ -1,0 +1,30 @@
+// A movable point on the virtual clock.
+//
+// Cost-charging code (GPU driver calls, protocol processing) is written
+// against Timeline so it can run in two contexts:
+//   * inside an actor: wrap the actor clock, then ActorContext::advance_to
+//     the timeline's end;
+//   * inside an engine event (e.g. the receiver side of the rendezvous
+//     protocol, which progresses asynchronously): start the timeline at the
+//     event time and schedule follow-up events at its end.
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace gcmpi::sim {
+
+class Timeline {
+ public:
+  constexpr explicit Timeline(Time start) : t_(start) {}
+
+  [[nodiscard]] constexpr Time now() const { return t_; }
+  constexpr void advance(Time dt) { t_ += dt; }
+  constexpr void advance_to(Time t) {
+    if (t > t_) t_ = t;
+  }
+
+ private:
+  Time t_;
+};
+
+}  // namespace gcmpi::sim

@@ -1,0 +1,128 @@
+// Bit-level stream tests: exact round-trips through every put/get path,
+// word-boundary edge cases, seeks, and a randomized property sweep.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "compress/bitstream.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using gcmpi::comp::BitReader;
+using gcmpi::comp::BitWriter;
+
+TEST(BitStream, SingleBits) {
+  BitWriter w;
+  const int pattern[] = {1, 0, 1, 1, 0, 0, 1, 0, 1};
+  for (int b : pattern) w.put_bit(static_cast<std::uint32_t>(b));
+  EXPECT_EQ(w.bit_size(), 9u);
+  auto bytes = w.take();
+  BitReader r(bytes);
+  for (int b : pattern) EXPECT_EQ(r.get_bit(), static_cast<std::uint32_t>(b));
+}
+
+TEST(BitStream, MultiBitValues) {
+  BitWriter w;
+  w.put_bits(0x2A, 6);
+  w.put_bits(0xDEADBEEF, 32);
+  w.put_bits(0x1, 1);
+  auto bytes = w.take();
+  BitReader r(bytes);
+  EXPECT_EQ(r.get_bits(6), 0x2Au);
+  EXPECT_EQ(r.get_bits(32), 0xDEADBEEFu);
+  EXPECT_EQ(r.get_bit(), 1u);
+}
+
+TEST(BitStream, SixtyFourBitValues) {
+  BitWriter w;
+  w.put_bit(1);  // offset so the 64-bit value straddles words
+  w.put_bits(0x0123456789ABCDEFull, 64);
+  w.put_bits(0xFFFFFFFFFFFFFFFFull, 64);
+  auto bytes = w.take();
+  BitReader r(bytes);
+  EXPECT_EQ(r.get_bit(), 1u);
+  EXPECT_EQ(r.get_bits(64), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.get_bits(64), 0xFFFFFFFFFFFFFFFFull);
+}
+
+TEST(BitStream, WordBoundaryExactFill) {
+  BitWriter w;
+  w.put_bits(0xAAAAAAAAAAAAAAAAull, 64);  // exactly one word
+  EXPECT_EQ(w.bit_size(), 64u);
+  w.put_bits(0x5, 3);
+  EXPECT_EQ(w.bit_size(), 67u);
+  auto bytes = w.take();
+  BitReader r(bytes);
+  EXPECT_EQ(r.get_bits(64), 0xAAAAAAAAAAAAAAAAull);
+  EXPECT_EQ(r.get_bits(3), 0x5u);
+}
+
+TEST(BitStream, HighBitsAboveCountAreMasked) {
+  BitWriter w;
+  w.put_bits(0xFF, 3);  // only low 3 bits should land
+  w.put_bits(0, 5);
+  auto bytes = w.take();
+  BitReader r(bytes);
+  EXPECT_EQ(r.get_bits(8), 0x7u);
+}
+
+TEST(BitStream, PadTo) {
+  BitWriter w;
+  w.put_bits(0x3, 2);
+  w.pad_to(130);
+  EXPECT_EQ(w.bit_size(), 130u);
+  auto bytes = w.take();
+  BitReader r(bytes);
+  EXPECT_EQ(r.get_bits(2), 0x3u);
+  for (int i = 0; i < 128; ++i) EXPECT_EQ(r.get_bit(), 0u);
+}
+
+TEST(BitStream, PadToCannotShrink) {
+  BitWriter w;
+  w.put_bits(0xFFFF, 16);
+  EXPECT_THROW(w.pad_to(8), std::invalid_argument);
+}
+
+TEST(BitStream, ReaderSeek) {
+  BitWriter w;
+  for (int i = 0; i < 16; ++i) w.put_bits(static_cast<std::uint64_t>(i), 8);
+  auto bytes = w.take();
+  BitReader r(bytes);
+  r.seek(8 * 5);
+  EXPECT_EQ(r.get_bits(8), 5u);
+  r.seek(0);
+  EXPECT_EQ(r.get_bits(8), 0u);
+  EXPECT_EQ(r.tell(), 8u);
+}
+
+TEST(BitStream, ReadPastEndYieldsZeros) {
+  BitWriter w;
+  w.put_bits(0xFF, 8);
+  auto bytes = w.take();
+  BitReader r(bytes);
+  r.seek(bytes.size() * 8);
+  EXPECT_EQ(r.get_bits(16), 0u);
+}
+
+TEST(BitStream, RandomizedRoundTrip) {
+  gcmpi::sim::Rng rng(2024);
+  for (int trial = 0; trial < 50; ++trial) {
+    BitWriter w;
+    std::vector<std::pair<std::uint64_t, int>> writes;
+    for (int i = 0; i < 200; ++i) {
+      const int n = 1 + static_cast<int>(rng.next_below(64));
+      const std::uint64_t v =
+          n < 64 ? (rng.next_u64() & ((1ull << n) - 1)) : rng.next_u64();
+      writes.emplace_back(v, n);
+      w.put_bits(v, n);
+    }
+    auto bytes = w.take();
+    BitReader r(bytes);
+    for (const auto& [v, n] : writes) {
+      ASSERT_EQ(r.get_bits(n), v) << "trial " << trial;
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,90 @@
+// Dask proxy tests: transpose-sum correctness with and without (lossy)
+// compression, throughput accounting, worker scaling.
+#include <gtest/gtest.h>
+
+#include "apps/dask/distributed_array.hpp"
+#include "mpi/world.hpp"
+
+namespace {
+
+using namespace gcmpi;
+using apps::dask::DaskConfig;
+using apps::dask::DaskReport;
+using apps::dask::run_transpose_sum;
+
+DaskReport run(int workers, core::CompressionConfig cfg, DaskConfig dc) {
+  sim::Engine engine;
+  mpi::World world(engine, net::ri2(workers, 1), cfg);
+  DaskReport report;
+  world.run([&](mpi::Rank& R) {
+    auto rep = run_transpose_sum(R, dc);
+    if (R.rank() == 0) report = rep;
+  });
+  return report;
+}
+
+TEST(Dask, ExactWithoutCompression) {
+  DaskConfig dc;
+  dc.matrix_n = 512;
+  dc.chunk_n = 128;
+  const auto report = run(4, core::CompressionConfig::off(), dc);
+  EXPECT_TRUE(report.verified);
+  EXPECT_EQ(report.max_error, 0.0);
+  EXPECT_GT(report.bytes_transferred, 0u);
+  EXPECT_GT(report.aggregate_throughput_gbs, 0.0);
+}
+
+TEST(Dask, SingleWorkerMovesNothing) {
+  DaskConfig dc;
+  dc.matrix_n = 256;
+  dc.chunk_n = 128;
+  const auto report = run(1, core::CompressionConfig::off(), dc);
+  EXPECT_TRUE(report.verified);
+  EXPECT_EQ(report.bytes_transferred, 0u);
+}
+
+TEST(Dask, RejectsBadChunking) {
+  DaskConfig dc;
+  dc.matrix_n = 500;  // not divisible by chunk
+  dc.chunk_n = 128;
+  EXPECT_THROW(run(2, core::CompressionConfig::off(), dc), std::invalid_argument);
+}
+
+TEST(Dask, ZfpLossyStaysWithinTolerance) {
+  DaskConfig dc;
+  dc.matrix_n = 1024;
+  dc.chunk_n = 256;  // 256 KB chunks take the compressed rendezvous path
+  dc.verify_tolerance = 0.02;  // rate-16 quantization on [0,1) data
+  auto cfg = core::CompressionConfig::zfp_opt(16);
+  cfg.threshold_bytes = 128 * 1024;
+  const auto report = run(4, cfg, dc);
+  EXPECT_TRUE(report.verified) << "max error " << report.max_error;
+  EXPECT_GT(report.max_error, 0.0);  // it IS lossy
+}
+
+TEST(Dask, CompressionImprovesThroughput) {
+  DaskConfig dc;
+  // Paper-scale chunks: Dask moves 8MB-1GB messages (Sec. VII-B); at 4MB
+  // the ZFP pipeline clearly beats the raw wire.
+  dc.matrix_n = 4096;
+  dc.chunk_n = 1024;
+  dc.verify = false;
+  auto zfp = core::CompressionConfig::zfp_opt(8);
+  zfp.threshold_bytes = 128 * 1024;
+  const auto base = run(8, core::CompressionConfig::off(), dc);
+  const auto comp = run(8, zfp, dc);
+  // Fig. 14(b): ZFP-OPT(rate 8) outperforms the baseline (paper: 1.56x).
+  EXPECT_GT(comp.aggregate_throughput_gbs, base.aggregate_throughput_gbs);
+}
+
+TEST(Dask, MoreWorkersMoreAggregateThroughput) {
+  DaskConfig dc;
+  dc.matrix_n = 1024;
+  dc.chunk_n = 256;
+  dc.verify = false;
+  const auto w2 = run(2, core::CompressionConfig::off(), dc);
+  const auto w8 = run(8, core::CompressionConfig::off(), dc);
+  EXPECT_GT(w8.aggregate_throughput_gbs, w2.aggregate_throughput_gbs);
+}
+
+}  // namespace

@@ -1,0 +1,84 @@
+// Dataset generator tests: determinism, Table III characteristics
+// (unique-value fractions and MPC compression-ratio ordering).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "compress/mpc.hpp"
+#include "data/datasets.hpp"
+
+namespace {
+
+using namespace gcmpi;
+
+double mpc_ratio(const std::vector<float>& v, int dim) {
+  comp::MpcCodec codec(dim);
+  std::vector<std::uint8_t> buf(codec.max_compressed_bytes(v.size()));
+  const std::size_t size = codec.compress(v, buf);
+  return static_cast<double>(v.size() * 4) / static_cast<double>(size);
+}
+
+TEST(Datasets, TableListsEightSets) {
+  EXPECT_EQ(data::table3_datasets().size(), 8u);
+}
+
+TEST(Datasets, GenerationIsDeterministic) {
+  for (const auto& info : data::table3_datasets()) {
+    const auto a = data::generate(info.name, 4096, 7);
+    const auto b = data::generate(info.name, 4096, 7);
+    EXPECT_EQ(a, b) << info.name;
+    const auto c = data::generate(info.name, 4096, 8);
+    EXPECT_NE(a, c) << info.name;
+  }
+}
+
+TEST(Datasets, UnknownNameThrows) {
+  EXPECT_THROW(data::generate("msg_nope", 100), std::invalid_argument);
+}
+
+TEST(Datasets, UniqueFractionRoughlyTracksTable3) {
+  const std::size_t n = 1 << 18;
+  for (const auto& info : data::table3_datasets()) {
+    const auto v = data::generate(info.name, n);
+    const double uf = data::unique_fraction(v) * 100.0;
+    if (info.unique_pct_paper > 80.0) {
+      EXPECT_GT(uf, 60.0) << info.name;
+    } else if (info.unique_pct_paper < 1.0) {
+      EXPECT_LT(uf, 5.0) << info.name;
+    } else {
+      EXPECT_LT(uf, 60.0) << info.name;
+    }
+  }
+}
+
+TEST(Datasets, MpcRatiosReproduceTable3Ordering) {
+  const std::size_t n = 1 << 19;
+  double sppm = 0, plasma = 0, sweep = 0;
+  for (const auto& info : data::table3_datasets()) {
+    const auto v = data::generate(info.name, n);
+    const double cr = mpc_ratio(v, info.mpc_dimensionality);
+    if (std::string(info.name) == "msg_sppm") sppm = cr;
+    if (std::string(info.name) == "num_plasma") plasma = cr;
+    if (std::string(info.name) == "msg_sweep3d") sweep = cr;
+    // Every dataset should land in the paper's broad band [1.0, 12].
+    EXPECT_GT(cr, 1.0) << info.name;
+    EXPECT_LT(cr, 14.0) << info.name;
+  }
+  // msg_sppm is by far the most compressible (paper: 8.95 vs ~1.3-1.5).
+  EXPECT_GT(sppm, 2.0 * plasma);
+  EXPECT_GT(sppm, 2.0 * sweep);
+}
+
+TEST(Datasets, UniqueFractionHelper) {
+  std::vector<float> v = {1.0f, 1.0f, 2.0f, 3.0f};
+  EXPECT_DOUBLE_EQ(data::unique_fraction(v), 0.75);
+  const std::vector<float> empty;
+  EXPECT_DOUBLE_EQ(data::unique_fraction(empty), 0.0);
+}
+
+TEST(Datasets, InterleavedFieldsFavorMatchingDim) {
+  const auto v = data::interleaved_fields(1 << 16, 6, 1e-5, 4);
+  EXPECT_GT(mpc_ratio(v, 6), mpc_ratio(v, 1));
+}
+
+}  // namespace

@@ -1,0 +1,95 @@
+// Dynamic per-message scheme selection (the paper's Sec. IX future work):
+// the selector must rank candidates by the Sec. II-A cost model and make
+// the qualitatively right calls on known data/link combinations.
+#include <gtest/gtest.h>
+
+#include "core/dynamic.hpp"
+#include "data/datasets.hpp"
+#include "gpu/device.hpp"
+
+namespace {
+
+using namespace gcmpi;
+using core::Algorithm;
+using core::DynamicSelector;
+
+TEST(DynamicSelector, EstimatesRatioFromSample) {
+  DynamicSelector sel(gpu::v100_spec(), 12.5);
+  const auto sppm = data::generate("msg_sppm", 1 << 16);
+  const auto plasma = data::generate("num_plasma", 1 << 16);
+  EXPECT_GT(sel.estimate_mpc_ratio(sppm), 5.0);
+  EXPECT_LT(sel.estimate_mpc_ratio(plasma), 2.0);
+}
+
+TEST(DynamicSelector, TinySampleDefaultsToNoRatio) {
+  DynamicSelector sel(gpu::v100_spec(), 12.5);
+  std::vector<float> tiny(8, 1.0f);
+  EXPECT_DOUBLE_EQ(sel.estimate_mpc_ratio(tiny), 1.0);
+}
+
+TEST(DynamicSelector, EvaluateIsSortedBestFirst) {
+  DynamicSelector sel(gpu::v100_spec(), 12.5);
+  const auto candidates = sel.evaluate(16ull << 20, 1.4);
+  ASSERT_GE(candidates.size(), 4u);
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    EXPECT_LE(candidates[i - 1].predicted, candidates[i].predicted);
+  }
+}
+
+TEST(DynamicSelector, PrefersNoCompressionOnNvlink) {
+  // 75 GB/s: the wire beats any codec pipeline for MPC-class ratios.
+  DynamicSelector sel(gpu::v100_spec(), 75.0);
+  const auto best = sel.evaluate(8ull << 20, 1.5).front();
+  EXPECT_EQ(best.algorithm, Algorithm::None);
+}
+
+TEST(DynamicSelector, PrefersMpcOnHighlyCompressibleSlowLink) {
+  DynamicSelector sel(gpu::v100_spec(), 6.8, /*lossy_allowed=*/false);
+  const auto best = sel.evaluate(16ull << 20, 20.0).front();
+  EXPECT_EQ(best.algorithm, Algorithm::MPC);
+}
+
+TEST(DynamicSelector, PrefersZfpOnLowRatioData) {
+  DynamicSelector sel(gpu::v100_spec(), 12.5, /*lossy_allowed=*/true, /*min_zfp_rate=*/4);
+  const auto best = sel.evaluate(16ull << 20, 1.2).front();
+  EXPECT_EQ(best.algorithm, Algorithm::ZFP);
+  EXPECT_EQ(best.zfp_rate, 4);  // lowest allowed rate wins on latency
+}
+
+TEST(DynamicSelector, LossyConstraintExcludesZfp) {
+  DynamicSelector sel(gpu::v100_spec(), 12.5, /*lossy_allowed=*/false);
+  for (const auto& c : sel.evaluate(8ull << 20, 1.4)) {
+    EXPECT_NE(c.algorithm, Algorithm::ZFP);
+  }
+}
+
+TEST(DynamicSelector, MinRateConstraintRespected) {
+  DynamicSelector sel(gpu::v100_spec(), 12.5, true, /*min_zfp_rate=*/8);
+  for (const auto& c : sel.evaluate(8ull << 20, 1.4)) {
+    if (c.algorithm == Algorithm::ZFP) EXPECT_GE(c.zfp_rate, 8);
+  }
+}
+
+TEST(DynamicSelector, ApplyWritesConfig) {
+  core::CompressionConfig cfg = core::CompressionConfig::mpc_opt();
+  core::CandidateCost zfp{Algorithm::ZFP, 8, 4.0, sim::Time::us(10)};
+  DynamicSelector::apply(zfp, cfg);
+  EXPECT_TRUE(cfg.enabled);
+  EXPECT_EQ(cfg.algorithm, Algorithm::ZFP);
+  EXPECT_EQ(cfg.zfp_rate, 8);
+
+  core::CandidateCost none{Algorithm::None, 0, 1.0, sim::Time::us(10)};
+  DynamicSelector::apply(none, cfg);
+  EXPECT_FALSE(cfg.enabled);
+}
+
+TEST(DynamicSelector, ChooseEndToEnd) {
+  DynamicSelector sel(gpu::v100_spec(), 12.5, true, 8);
+  const auto sppm = data::generate("msg_sppm", (8u << 20) / 4);
+  const auto choice = sel.choose(sppm);
+  // CR ~9-11 lossless vs CR 4 lossy at rate 8: MPC should win or at least
+  // compression must be on.
+  EXPECT_NE(choice.algorithm, Algorithm::None);
+}
+
+}  // namespace

@@ -1,0 +1,240 @@
+// Elastic (9-field velocity-stress) solver tests: physics sanity,
+// staggered-grid halo pack/unpack, bitwise serial-vs-distributed
+// equivalence, and compression transparency.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "apps/awp/distributed.hpp"
+#include "apps/awp/elastic.hpp"
+#include "mpi/world.hpp"
+
+namespace {
+
+using namespace gcmpi;
+using namespace gcmpi::apps::awp;
+
+struct EFields {
+  Grid g;
+  std::vector<float> storage;
+  explicit EFields(Grid grid) : g(grid), storage(ElasticSolver::storage_floats(grid), 0.0f) {}
+  ElasticSolver solver(ElasticParams params = {}) { return {g, params, storage}; }
+};
+
+void step(ElasticSolver& s, bool all_walls = true) {
+  s.apply_rigid_boundary(all_walls, all_walls, all_walls, all_walls);
+  s.step_velocity();
+  s.apply_rigid_boundary(all_walls, all_walls, all_walls, all_walls);
+  s.step_stress();
+}
+
+TEST(Elastic, WaveSpeeds) {
+  ElasticParams p;
+  p.rho = 1.0;
+  p.lambda = 2.0;
+  p.mu = 1.0;
+  EXPECT_DOUBLE_EQ(p.vp(), 2.0);
+  EXPECT_DOUBLE_EQ(p.vs(), 1.0);
+}
+
+TEST(Elastic, RejectsBadSetups) {
+  EFields f({8, 8, 8});
+  ElasticParams bad;
+  bad.dt = 1.0;  // CFL violation at vp = sqrt(3)
+  EXPECT_THROW(f.solver(bad), std::invalid_argument);
+  std::vector<float> tiny(64);
+  EXPECT_THROW(ElasticSolver({8, 8, 8}, {}, tiny), std::invalid_argument);
+}
+
+TEST(Elastic, QuiescentStaysQuiescent) {
+  EFields f({8, 8, 8});
+  auto s = f.solver();
+  for (int i = 0; i < 12; ++i) step(s);
+  for (float x : f.storage) EXPECT_EQ(x, 0.0f);
+}
+
+TEST(Elastic, PulseRadiatesPAndSWaves) {
+  EFields f({20, 20, 20});
+  auto s = f.solver();
+  s.inject_pulse(10, 10, 10, 1.0, 2.0);
+  const double e0 = s.energy();
+  ASSERT_GT(e0, 0.0);
+  float far_before = 0.0f;
+  for (std::ptrdiff_t k = 0; k < 20; ++k) {
+    far_before = std::max(far_before, std::fabs(s.field(ElasticSolver::Vx)[f.g.at(2, 10, k)]));
+  }
+  for (int i = 0; i < 25; ++i) step(s);
+  float far_after = 0.0f;
+  for (std::ptrdiff_t k = 0; k < 20; ++k) {
+    far_after = std::max(far_after, std::fabs(s.field(ElasticSolver::Vx)[f.g.at(2, 10, k)]));
+  }
+  EXPECT_GT(far_after, far_before);  // motion reached the far region
+  const double e1 = s.energy();
+  EXPECT_TRUE(std::isfinite(e1));
+  EXPECT_GT(e1, 0.2 * e0);  // no collapse
+  EXPECT_LT(e1, 3.0 * e0);  // no blow-up
+}
+
+TEST(Elastic, IsotropicPulseKeepsXySymmetry) {
+  // An isotropic source in a cube with identical boundaries: the solution
+  // must stay symmetric under swapping x and y.
+  EFields f({12, 12, 12});
+  auto s = f.solver();
+  s.inject_pulse(6, 6, 6, 1.0, 2.0);
+  for (int i = 0; i < 10; ++i) step(s);
+  const auto sxx = s.field(ElasticSolver::Sxx);
+  const auto syy = s.field(ElasticSolver::Syy);
+  for (std::ptrdiff_t k = 0; k < 12; ++k) {
+    for (std::ptrdiff_t j = 0; j < 12; ++j) {
+      for (std::ptrdiff_t i = 0; i < 12; ++i) {
+        ASSERT_FLOAT_EQ(sxx[f.g.at(i, j, k)], syy[f.g.at(j, i, k)])
+            << i << "," << j << "," << k;
+      }
+    }
+  }
+}
+
+TEST(Elastic, PackUnpackRoundTrip) {
+  EFields a({5, 6, 7}), b({5, 6, 7});
+  auto sa = a.solver();
+  auto sb = b.solver();
+  sa.inject_pulse(2, 3, 3, 1.0, 1.5);
+  for (int i = 0; i < 3; ++i) step(sa);
+
+  std::vector<float> xbuf(sa.x_face_values());
+  sa.pack_x(true, xbuf);
+  sb.unpack_x(false, xbuf);
+  for (std::ptrdiff_t k = 0; k < 7; ++k) {
+    for (std::ptrdiff_t j = 0; j < 6; ++j) {
+      EXPECT_EQ(sb.field(ElasticSolver::Sxz)[b.g.at(-1, j, k)],
+                sa.field(ElasticSolver::Sxz)[a.g.at(4, j, k)]);
+      EXPECT_EQ(sb.field(ElasticSolver::Vy)[b.g.at(-1, j, k)],
+                sa.field(ElasticSolver::Vy)[a.g.at(4, j, k)]);
+    }
+  }
+  std::vector<float> ybuf(sa.y_face_values());
+  sa.pack_y(false, ybuf);
+  sb.unpack_y(true, ybuf);
+  for (std::ptrdiff_t k = 0; k < 7; ++k) {
+    for (std::ptrdiff_t i = 0; i < 5; ++i) {
+      EXPECT_EQ(sb.field(ElasticSolver::Syz)[b.g.at(i, 6, k)],
+                sa.field(ElasticSolver::Syz)[a.g.at(i, 0, k)]);
+    }
+  }
+}
+
+TEST(ElasticDistributed, MatchesSerialBitwise) {
+  const Grid local{6, 6, 10};
+  const int px = 2, py = 2;
+  const Grid global{local.nx * px, local.ny * py, local.nz};
+  const int steps = 5;
+  ElasticParams phys;
+  phys.dt = 0.15;  // matches run_elastic's halved acoustic default
+
+  // Serial reference.
+  EFields ref(global);
+  auto rs = ref.solver(phys);
+  rs.inject_pulse(static_cast<std::ptrdiff_t>(global.nx / 2),
+                  static_cast<std::ptrdiff_t>(global.ny / 2),
+                  static_cast<std::ptrdiff_t>(global.nz / 2), 1.0, 3.0);
+  for (int s = 0; s < steps; ++s) step(rs);
+
+  // Distributed run via run_elastic cannot expose fields, so replicate its
+  // loop with captured storage (same order of operations).
+  sim::Engine engine;
+  mpi::World world(engine, net::longhorn(4, 1), core::CompressionConfig::off());
+  std::vector<std::vector<float>> captured(4);
+  world.run([&](mpi::Rank& R) {
+    const int cx = R.rank() % px, cy = R.rank() / px;
+    EFields f(local);
+    auto s = f.solver(phys);
+    s.inject_pulse(static_cast<std::ptrdiff_t>(global.nx / 2) - cx * static_cast<std::ptrdiff_t>(local.nx),
+                   static_cast<std::ptrdiff_t>(global.ny / 2) - cy * static_cast<std::ptrdiff_t>(local.ny),
+                   static_cast<std::ptrdiff_t>(local.nz / 2), 1.0, 3.0);
+    const std::size_t xv = s.x_face_values(), yv = s.y_face_values();
+    std::vector<float> sxm(xv), sxp(xv), rxm(xv), rxp(xv), sym(yv), syp(yv), rym(yv), ryp(yv);
+    const int xm = cx > 0 ? R.rank() - 1 : -1;
+    const int xp = cx < px - 1 ? R.rank() + 1 : -1;
+    const int ym = cy > 0 ? R.rank() - px : -1;
+    const int yp = cy < py - 1 ? R.rank() + px : -1;
+    auto exchange = [&] {
+      std::vector<mpi::Request> reqs;
+      if (xm >= 0) reqs.push_back(R.irecv(rxm.data(), xv * 4, xm, 2));
+      if (xp >= 0) reqs.push_back(R.irecv(rxp.data(), xv * 4, xp, 1));
+      if (ym >= 0) reqs.push_back(R.irecv(rym.data(), yv * 4, ym, 4));
+      if (yp >= 0) reqs.push_back(R.irecv(ryp.data(), yv * 4, yp, 3));
+      if (xm >= 0) { s.pack_x(false, sxm); reqs.push_back(R.isend(sxm.data(), xv * 4, xm, 1)); }
+      if (xp >= 0) { s.pack_x(true, sxp); reqs.push_back(R.isend(sxp.data(), xv * 4, xp, 2)); }
+      if (ym >= 0) { s.pack_y(false, sym); reqs.push_back(R.isend(sym.data(), yv * 4, ym, 3)); }
+      if (yp >= 0) { s.pack_y(true, syp); reqs.push_back(R.isend(syp.data(), yv * 4, yp, 4)); }
+      R.waitall(reqs);
+      if (xm >= 0) s.unpack_x(false, rxm);
+      if (xp >= 0) s.unpack_x(true, rxp);
+      if (ym >= 0) s.unpack_y(false, rym);
+      if (yp >= 0) s.unpack_y(true, ryp);
+    };
+    for (int st = 0; st < steps; ++st) {
+      exchange();
+      s.apply_rigid_boundary(cx == 0, cx == px - 1, cy == 0, cy == py - 1);
+      s.step_velocity();
+      exchange();
+      s.apply_rigid_boundary(cx == 0, cx == px - 1, cy == 0, cy == py - 1);
+      s.step_stress();
+    }
+    captured[static_cast<std::size_t>(R.rank())] = f.storage;
+  });
+
+  // Compare every interior value of every field, bitwise.
+  int mismatches = 0;
+  for (int r = 0; r < 4; ++r) {
+    const int cx = r % px, cy = r / px;
+    EFields f(local);
+    f.storage = captured[static_cast<std::size_t>(r)];
+    auto sd = f.solver(phys);
+    for (int fl = 0; fl < ElasticSolver::kFields; ++fl) {
+      const auto field = static_cast<ElasticSolver::Field>(fl);
+      const auto dist = sd.field(field);
+      const auto serial = rs.field(field);
+      for (std::ptrdiff_t k = 0; k < static_cast<std::ptrdiff_t>(local.nz); ++k) {
+        for (std::ptrdiff_t j = 0; j < static_cast<std::ptrdiff_t>(local.ny); ++j) {
+          for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(local.nx); ++i) {
+            const float a = dist[local.at(i, j, k)];
+            const float b =
+                serial[global.at(i + cx * static_cast<std::ptrdiff_t>(local.nx),
+                                 j + cy * static_cast<std::ptrdiff_t>(local.ny), k)];
+            if (std::memcmp(&a, &b, 4) != 0) ++mismatches;
+          }
+        }
+      }
+    }
+  }
+  EXPECT_EQ(mismatches, 0);
+}
+
+TEST(ElasticDistributed, RunElasticReportsAndLosslessCompression) {
+  auto run_one = [&](core::CompressionConfig cfg) {
+    sim::Engine engine;
+    mpi::World world(engine, net::longhorn(4, 1), cfg);
+    float energy = 0;
+    world.run([&](mpi::Rank& R) {
+      AwpConfig c;
+      c.local = {8, 8, 48};
+      c.px = 2;
+      c.py = 2;
+      c.steps = 4;
+      auto rep = apps::awp::run_elastic(R, c);
+      if (R.rank() == 0) energy = static_cast<float>(rep.final_energy);
+    });
+    return energy;
+  };
+  core::CompressionConfig mpc = core::CompressionConfig::mpc_opt();
+  mpc.threshold_bytes = 4096;
+  const float base = run_one(core::CompressionConfig::off());
+  const float compressed = run_one(mpc);
+  EXPECT_GT(base, 0.0f);
+  EXPECT_EQ(base, compressed);  // MPC lossless => identical physics
+}
+
+}  // namespace

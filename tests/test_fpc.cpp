@@ -1,0 +1,101 @@
+// FPC (CPU baseline, Table I) tests: bit-exact losslessness on doubles.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "compress/fpc.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using gcmpi::comp::FpcCodec;
+
+std::vector<double> roundtrip(const FpcCodec& codec, const std::vector<double>& in,
+                              std::size_t* size_out = nullptr) {
+  std::vector<std::uint8_t> buf(codec.max_compressed_bytes(in.size()));
+  const std::size_t size = codec.compress(in, buf);
+  EXPECT_LE(size, buf.size());
+  if (size_out != nullptr) *size_out = size;
+  std::vector<double> out(in.size());
+  EXPECT_EQ(codec.decompress({buf.data(), size}, out), in.size());
+  return out;
+}
+
+void expect_bit_exact(const std::vector<double>& a, const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(std::memcmp(a.data(), b.data(), a.size() * 8), 0);
+}
+
+TEST(Fpc, RejectsBadTableSize) {
+  EXPECT_THROW(FpcCodec(2), std::invalid_argument);
+  EXPECT_THROW(FpcCodec(30), std::invalid_argument);
+}
+
+TEST(Fpc, SmoothSeriesCompressesLosslessly) {
+  std::vector<double> in(10000);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    in[i] = std::sin(0.001 * static_cast<double>(i)) * 1000.0;
+  }
+  FpcCodec codec;
+  std::size_t size = 0;
+  auto out = roundtrip(codec, in, &size);
+  expect_bit_exact(in, out);
+  EXPECT_LT(size, in.size() * 8);
+}
+
+TEST(Fpc, ConstantDataCompressesHard) {
+  std::vector<double> in(8192, 2.718281828);
+  FpcCodec codec;
+  std::size_t size = 0;
+  auto out = roundtrip(codec, in, &size);
+  expect_bit_exact(in, out);
+  EXPECT_LT(size, in.size());  // > 8x
+}
+
+TEST(Fpc, RandomBitsRoundTrip) {
+  gcmpi::sim::Rng rng(4);
+  std::vector<double> in(4097);  // odd count exercises the half-code tail
+  for (auto& x : in) {
+    const std::uint64_t bits = rng.next_u64();
+    std::memcpy(&x, &bits, 8);
+  }
+  FpcCodec codec;
+  auto out = roundtrip(codec, in);
+  expect_bit_exact(in, out);
+}
+
+TEST(Fpc, SpecialValues) {
+  std::vector<double> in = {0.0, -0.0, INFINITY, -INFINITY, NAN, 5e-324, -5e-324, 1.7e308, 1.0};
+  FpcCodec codec;
+  auto out = roundtrip(codec, in);
+  expect_bit_exact(in, out);
+}
+
+TEST(Fpc, EmptyInput) {
+  FpcCodec codec;
+  std::vector<double> in;
+  auto out = roundtrip(codec, in);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Fpc, TableSizeMismatchRejected) {
+  std::vector<double> in(64, 1.5);
+  FpcCodec small(8), big(16);
+  std::vector<std::uint8_t> buf(small.max_compressed_bytes(in.size()));
+  const std::size_t size = small.compress(in, buf);
+  std::vector<double> out(in.size());
+  EXPECT_THROW((void)big.decompress({buf.data(), size}, out), std::invalid_argument);
+}
+
+TEST(Fpc, TruncatedInputThrows) {
+  std::vector<double> in(128, 3.3);
+  FpcCodec codec;
+  std::vector<std::uint8_t> buf(codec.max_compressed_bytes(in.size()));
+  const std::size_t size = codec.compress(in, buf);
+  std::vector<double> out(in.size());
+  EXPECT_THROW((void)codec.decompress({buf.data(), size / 2}, out), std::exception);
+}
+
+}  // namespace

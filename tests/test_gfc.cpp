@@ -1,0 +1,110 @@
+// GFC-style lossless double-precision codec tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "compress/gfc.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using gcmpi::comp::GfcCodec;
+
+std::vector<double> roundtrip(const GfcCodec& codec, const std::vector<double>& in,
+                              std::size_t* size_out = nullptr) {
+  std::vector<std::uint8_t> buf(codec.max_compressed_bytes(in.size()));
+  const std::size_t size = codec.compress(in, buf);
+  EXPECT_LE(size, buf.size());
+  if (size_out != nullptr) *size_out = size;
+  std::vector<double> out(in.size());
+  EXPECT_EQ(codec.decompress({buf.data(), size}, out), in.size());
+  return out;
+}
+
+void expect_bit_exact(const std::vector<double>& a, const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(std::memcmp(a.data(), b.data(), a.size() * 8), 0);
+}
+
+TEST(Gfc, RejectsZeroChunk) { EXPECT_THROW(GfcCodec(0), std::invalid_argument); }
+
+TEST(Gfc, SmoothSeriesCompresses) {
+  std::vector<double> in(20000);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    in[i] = 1000.0 + std::sin(0.0005 * static_cast<double>(i));
+  }
+  GfcCodec codec;
+  std::size_t size = 0;
+  auto out = roundtrip(codec, in, &size);
+  expect_bit_exact(in, out);
+  EXPECT_LT(size, in.size() * 8);
+}
+
+TEST(Gfc, ConstantDataCompressesHard) {
+  std::vector<double> in(8192, -7.25);
+  GfcCodec codec;
+  std::size_t size = 0;
+  auto out = roundtrip(codec, in, &size);
+  expect_bit_exact(in, out);
+  // delta 0 after the first value per chunk => ~0.5 byte/value headers.
+  EXPECT_LT(size, in.size() * 2);
+}
+
+TEST(Gfc, RandomBitsRoundTripLosslessly) {
+  gcmpi::sim::Rng rng(11);
+  std::vector<double> in(4099);  // odd size exercises the nibble tail
+  for (auto& x : in) {
+    const std::uint64_t bits = rng.next_u64();
+    std::memcpy(&x, &bits, 8);
+  }
+  GfcCodec codec;
+  auto out = roundtrip(codec, in);
+  expect_bit_exact(in, out);
+}
+
+TEST(Gfc, SpecialValues) {
+  std::vector<double> in = {0.0, -0.0, INFINITY, -INFINITY, NAN, 5e-324, 1.7e308, -1.0, 1.0};
+  GfcCodec codec(4);  // multiple chunks
+  auto out = roundtrip(codec, in);
+  expect_bit_exact(in, out);
+}
+
+TEST(Gfc, ChunkBoundariesAreIndependent) {
+  // Identical values across a chunk boundary: the second chunk restarts
+  // its predictor, so results must still round-trip.
+  std::vector<double> in(100, 3.14);
+  GfcCodec small_chunks(32);
+  auto out = roundtrip(small_chunks, in);
+  expect_bit_exact(in, out);
+}
+
+TEST(Gfc, EmptyInput) {
+  GfcCodec codec;
+  std::vector<double> in;
+  auto out = roundtrip(codec, in);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Gfc, TruncatedInputThrows) {
+  std::vector<double> in(256, 9.5);
+  GfcCodec codec;
+  std::vector<std::uint8_t> buf(codec.max_compressed_bytes(in.size()));
+  const std::size_t size = codec.compress(in, buf);
+  std::vector<double> out(in.size());
+  EXPECT_THROW((void)codec.decompress({buf.data(), 8}, out), std::invalid_argument);
+  EXPECT_THROW((void)codec.decompress({buf.data(), size / 2}, out), std::runtime_error);
+}
+
+TEST(Gfc, BadMagicRejected) {
+  std::vector<double> in(64, 1.0);
+  GfcCodec codec;
+  std::vector<std::uint8_t> buf(codec.max_compressed_bytes(in.size()));
+  const std::size_t size = codec.compress(in, buf);
+  buf[1] ^= 0x40;
+  std::vector<double> out(in.size());
+  EXPECT_THROW((void)codec.decompress({buf.data(), size}, out), std::invalid_argument);
+}
+
+}  // namespace

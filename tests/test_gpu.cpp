@@ -1,0 +1,187 @@
+// GPU model tests: heap registry, cost charging, stream overlap semantics,
+// buffer pool behaviour, attribute caching.
+#include <gtest/gtest.h>
+
+#include "gpu/buffer.hpp"
+#include "gpu/buffer_pool.hpp"
+#include "gpu/device.hpp"
+#include "sim/timeline.hpp"
+
+namespace {
+
+using namespace gcmpi::gpu;
+using gcmpi::sim::Breakdown;
+using gcmpi::sim::Phase;
+using gcmpi::sim::Time;
+using gcmpi::sim::Timeline;
+
+TEST(GpuSpecs, Presets) {
+  EXPECT_EQ(v100_spec().sm_count, 80);
+  EXPECT_DOUBLE_EQ(v100_spec().compute_scale, 1.0);
+  EXPECT_LT(rtx5000_spec().compute_scale, 1.0);
+}
+
+TEST(GpuHeap, OwnershipAndContainment) {
+  Gpu gpu(v100_spec());
+  Timeline tl(Time::zero());
+  void* a = gpu.malloc_device(tl, 1000);
+  void* b = gpu.malloc_device(tl, 2000);
+  EXPECT_TRUE(gpu.owns(a));
+  EXPECT_TRUE(gpu.owns(static_cast<char*>(a) + 999));
+  EXPECT_TRUE(gpu.owns(b));
+  EXPECT_FALSE(gpu.owns(&gpu));
+  EXPECT_EQ(gpu.allocation_size(a), 1000u);
+  EXPECT_EQ(gpu.bytes_in_use(), 3000u);
+  gpu.free_device(tl, a);
+  EXPECT_FALSE(gpu.owns(a));
+  EXPECT_EQ(gpu.bytes_in_use(), 2000u);
+  gpu.free_device(tl, b);
+  EXPECT_THROW(gpu.free_device_untimed(b), std::invalid_argument);
+}
+
+TEST(GpuHeap, OutOfMemoryThrows) {
+  GpuSpec spec = v100_spec();
+  spec.memory_bytes = 1024;
+  Gpu gpu(spec);
+  EXPECT_THROW(gpu.malloc_device_untimed(2048), std::runtime_error);
+}
+
+TEST(GpuCosts, MallocChargesGrowWithSize) {
+  Gpu gpu(v100_spec());
+  Timeline t1(Time::zero()), t2(Time::zero());
+  Breakdown bd;
+  (void)gpu.malloc_device(t1, 1 << 20, &bd);
+  (void)gpu.malloc_device(t2, 32 << 20);
+  EXPECT_GT(t2.now(), t1.now());
+  EXPECT_GT(t1.now(), Time::us(200));  // base driver cost
+  EXPECT_EQ(bd.get(Phase::MemoryAllocation), t1.now());
+}
+
+TEST(GpuCosts, CopyCostsMatchCalibration) {
+  Gpu gpu(v100_spec());
+  Timeline tl(Time::zero());
+  std::uint32_t dst = 0;
+  const std::uint32_t src = 42;
+  gpu.memcpy_d2h_small(tl, &dst, &src, 4);
+  EXPECT_EQ(tl.now(), Time::us(20));  // the paper's ~20us cudaMemcpy
+  EXPECT_EQ(dst, 42u);
+  Timeline tg(Time::zero());
+  std::uint32_t dst2 = 0;
+  gpu.gdrcopy_small(tg, &dst2, &src, 4);
+  EXPECT_EQ(tg.now(), Time::us(3));  // GDRCopy 1-5us
+  EXPECT_EQ(dst2, 42u);
+}
+
+TEST(GpuStreams, LaunchIsAsyncAndSyncWaits) {
+  Gpu gpu(v100_spec());
+  Timeline tl(Time::zero());
+  Stream& s = gpu.stream(0);
+  const Time done = s.launch(tl, Time::us(100));
+  // Host only paid the launch overhead; the kernel completes later.
+  EXPECT_EQ(tl.now(), gpu.costs().kernel_launch);
+  EXPECT_EQ(done, gpu.costs().kernel_launch + Time::us(100));
+  s.synchronize(tl);
+  EXPECT_EQ(tl.now(), done + gpu.costs().stream_sync);
+}
+
+TEST(GpuStreams, SameStreamSerializesDifferentStreamsOverlap) {
+  Gpu gpu(v100_spec());
+  Timeline tl(Time::zero());
+  Stream& s0 = gpu.stream(0);
+  const Time d0 = s0.launch(tl, Time::us(100));
+  const Time d1 = s0.launch(tl, Time::us(100));
+  EXPECT_EQ(d1 - d0, Time::us(100));  // serialized on one stream
+
+  Timeline tl2(Time::zero());
+  Gpu gpu2(v100_spec());
+  const Time a = gpu2.stream(0).launch(tl2, Time::us(100));
+  const Time b = gpu2.stream(1).launch(tl2, Time::us(100));
+  // Overlapping streams: completion gap is only the launch stagger.
+  EXPECT_EQ(b - a, gpu2.costs().kernel_launch);
+}
+
+TEST(GpuStreams, DeviceSynchronizeWaitsForAllStreams) {
+  Gpu gpu(v100_spec());
+  Timeline tl(Time::zero());
+  gpu.stream(0).launch(tl, Time::us(50));
+  const Time longest = gpu.stream(1).launch(tl, Time::us(500));
+  gpu.device_synchronize(tl);
+  EXPECT_EQ(tl.now(), longest + gpu.costs().stream_sync);
+}
+
+TEST(GpuAttributes, PropertiesQueryIsSlowCachedIsFast) {
+  Gpu gpu(v100_spec());
+  Timeline tl(Time::zero());
+  (void)gpu.query_max_grid_dim_via_properties(tl);
+  EXPECT_EQ(tl.now(), Time::us(1840));  // Sec. V-A measurement
+  (void)gpu.query_max_grid_dim_via_properties(tl);
+  EXPECT_EQ(tl.now(), Time::us(3680));  // charged every call
+
+  Gpu gpu2(v100_spec());
+  Timeline t2(Time::zero());
+  EXPECT_FALSE(gpu2.attribute_cache_warm());
+  (void)gpu2.query_max_grid_dim_cached(t2);
+  EXPECT_TRUE(gpu2.attribute_cache_warm());
+  const Time first = t2.now();
+  (void)gpu2.query_max_grid_dim_cached(t2);
+  EXPECT_EQ(t2.now() - first, Time::us(1));  // ~1us after caching (Sec. V-B)
+}
+
+TEST(DeviceBuffer, RaiiMoveSemantics) {
+  Gpu gpu(v100_spec());
+  DeviceBuffer a(gpu, 4096);
+  EXPECT_EQ(gpu.bytes_in_use(), 4096u);
+  EXPECT_EQ(a.size(), 4096u);
+  DeviceBuffer b = std::move(a);
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(b.size(), 4096u);
+  EXPECT_EQ(gpu.bytes_in_use(), 4096u);
+  b.reset();
+  EXPECT_EQ(gpu.bytes_in_use(), 0u);
+}
+
+TEST(BufferPool, PreallocatedAcquireIsFree) {
+  Gpu gpu(v100_spec());
+  BufferPool pool(gpu, 1 << 20, 3);
+  EXPECT_EQ(pool.free_buffers(), 3u);
+  Timeline tl(Time::zero());
+  auto lease = pool.acquire(tl, 1000);
+  EXPECT_EQ(tl.now(), Time::zero());  // no cudaMalloc on the critical path
+  EXPECT_TRUE(lease.valid());
+  EXPECT_EQ(pool.free_buffers(), 2u);
+  pool.release(lease);
+  EXPECT_EQ(pool.free_buffers(), 3u);
+}
+
+TEST(BufferPool, ExhaustionGrowsWithTimedMalloc) {
+  Gpu gpu(v100_spec());
+  BufferPool pool(gpu, 1 << 20, 1);
+  Timeline tl(Time::zero());
+  auto l1 = pool.acquire(tl, 100);
+  EXPECT_EQ(tl.now(), Time::zero());
+  auto l2 = pool.acquire(tl, 100);  // pool empty -> grow on demand
+  EXPECT_GT(tl.now(), Time::zero());
+  EXPECT_EQ(pool.grow_count(), 1u);
+  pool.release(l1);
+  pool.release(l2);
+  EXPECT_EQ(pool.free_buffers(), 2u);
+}
+
+TEST(BufferPool, OversizedRequestGrows) {
+  Gpu gpu(v100_spec());
+  BufferPool pool(gpu, 1024, 2);
+  Timeline tl(Time::zero());
+  auto lease = pool.acquire(tl, 1 << 20);
+  EXPECT_GE(lease.size, std::size_t{1} << 20);
+  EXPECT_EQ(pool.grow_count(), 1u);
+  pool.release(lease);
+}
+
+TEST(BufferPool, StaleLeaseRejected) {
+  Gpu gpu(v100_spec());
+  BufferPool pool(gpu, 1024, 1);
+  BufferPool::Lease bogus{reinterpret_cast<void*>(0x1234), 1024, 0};
+  EXPECT_THROW(pool.release(bogus), std::invalid_argument);
+}
+
+}  // namespace

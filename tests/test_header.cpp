@@ -1,0 +1,73 @@
+// Wire-format tests for the compression header piggybacked on RTS packets.
+#include <gtest/gtest.h>
+
+#include "core/header.hpp"
+
+namespace {
+
+using gcmpi::core::Algorithm;
+using gcmpi::core::CompressionHeader;
+
+TEST(Header, RoundTripNone) {
+  CompressionHeader h;
+  h.original_bytes = 12345;
+  h.compressed_bytes = 12345;
+  const auto wire = h.serialize();
+  EXPECT_EQ(wire.size(), h.wire_bytes());
+  EXPECT_EQ(CompressionHeader::deserialize(wire), h);
+}
+
+TEST(Header, RoundTripMpcWithPartitions) {
+  CompressionHeader h;
+  h.algorithm = Algorithm::MPC;
+  h.compressed = true;
+  h.original_bytes = 32ull << 20;
+  h.compressed_bytes = 11234567;
+  h.mpc_dimensionality = 5;
+  h.mpc_chunk_values = 1024;
+  h.partition_bytes = {100, 200, 300, 400};
+  const auto wire = h.serialize();
+  EXPECT_EQ(wire.size(), h.wire_bytes());
+  const auto back = CompressionHeader::deserialize(wire);
+  EXPECT_EQ(back, h);
+  EXPECT_EQ(back.partitions(), 4);
+}
+
+TEST(Header, RoundTripZfp) {
+  CompressionHeader h;
+  h.algorithm = Algorithm::ZFP;
+  h.compressed = true;
+  h.original_bytes = 1 << 20;
+  h.compressed_bytes = 1 << 18;
+  h.zfp_rate = 8;
+  EXPECT_EQ(CompressionHeader::deserialize(h.serialize()), h);
+}
+
+TEST(Header, PartitionsDefaultsToOne) {
+  CompressionHeader h;
+  EXPECT_EQ(h.partitions(), 1);
+}
+
+TEST(Header, TruncatedRejected) {
+  CompressionHeader h;
+  h.partition_bytes = {1, 2, 3};
+  auto wire = h.serialize();
+  wire.pop_back();
+  EXPECT_THROW(CompressionHeader::deserialize(wire), std::invalid_argument);
+}
+
+TEST(Header, TrailingBytesRejected) {
+  CompressionHeader h;
+  auto wire = h.serialize();
+  wire.push_back(0);
+  EXPECT_THROW(CompressionHeader::deserialize(wire), std::invalid_argument);
+}
+
+TEST(Header, BadAlgorithmRejected) {
+  CompressionHeader h;
+  auto wire = h.serialize();
+  wire[0] = 99;
+  EXPECT_THROW(CompressionHeader::deserialize(wire), std::invalid_argument);
+}
+
+}  // namespace

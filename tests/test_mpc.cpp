@@ -1,0 +1,275 @@
+// MPC codec tests: bit-exact losslessness on every kind of payload,
+// dimensionality behaviour, chunking, corruption handling, tuning.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "compress/mpc.hpp"
+#include "data/datasets.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using gcmpi::comp::MpcCodec;
+
+std::vector<float> roundtrip(const MpcCodec& codec, const std::vector<float>& in,
+                             std::size_t* compressed_size = nullptr) {
+  std::vector<std::uint8_t> buf(codec.max_compressed_bytes(in.size()));
+  const std::size_t size = codec.compress(in, buf);
+  EXPECT_LE(size, buf.size());
+  if (compressed_size != nullptr) *compressed_size = size;
+  std::vector<float> out(in.size(), -99.0f);
+  const std::size_t n = codec.decompress({buf.data(), size}, out);
+  EXPECT_EQ(n, in.size());
+  return out;
+}
+
+void expect_bit_exact(const std::vector<float>& a, const std::vector<float>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(std::memcmp(a.data(), b.data(), a.size() * 4), 0);
+}
+
+TEST(Mpc, RejectsBadParameters) {
+  EXPECT_THROW(MpcCodec(0), std::invalid_argument);
+  EXPECT_THROW(MpcCodec(33), std::invalid_argument);
+  EXPECT_THROW(MpcCodec(1, 0), std::invalid_argument);
+  EXPECT_THROW(MpcCodec(1, 100), std::invalid_argument);  // not multiple of 32
+  EXPECT_NO_THROW(MpcCodec(32, 32));
+}
+
+TEST(Mpc, EmptyInput) {
+  MpcCodec codec(1);
+  std::vector<float> in;
+  std::size_t size = 0;
+  auto out = roundtrip(codec, in, &size);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(size, 20u);  // bare header
+}
+
+TEST(Mpc, LosslessOnSmoothData) {
+  MpcCodec codec(1);
+  const auto in = gcmpi::data::smooth_field(10000, 1e-4, 5);
+  std::size_t size = 0;
+  auto out = roundtrip(codec, in, &size);
+  expect_bit_exact(in, out);
+  EXPECT_LT(size, in.size() * 4);  // actually compresses
+}
+
+TEST(Mpc, LosslessOnRandomBits) {
+  gcmpi::sim::Rng rng(17);
+  std::vector<float> in(5000);
+  for (auto& x : in) {
+    const std::uint32_t bits = rng.next_u32();
+    std::memcpy(&x, &bits, 4);  // arbitrary bit patterns incl. NaN/Inf/denormal
+  }
+  MpcCodec codec(1);
+  std::size_t size = 0;
+  auto out = roundtrip(codec, in, &size);
+  expect_bit_exact(in, out);
+  // Incompressible data expands slightly (mask overhead <= ~3.5% + header).
+  EXPECT_LE(size, codec.max_compressed_bytes(in.size()));
+  EXPECT_GT(size, in.size() * 4);
+}
+
+TEST(Mpc, LosslessOnSpecialValues) {
+  std::vector<float> in = {0.0f, -0.0f, INFINITY, -INFINITY, NAN, 1e-45f, -1e-45f, 3.4e38f};
+  in.resize(64, NAN);
+  MpcCodec codec(2);
+  auto out = roundtrip(codec, in);
+  expect_bit_exact(in, out);
+}
+
+TEST(Mpc, ConstantDataCompressesMassively) {
+  std::vector<float> in(65536, 3.14159f);
+  MpcCodec codec(1);
+  std::size_t size = 0;
+  auto out = roundtrip(codec, in, &size);
+  expect_bit_exact(in, out);
+  const double ratio = static_cast<double>(in.size() * 4) / static_cast<double>(size);
+  EXPECT_GT(ratio, 20.0);  // the paper sees CR up to 31 on duplicated data
+}
+
+TEST(Mpc, NonMultipleOf32AndChunkTails) {
+  MpcCodec codec(1, 64);
+  for (std::size_t n : {1u, 31u, 32u, 33u, 63u, 65u, 127u, 1000u}) {
+    const auto in = gcmpi::data::smooth_field(n, 1e-3, n);
+    auto out = roundtrip(codec, in);
+    expect_bit_exact(in, out);
+  }
+}
+
+TEST(Mpc, DimensionalityMatchesInterleaving) {
+  // Data interleaving 4 fields compresses best at dimensionality 4.
+  const auto in = gcmpi::data::interleaved_fields(1 << 15, 4, 1e-5, 3);
+  std::size_t size_d1 = 0, size_d4 = 0;
+  (void)roundtrip(MpcCodec(1), in, &size_d1);
+  auto out = roundtrip(MpcCodec(4), in, &size_d4);
+  expect_bit_exact(in, out);
+  EXPECT_LT(size_d4, size_d1);
+  EXPECT_EQ(MpcCodec::tune_dimensionality(in), 4);
+}
+
+TEST(Mpc, ChunkCountMatchesThreadBlocks) {
+  MpcCodec codec(1, 1024);
+  EXPECT_EQ(codec.chunk_count(1), 1u);
+  EXPECT_EQ(codec.chunk_count(1024), 1u);
+  EXPECT_EQ(codec.chunk_count(1025), 2u);
+  EXPECT_EQ(codec.chunk_count(10 * 1024), 10u);
+}
+
+TEST(Mpc, EncodedValuesHeaderPeek) {
+  MpcCodec codec(1);
+  const auto in = gcmpi::data::smooth_field(777, 1e-3, 9);
+  std::vector<std::uint8_t> buf(codec.max_compressed_bytes(in.size()));
+  const std::size_t size = codec.compress(in, buf);
+  EXPECT_EQ(MpcCodec::encoded_values({buf.data(), size}), 777u);
+}
+
+TEST(Mpc, CorruptInputsThrow) {
+  MpcCodec codec(1);
+  const auto in = gcmpi::data::smooth_field(512, 1e-3, 1);
+  std::vector<std::uint8_t> buf(codec.max_compressed_bytes(in.size()));
+  const std::size_t size = codec.compress(in, buf);
+  std::vector<float> out(in.size());
+
+  // Truncated payload.
+  EXPECT_THROW((void)codec.decompress({buf.data(), size / 2}, out), std::exception);
+  // Bad magic.
+  std::vector<std::uint8_t> bad(buf.begin(), buf.begin() + static_cast<long>(size));
+  bad[0] ^= 0xFF;
+  EXPECT_THROW((void)codec.decompress(bad, out), std::invalid_argument);
+  // Output too small.
+  std::vector<float> tiny(in.size() - 1);
+  EXPECT_THROW((void)codec.decompress({buf.data(), size}, tiny), std::invalid_argument);
+}
+
+TEST(Mpc, OutputBufferTooSmallThrows) {
+  MpcCodec codec(1);
+  std::vector<float> in(1024, 1.0f);
+  std::vector<std::uint8_t> small(16);
+  EXPECT_THROW((void)codec.compress(in, small), std::invalid_argument);
+}
+
+TEST(Mpc, PartitionedStreamsConcatenateLosslessly) {
+  // The MPC-OPT framework compresses contiguous sub-ranges independently;
+  // verify chunk-aligned splits restore the original exactly and cost
+  // roughly the same compressed size as one stream.
+  const auto in = gcmpi::data::smooth_field(1 << 16, 1e-4, 21);
+  MpcCodec codec(1, 1024);
+  std::size_t whole = 0;
+  (void)roundtrip(codec, in, &whole);
+
+  const std::size_t half = (in.size() / 2 / 1024) * 1024;
+  std::vector<float> a(in.begin(), in.begin() + static_cast<long>(half));
+  std::vector<float> b(in.begin() + static_cast<long>(half), in.end());
+  std::size_t sa = 0, sb = 0;
+  auto ra = roundtrip(codec, a, &sa);
+  auto rb = roundtrip(codec, b, &sb);
+  expect_bit_exact(a, ra);
+  expect_bit_exact(b, rb);
+  const double overhead = static_cast<double>(sa + sb) / static_cast<double>(whole);
+  EXPECT_NEAR(overhead, 1.0, 0.01);  // "negligible impact on the ratio"
+}
+
+class MpcDimSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MpcDimSweep, LosslessAtEveryDimensionality) {
+  const int dim = GetParam();
+  MpcCodec codec(dim);
+  const auto in = gcmpi::data::interleaved_fields(8192, 3, 1e-4,
+                                                  static_cast<std::uint64_t>(dim));
+  auto out = roundtrip(codec, in);
+  expect_bit_exact(in, out);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, MpcDimSweep, ::testing::Values(1, 2, 3, 4, 8, 16, 32));
+
+}  // namespace
+
+namespace {
+
+using gcmpi::comp::MpcCodec64;
+
+std::vector<double> roundtrip64(const MpcCodec64& codec, const std::vector<double>& in,
+                                std::size_t* compressed_size = nullptr) {
+  std::vector<std::uint8_t> buf(codec.max_compressed_bytes(in.size()));
+  const std::size_t size = codec.compress(in, buf);
+  EXPECT_LE(size, buf.size());
+  if (compressed_size != nullptr) *compressed_size = size;
+  std::vector<double> out(in.size(), -99.0);
+  EXPECT_EQ(codec.decompress({buf.data(), size}, out), in.size());
+  return out;
+}
+
+TEST(Mpc64, RejectsBadParameters) {
+  EXPECT_THROW(MpcCodec64(0), std::invalid_argument);
+  EXPECT_THROW(MpcCodec64(65), std::invalid_argument);
+  EXPECT_THROW(MpcCodec64(1, 100), std::invalid_argument);  // not multiple of 64
+}
+
+TEST(Mpc64, LosslessOnSmoothDoubles) {
+  std::vector<double> in(20000);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    in[i] = std::sin(0.0007 * static_cast<double>(i)) * 42.0;
+  }
+  MpcCodec64 codec(1);
+  std::size_t size = 0;
+  auto out = roundtrip64(codec, in, &size);
+  ASSERT_EQ(std::memcmp(in.data(), out.data(), in.size() * 8), 0);
+  EXPECT_LT(size, in.size() * 8);
+}
+
+TEST(Mpc64, LosslessOnRandomDoubleBits) {
+  gcmpi::sim::Rng rng(31);
+  std::vector<double> in(4099);
+  for (auto& x : in) {
+    const std::uint64_t bits = rng.next_u64();
+    std::memcpy(&x, &bits, 8);
+  }
+  MpcCodec64 codec(1);
+  auto out = roundtrip64(codec, in);
+  ASSERT_EQ(std::memcmp(in.data(), out.data(), in.size() * 8), 0);
+}
+
+TEST(Mpc64, ConstantDoublesCompressHard) {
+  std::vector<double> in(1 << 15, -2.5);
+  MpcCodec64 codec(1);
+  std::size_t size = 0;
+  auto out = roundtrip64(codec, in, &size);
+  ASSERT_EQ(std::memcmp(in.data(), out.data(), in.size() * 8), 0);
+  // Constant doubles: per-tile masks bound the ratio near 64/5.
+  EXPECT_GT(static_cast<double>(in.size() * 8) / static_cast<double>(size), 10.0);
+}
+
+TEST(Mpc64, SpecialDoubleValues) {
+  std::vector<double> in = {0.0, -0.0, INFINITY, -INFINITY, NAN, 5e-324, 1.7e308, -1.0};
+  in.resize(128, NAN);
+  MpcCodec64 codec(2);
+  auto out = roundtrip64(codec, in);
+  ASSERT_EQ(std::memcmp(in.data(), out.data(), in.size() * 8), 0);
+}
+
+TEST(Mpc64, CorruptHeaderRejected) {
+  std::vector<double> in(256, 1.0);
+  MpcCodec64 codec(1);
+  std::vector<std::uint8_t> buf(codec.max_compressed_bytes(in.size()));
+  const std::size_t size = codec.compress(in, buf);
+  std::vector<double> out(in.size());
+  buf[0] ^= 0xFF;
+  EXPECT_THROW((void)codec.decompress({buf.data(), size}, out), std::invalid_argument);
+}
+
+TEST(Mpc64, FloatStreamIsNotADoubleStream) {
+  // Cross-width confusion must be rejected by magic.
+  const auto fin = gcmpi::data::smooth_field(512, 1e-3, 1);
+  MpcCodec fcodec(1);
+  std::vector<std::uint8_t> buf(fcodec.max_compressed_bytes(fin.size()));
+  const std::size_t size = fcodec.compress(fin, buf);
+  MpcCodec64 dcodec(1);
+  std::vector<double> out(512);
+  EXPECT_THROW((void)dcodec.decompress({buf.data(), size}, out), std::invalid_argument);
+}
+
+}  // namespace

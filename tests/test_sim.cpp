@@ -1,0 +1,245 @@
+// Unit tests for the discrete-event engine, virtual time, RNG, and stats.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+#include "sim/timeline.hpp"
+
+namespace {
+
+using namespace gcmpi::sim;
+
+TEST(Time, ArithmeticAndConversions) {
+  EXPECT_EQ(Time::us(1).count_ns(), 1000);
+  EXPECT_EQ(Time::ms(1.5).count_ns(), 1'500'000);
+  EXPECT_EQ(Time::seconds(2).count_ns(), 2'000'000'000);
+  EXPECT_EQ((Time::us(2) + Time::us(3)).count_ns(), 5000);
+  EXPECT_EQ((Time::us(5) - Time::us(3)).count_ns(), 2000);
+  EXPECT_EQ((Time::us(5) * 3).count_ns(), 15000);
+  EXPECT_LT(Time::us(1), Time::us(2));
+  EXPECT_DOUBLE_EQ(Time::ms(2).to_us(), 2000.0);
+  EXPECT_DOUBLE_EQ(Time::seconds(1).to_ms(), 1000.0);
+}
+
+TEST(Time, TransferTime) {
+  // 1 GiB-free math: 12.5 GB/s moves 12.5e9 bytes in one second.
+  EXPECT_EQ(transfer_time(12'500'000'000ull, 12.5).count_ns(), 1'000'000'000);
+  EXPECT_EQ(transfer_time(0, 12.5).count_ns(), 0);
+}
+
+TEST(Timeline, AdvanceSemantics) {
+  Timeline tl(Time::us(10));
+  tl.advance(Time::us(5));
+  EXPECT_EQ(tl.now(), Time::us(15));
+  tl.advance_to(Time::us(12));  // no-op, already past
+  EXPECT_EQ(tl.now(), Time::us(15));
+  tl.advance_to(Time::us(20));
+  EXPECT_EQ(tl.now(), Time::us(20));
+}
+
+TEST(Engine, SingleActorAdvances) {
+  Engine e;
+  Time end = Time::zero();
+  e.spawn("a", [&](ActorContext& ctx) {
+    ctx.advance(Time::us(5));
+    ctx.advance(Time::us(7));
+    end = ctx.now();
+  });
+  e.run();
+  EXPECT_EQ(end, Time::us(12));
+  EXPECT_EQ(e.now(), Time::us(12));
+}
+
+TEST(Engine, ActorsInterleaveDeterministically) {
+  Engine e;
+  std::vector<int> order;
+  e.spawn("a", [&](ActorContext& ctx) {
+    order.push_back(1);
+    ctx.advance(Time::us(10));
+    order.push_back(3);
+  });
+  e.spawn("b", [&](ActorContext& ctx) {
+    order.push_back(2);
+    ctx.advance(Time::us(5));
+    order.push_back(4);  // b resumes at t=5, before a's t=10
+    ctx.advance(Time::us(10));
+    order.push_back(5);  // ... and finishes at t=15, after a's 3 at t=10
+  });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 4, 3, 5}));
+  // a ended at 10, b at 15.
+  EXPECT_EQ(e.now(), Time::us(15));
+}
+
+TEST(Engine, ScheduledCallbacksRunAtTheirTime) {
+  Engine e;
+  std::vector<std::int64_t> fired;
+  e.spawn("a", [&](ActorContext& ctx) {
+    ctx.engine().schedule(Time::us(3), [&] { fired.push_back(3); });
+    ctx.engine().schedule(Time::us(1), [&] { fired.push_back(1); });
+    ctx.advance(Time::us(10));
+  });
+  e.run();
+  EXPECT_EQ(fired, (std::vector<std::int64_t>{1, 3}));
+}
+
+TEST(Engine, BlockAndWake) {
+  Engine e;
+  Time woke_at = Time::zero();
+  auto blocked = e.spawn("blocked", [&](ActorContext& ctx) {
+    ctx.block();
+    woke_at = ctx.now();
+  });
+  e.spawn("waker", [&, blocked](ActorContext& ctx) {
+    ctx.advance(Time::us(4));
+    ctx.engine().wake(blocked, Time::us(9));
+  });
+  e.run();
+  EXPECT_EQ(woke_at, Time::us(9));
+}
+
+TEST(Engine, DeadlockIsDetectedAndReported) {
+  Engine e;
+  e.spawn("stuck", [](ActorContext& ctx) { ctx.block(); });
+  try {
+    e.run();
+    FAIL() << "expected deadlock";
+  } catch (const std::runtime_error& err) {
+    EXPECT_NE(std::string(err.what()).find("stuck"), std::string::npos);
+  }
+}
+
+TEST(Engine, ActorExceptionPropagates) {
+  Engine e;
+  e.spawn("thrower", [](ActorContext&) { throw std::logic_error("boom"); });
+  EXPECT_THROW(e.run(), std::logic_error);
+}
+
+TEST(Engine, SameTimeEventsKeepFifoOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.spawn("a", [&](ActorContext& ctx) {
+    for (int i = 0; i < 5; ++i) {
+      ctx.engine().schedule(Time::us(1), [&order, i] { order.push_back(i); });
+    }
+    ctx.advance(Time::us(2));
+  });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.uniform(2.0, 5.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, NormalHasSaneMoments) {
+  Rng r(77);
+  double sum = 0, sum2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Breakdown, AccumulatesAndMerges) {
+  Breakdown a;
+  a.add(Phase::CompressionKernel, Time::us(5));
+  a.add(Phase::Communication, Time::us(10));
+  Breakdown b;
+  b.add(Phase::CompressionKernel, Time::us(2));
+  a += b;
+  EXPECT_EQ(a.get(Phase::CompressionKernel), Time::us(7));
+  EXPECT_EQ(a.total(), Time::us(17));
+  EXPECT_EQ(a.nonzero().size(), 2u);
+  a.clear();
+  EXPECT_EQ(a.total(), Time::zero());
+}
+
+TEST(Summary, Moments) {
+  Summary s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.variance(), 1.25, 1e-12);
+}
+
+}  // namespace
+
+namespace {
+
+using namespace gcmpi::sim;
+
+TEST(EngineContracts, ScheduleInThePastRejected) {
+  Engine e;
+  e.spawn("a", [](ActorContext& ctx) {
+    ctx.advance(Time::us(10));
+    EXPECT_THROW(ctx.engine().schedule(Time::us(5), [] {}), std::invalid_argument);
+    EXPECT_THROW(ctx.advance(Time::us(-1)), std::invalid_argument);
+  });
+  e.run();
+}
+
+TEST(EngineContracts, WakingNonBlockedActorRejected) {
+  Engine e;
+  auto other = e.spawn("other", [](ActorContext& ctx) { ctx.advance(Time::us(100)); });
+  e.spawn("waker", [other](ActorContext& ctx) {
+    // "other" is runnable (queued), not blocked.
+    EXPECT_THROW(ctx.engine().wake(other, Time::us(1)), std::logic_error);
+  });
+  e.run();
+}
+
+TEST(EngineContracts, SpawnWhileRunningRejected) {
+  Engine e;
+  e.spawn("a", [&e](ActorContext&) {
+    EXPECT_THROW((void)e.spawn("late", [](ActorContext&) {}), std::logic_error);
+  });
+  e.run();
+}
+
+TEST(EngineContracts, ExceptionInScheduledCallbackUnwindsActors) {
+  Engine e;
+  e.spawn("sleeper", [](ActorContext& ctx) { ctx.advance(Time::seconds(100)); });
+  e.spawn("bomber", [](ActorContext& ctx) {
+    ctx.engine().schedule(Time::us(1), [] { throw std::runtime_error("cb boom"); });
+    ctx.advance(Time::us(10));
+  });
+  EXPECT_THROW(e.run(), std::runtime_error);
+  // Destruction must not hang: all actor threads were unwound and joined.
+}
+
+TEST(EngineContracts, ActorNamesAreReported) {
+  Engine e;
+  const auto id = e.spawn("my-rank", [](ActorContext&) {});
+  EXPECT_EQ(e.actor_name(id), "my-rank");
+  EXPECT_EQ(e.actor_count(), 1u);
+  e.run();
+}
+
+}  // namespace

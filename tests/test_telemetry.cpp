@@ -1,0 +1,118 @@
+// Telemetry (INAM-style monitoring) tests: event capture through a real
+// MPI exchange, per-rank and global summaries, CSV export.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+
+#include "core/telemetry.hpp"
+#include "data/datasets.hpp"
+#include "mpi/world.hpp"
+
+namespace {
+
+using namespace gcmpi;
+using core::EventKind;
+using core::Telemetry;
+
+TEST(Telemetry, SummaryOverManualEvents) {
+  Telemetry t;
+  t.record({sim::Time::us(1), 0, EventKind::Compress, core::Algorithm::MPC, 1000, 400,
+            sim::Time::us(5)});
+  t.record({sim::Time::us(2), 1, EventKind::Decompress, core::Algorithm::MPC, 1000, 400,
+            sim::Time::us(4)});
+  t.record({sim::Time::us(3), 0, EventKind::RawBypass, core::Algorithm::None, 64, 64,
+            sim::Time::zero()});
+  t.record({sim::Time::us(4), 0, EventKind::FallbackRaw, core::Algorithm::MPC, 100, 100,
+            sim::Time::us(2)});
+
+  const auto all = t.summarize();
+  EXPECT_EQ(all.compressions, 1u);
+  EXPECT_EQ(all.decompressions, 1u);
+  EXPECT_EQ(all.raw_bypasses, 1u);
+  EXPECT_EQ(all.fallbacks, 1u);
+  EXPECT_DOUBLE_EQ(all.achieved_ratio(), 2.5);
+  EXPECT_EQ(all.bytes_saved(), 600u);
+  EXPECT_EQ(all.compression_time, sim::Time::us(7));
+
+  const auto rank1 = t.summarize(1);
+  EXPECT_EQ(rank1.compressions, 0u);
+  EXPECT_EQ(rank1.decompressions, 1u);
+}
+
+TEST(Telemetry, RecordsRealExchange) {
+  Telemetry telemetry;
+  mpi::WorldOptions opts;
+  opts.telemetry = &telemetry;
+  sim::Engine engine;
+  mpi::World world(engine, net::longhorn(2, 1), core::CompressionConfig::mpc_opt(), opts);
+
+  const std::size_t n = (1u << 20) / 4;
+  const auto payload = data::generate("msg_sppm", n);
+  world.run([&](mpi::Rank& R) {
+    auto* dev = static_cast<float*>(R.gpu_malloc(n * 4));
+    std::memcpy(dev, payload.data(), n * 4);
+    if (R.rank() == 0) {
+      R.send(dev, n * 4, 1, 1);
+    } else {
+      R.recv(dev, n * 4, 0, 1);
+    }
+    R.gpu_free(dev);
+  });
+
+  const auto s0 = telemetry.summarize(0);
+  const auto s1 = telemetry.summarize(1);
+  EXPECT_EQ(s0.compressions, 1u);
+  EXPECT_EQ(s1.decompressions, 1u);
+  EXPECT_GT(s0.achieved_ratio(), 2.0);
+  EXPECT_GT(s0.compression_time, sim::Time::zero());
+  EXPECT_GT(s1.decompression_time, sim::Time::zero());
+
+  // Events carry sane timestamps and durations.
+  ASSERT_GE(telemetry.events().size(), 2u);
+  for (const auto& ev : telemetry.events()) {
+    EXPECT_GE(ev.at, sim::Time::zero());
+    EXPECT_GE(ev.duration, sim::Time::zero());
+  }
+}
+
+TEST(Telemetry, RecordsBypassBelowThreshold) {
+  Telemetry telemetry;
+  mpi::WorldOptions opts;
+  opts.telemetry = &telemetry;
+  sim::Engine engine;
+  mpi::World world(engine, net::longhorn(2, 1), core::CompressionConfig::mpc_opt(), opts);
+  world.run([&](mpi::Rank& R) {
+    auto* dev = static_cast<float*>(R.gpu_malloc(64 << 10));
+    if (R.rank() == 0) {
+      R.send(dev, 64 << 10, 1, 1);  // below 256KB threshold
+    } else {
+      R.recv(dev, 64 << 10, 0, 1);
+    }
+    R.gpu_free(dev);
+  });
+  EXPECT_EQ(telemetry.summarize().raw_bypasses, 1u);
+  EXPECT_EQ(telemetry.summarize().compressions, 0u);
+}
+
+TEST(Telemetry, CsvExport) {
+  Telemetry t;
+  t.record({sim::Time::us(10), 3, EventKind::Compress, core::Algorithm::ZFP, 2048, 1024,
+            sim::Time::us(7)});
+  std::ostringstream os;
+  t.write_csv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("time_us,rank,kind,algorithm"), std::string::npos);
+  EXPECT_NE(csv.find("10,3,compress,ZFP,2048,1024,7"), std::string::npos);
+}
+
+TEST(Telemetry, ClearResets) {
+  Telemetry t;
+  t.record({sim::Time::zero(), 0, EventKind::Compress, core::Algorithm::MPC, 1, 1,
+            sim::Time::zero()});
+  t.clear();
+  EXPECT_TRUE(t.events().empty());
+  EXPECT_EQ(t.summarize().compressions, 0u);
+}
+
+}  // namespace

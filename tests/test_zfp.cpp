@@ -1,0 +1,316 @@
+// ZFP fixed-rate codec tests: exact compressed sizes, error bounds,
+// all-zero blocks, partial blocks, 1D/2D/3D, and parameterized rate sweeps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "compress/zfp.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using gcmpi::comp::ZfpCodec;
+using gcmpi::comp::ZfpField;
+
+std::vector<float> smooth(std::size_t n, std::uint64_t seed) {
+  gcmpi::sim::Rng rng(seed);
+  const double phase = rng.uniform(0.0, 6.0);
+  std::vector<float> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<float>(std::sin(0.01 * static_cast<double>(i) + phase) +
+                              0.3 * std::cos(0.003 * static_cast<double>(i)));
+  }
+  return v;
+}
+
+std::vector<std::uint8_t> roundtrip(const ZfpCodec& codec, const ZfpField& f,
+                                    const std::vector<float>& in, std::vector<float>& out) {
+  std::vector<std::uint8_t> buf(codec.compressed_bytes(f));
+  const std::size_t written = codec.compress(in, f, buf);
+  EXPECT_EQ(written, buf.size());
+  out.assign(f.values(), -1.0f);
+  codec.decompress(buf, f, out);
+  return buf;
+}
+
+TEST(Zfp, FixedRateSizeIsExact) {
+  for (int rate : {4, 8, 16, 32}) {
+    ZfpCodec codec(rate);
+    const ZfpField f = ZfpField::d1(1024);
+    // 256 blocks * rate*4 bits, word aligned.
+    const std::size_t bits = 256u * static_cast<std::size_t>(rate) * 4;
+    EXPECT_EQ(codec.compressed_bytes(f), ((bits + 63) / 64) * 8);
+    EXPECT_DOUBLE_EQ(codec.ratio(), 32.0 / rate);
+  }
+}
+
+TEST(Zfp, RejectsInvalidRates) {
+  EXPECT_THROW(ZfpCodec(3), std::invalid_argument);
+  EXPECT_THROW(ZfpCodec(33), std::invalid_argument);
+  EXPECT_NO_THROW(ZfpCodec(4));
+}
+
+TEST(Zfp, RejectsBadFields) {
+  ZfpCodec codec(16);
+  EXPECT_THROW(codec.compressed_bytes(ZfpField{0, 4, 1, 1}), std::invalid_argument);
+  EXPECT_THROW(codec.compressed_bytes(ZfpField{1, 0, 1, 1}), std::invalid_argument);
+  EXPECT_THROW(codec.compressed_bytes(ZfpField{1, 4, 2, 1}), std::invalid_argument);
+}
+
+TEST(Zfp, AllZeroBlockDecodesToZero) {
+  ZfpCodec codec(8);
+  const ZfpField f = ZfpField::d1(64);
+  std::vector<float> in(64, 0.0f), out;
+  roundtrip(codec, f, in, out);
+  for (float x : out) EXPECT_EQ(x, 0.0f);
+}
+
+TEST(Zfp, HighRateIsNearLossless) {
+  ZfpCodec codec(32);
+  const ZfpField f = ZfpField::d1(4096);
+  const auto in = smooth(4096, 3);
+  std::vector<float> out;
+  roundtrip(codec, f, in, out);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_NEAR(in[i], out[i], 2e-6f) << i;
+  }
+}
+
+TEST(Zfp, ErrorWithinBoundAcrossRates) {
+  const auto in = smooth(4096, 11);
+  float max_abs = 0;
+  for (float x : in) max_abs = std::max(max_abs, std::fabs(x));
+  for (int rate : {4, 8, 16}) {
+    ZfpCodec codec(rate);
+    const ZfpField f = ZfpField::d1(in.size());
+    std::vector<float> out;
+    roundtrip(codec, f, in, out);
+    const double bound = codec.error_bound(max_abs);
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      ASSERT_LE(std::fabs(in[i] - out[i]), bound) << "rate " << rate << " i " << i;
+    }
+  }
+}
+
+TEST(Zfp, LowerRateGivesLargerError) {
+  const auto in = smooth(4096, 5);
+  double err[3] = {};
+  const int rates[3] = {16, 8, 4};
+  for (int k = 0; k < 3; ++k) {
+    ZfpCodec codec(rates[k]);
+    const ZfpField f = ZfpField::d1(in.size());
+    std::vector<float> out;
+    roundtrip(codec, f, in, out);
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      err[k] = std::max(err[k], static_cast<double>(std::fabs(in[i] - out[i])));
+    }
+  }
+  EXPECT_LT(err[0], err[1]);
+  EXPECT_LT(err[1], err[2]);
+}
+
+TEST(Zfp, PartialTailBlock1D) {
+  ZfpCodec codec(16);
+  for (std::size_t n : {1u, 2u, 3u, 5u, 63u, 1001u}) {
+    const ZfpField f = ZfpField::d1(n);
+    const auto in = smooth(n, n);
+    std::vector<float> out;
+    roundtrip(codec, f, in, out);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_NEAR(in[i], out[i], 1e-3f) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(Zfp, TwoDimensionalRoundTrip) {
+  ZfpCodec codec(16);
+  const std::size_t nx = 37, ny = 23;  // partial blocks on both axes
+  const ZfpField f = ZfpField::d2(nx, ny);
+  std::vector<float> in(nx * ny);
+  for (std::size_t y = 0; y < ny; ++y) {
+    for (std::size_t x = 0; x < nx; ++x) {
+      in[y * nx + x] = static_cast<float>(std::sin(0.2 * static_cast<double>(x)) *
+                                          std::cos(0.15 * static_cast<double>(y)));
+    }
+  }
+  std::vector<float> out;
+  roundtrip(codec, f, in, out);
+  for (std::size_t i = 0; i < in.size(); ++i) ASSERT_NEAR(in[i], out[i], 1e-3f);
+}
+
+TEST(Zfp, ThreeDimensionalRoundTrip) {
+  ZfpCodec codec(16);
+  const std::size_t nx = 9, ny = 10, nz = 11;
+  const ZfpField f = ZfpField::d3(nx, ny, nz);
+  std::vector<float> in(nx * ny * nz);
+  for (std::size_t z = 0; z < nz; ++z) {
+    for (std::size_t y = 0; y < ny; ++y) {
+      for (std::size_t x = 0; x < nx; ++x) {
+        in[(z * ny + y) * nx + x] =
+            static_cast<float>(std::sin(0.3 * static_cast<double>(x + 2 * y + 3 * z)));
+      }
+    }
+  }
+  std::vector<float> out;
+  roundtrip(codec, f, in, out);
+  for (std::size_t i = 0; i < in.size(); ++i) ASSERT_NEAR(in[i], out[i], 2e-3f);
+}
+
+TEST(Zfp, NonFiniteValuesAreSanitized) {
+  ZfpCodec codec(16);
+  const ZfpField f = ZfpField::d1(8);
+  std::vector<float> in = {1.0f, INFINITY, -INFINITY, NAN, 0.5f, -0.5f, 2.0f, -2.0f};
+  std::vector<float> out;
+  roundtrip(codec, f, in, out);
+  for (float x : out) EXPECT_TRUE(std::isfinite(x));
+}
+
+TEST(Zfp, NegativeAndTinyValues) {
+  ZfpCodec codec(16);
+  std::vector<float> in = {-1e-30f, 1e-30f, -1e30f, 1e30f, -0.0f, 0.0f, 1e-38f, -3.4e38f};
+  const ZfpField f = ZfpField::d1(in.size());
+  std::vector<float> out;
+  roundtrip(codec, f, in, out);
+  // The huge values dominate each block's exponent; just require no crash,
+  // finite output, and sign preservation for the dominant values.
+  EXPECT_LT(out[7], 0.0f);
+  EXPECT_GT(out[3], 0.0f);
+}
+
+TEST(Zfp, BuffersTooSmallThrow) {
+  ZfpCodec codec(16);
+  const ZfpField f = ZfpField::d1(64);
+  std::vector<float> in(64, 1.0f), out(63);
+  std::vector<std::uint8_t> small(8);
+  EXPECT_THROW((void)codec.compress(in, f, small), std::invalid_argument);
+  std::vector<std::uint8_t> buf(codec.compressed_bytes(f));
+  (void)codec.compress(in, f, buf);
+  EXPECT_THROW(codec.decompress(buf, f, out), std::invalid_argument);
+}
+
+class ZfpRateSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ZfpRateSweep, RandomDataRoundTripsWithinQuantizationError) {
+  const int rate = GetParam();
+  ZfpCodec codec(rate);
+  gcmpi::sim::Rng rng(static_cast<std::uint64_t>(rate));
+  std::vector<float> in(2048);
+  for (auto& x : in) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  const ZfpField f = ZfpField::d1(in.size());
+  std::vector<float> out;
+  std::vector<std::uint8_t> buf(codec.compressed_bytes(f));
+  (void)codec.compress(in, f, buf);
+  out.assign(in.size(), 0.0f);
+  codec.decompress(buf, f, out);
+  const double bound = codec.error_bound(1.0);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    ASSERT_LE(std::fabs(in[i] - out[i]), bound) << "rate " << rate;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, ZfpRateSweep, ::testing::Values(4, 6, 8, 12, 16, 24, 32));
+
+}  // namespace
+
+namespace {
+
+using gcmpi::comp::ZfpMode;
+
+std::vector<float> variable_roundtrip(const ZfpCodec& codec, const ZfpField& f,
+                                      const std::vector<float>& in, std::size_t* size_out) {
+  std::vector<std::uint8_t> buf(codec.compressed_bytes(f));
+  const std::size_t written = codec.compress(in, f, buf);
+  EXPECT_LE(written, buf.size());
+  if (size_out != nullptr) *size_out = written;
+  std::vector<float> out(f.values(), -1.0f);
+  codec.decompress({buf.data(), written}, f, out);
+  return out;
+}
+
+TEST(ZfpModes, FixedPrecisionFullPrecisionIsNearLossless) {
+  const auto codec = ZfpCodec::fixed_precision(32);
+  EXPECT_EQ(codec.mode(), ZfpMode::FixedPrecision);
+  const auto in = smooth(2048, 21);
+  const ZfpField f = ZfpField::d1(in.size());
+  const auto out = variable_roundtrip(codec, f, in, nullptr);
+  for (std::size_t i = 0; i < in.size(); ++i) ASSERT_NEAR(in[i], out[i], 2e-6f);
+}
+
+TEST(ZfpModes, FixedPrecisionErrorDropsWithPrecision) {
+  const auto in = smooth(4096, 22);
+  const ZfpField f = ZfpField::d1(in.size());
+  double prev_err = 1e30;
+  std::size_t prev_size = 0;
+  for (int prec : {8, 14, 20, 28}) {
+    std::size_t size = 0;
+    const auto out = variable_roundtrip(ZfpCodec::fixed_precision(prec), f, in, &size);
+    double err = 0;
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      err = std::max(err, static_cast<double>(std::fabs(in[i] - out[i])));
+    }
+    EXPECT_LT(err, prev_err);      // more planes => smaller error
+    EXPECT_GT(size, prev_size);    // ... and more bits
+    prev_err = err;
+    prev_size = size;
+  }
+}
+
+TEST(ZfpModes, FixedAccuracyRespectsTolerance) {
+  const auto in = smooth(8192, 23);
+  const ZfpField f = ZfpField::d1(in.size());
+  for (double tol : {1e-1, 1e-2, 1e-3, 1e-4, 1e-5}) {
+    const auto codec = ZfpCodec::fixed_accuracy(tol);
+    EXPECT_EQ(codec.mode(), ZfpMode::FixedAccuracy);
+    const auto out = variable_roundtrip(codec, f, in, nullptr);
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      ASSERT_LE(std::fabs(in[i] - out[i]), tol) << "tol " << tol << " i " << i;
+    }
+  }
+}
+
+TEST(ZfpModes, FixedAccuracyLooserToleranceIsSmaller) {
+  const auto in = smooth(8192, 24);
+  const ZfpField f = ZfpField::d1(in.size());
+  std::size_t tight = 0, loose = 0;
+  (void)variable_roundtrip(ZfpCodec::fixed_accuracy(1e-6), f, in, &tight);
+  (void)variable_roundtrip(ZfpCodec::fixed_accuracy(1e-1), f, in, &loose);
+  EXPECT_LT(loose, tight);
+}
+
+TEST(ZfpModes, FixedAccuracyWorksIn3D) {
+  const ZfpField f = ZfpField::d3(10, 9, 7);
+  std::vector<float> in(f.values());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    in[i] = static_cast<float>(std::sin(0.11 * static_cast<double>(i)));
+  }
+  const double tol = 1e-3;
+  const auto out = variable_roundtrip(ZfpCodec::fixed_accuracy(tol), f, in, nullptr);
+  for (std::size_t i = 0; i < in.size(); ++i) ASSERT_LE(std::fabs(in[i] - out[i]), tol);
+}
+
+TEST(ZfpModes, BadModeParametersRejected) {
+  EXPECT_THROW(ZfpCodec::fixed_precision(0), std::invalid_argument);
+  EXPECT_THROW(ZfpCodec::fixed_precision(33), std::invalid_argument);
+  EXPECT_THROW(ZfpCodec::fixed_accuracy(0.0), std::invalid_argument);
+  EXPECT_THROW(ZfpCodec::fixed_accuracy(-1.0), std::invalid_argument);
+}
+
+TEST(ZfpModes, AccuracyModeCompressesBetterThanEquivalentRate) {
+  // For smooth data, stopping at the tolerance-determined plane beats
+  // spending a uniform bit budget on every block.
+  const auto in = smooth(16384, 25);
+  const ZfpField f = ZfpField::d1(in.size());
+  std::size_t acc_size = 0;
+  const auto out = variable_roundtrip(ZfpCodec::fixed_accuracy(2e-3), f, in, &acc_size);
+  double err = 0;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    err = std::max(err, static_cast<double>(std::fabs(in[i] - out[i])));
+  }
+  EXPECT_LE(err, 2e-3);
+  // Fixed rate 16 gives 2x; the accuracy mode at this tolerance should
+  // do at least as well on this data.
+  EXPECT_LT(acc_size, in.size() * 4 / 2 + 64);
+}
+
+}  // namespace

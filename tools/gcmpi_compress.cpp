@@ -1,0 +1,199 @@
+// gcmpi_compress: command-line file compressor exposing every codec in the
+// library — the offline counterpart of the on-the-fly framework, handy for
+// inspecting how a dataset will behave before enabling compression in the
+// MPI path.
+//
+//   gcmpi_compress c <codec> <input> <output> [param]
+//   gcmpi_compress d <codec> <input> <output> [param]
+//
+// codecs (param):
+//   mpc [dimensionality]      float32, lossless
+//   zfp [rate]                float32, fixed-rate lossy
+//   zfp-acc [tolerance]       float32, fixed-accuracy lossy
+//   sz  [error_bound]         float32, error-bounded lossy
+//   fpc                       float64, lossless (CPU baseline)
+//   gfc                       float64, lossless (GPU-style baseline)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "compress/fpc.hpp"
+#include "compress/gfc.hpp"
+#include "compress/mpc.hpp"
+#include "compress/sz.hpp"
+#include "compress/zfp.hpp"
+
+namespace {
+
+using namespace gcmpi::comp;
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void write_file(const std::string& path, const std::uint8_t* data, std::size_t size) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot create " + path);
+  out.write(reinterpret_cast<const char*>(data), static_cast<std::streamsize>(size));
+}
+
+template <typename T>
+std::vector<T> as_values(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() % sizeof(T) != 0) {
+    throw std::runtime_error("input size is not a multiple of the value size");
+  }
+  std::vector<T> v(bytes.size() / sizeof(T));
+  std::memcpy(v.data(), bytes.data(), bytes.size());
+  return v;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: gcmpi_compress c|d mpc|zfp|zfp-acc|sz|fpc|gfc <in> <out> [param]\n");
+  return 2;
+}
+
+// The zfp container needs the value count for decompression; prepend a
+// tiny header for the CLI format.
+struct CliHeader {
+  std::uint32_t magic = 0x47434d43u;  // "GCMC"
+  std::uint32_t param = 0;
+  std::uint64_t values = 0;
+  double fparam = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 5) return usage();
+  const std::string op = argv[1];
+  const std::string codec = argv[2];
+  const std::string in_path = argv[3];
+  const std::string out_path = argv[4];
+  const double param = argc > 5 ? std::atof(argv[5]) : 0.0;
+  const bool compressing = op == "c";
+  if (!compressing && op != "d") return usage();
+
+  try {
+    const auto input = read_file(in_path);
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::uint8_t> out;
+
+    if (compressing) {
+      CliHeader hdr;
+      std::vector<std::uint8_t> body;
+      if (codec == "mpc") {
+        const auto values = as_values<float>(input);
+        MpcCodec c(param > 0 ? static_cast<int>(param) : 1);
+        body.resize(c.max_compressed_bytes(values.size()));
+        body.resize(c.compress(values, body));
+        hdr.param = static_cast<std::uint32_t>(c.dimensionality());
+        hdr.values = values.size();
+      } else if (codec == "zfp") {
+        const auto values = as_values<float>(input);
+        ZfpCodec c(param > 0 ? static_cast<int>(param) : 16);
+        const ZfpField f = ZfpField::d1(values.size());
+        body.resize(c.compressed_bytes(f));
+        body.resize(c.compress(values, f, body));
+        hdr.param = static_cast<std::uint32_t>(c.rate());
+        hdr.values = values.size();
+      } else if (codec == "zfp-acc") {
+        const auto values = as_values<float>(input);
+        const auto c = ZfpCodec::fixed_accuracy(param > 0 ? param : 1e-3);
+        const ZfpField f = ZfpField::d1(values.size());
+        body.resize(c.compressed_bytes(f));
+        body.resize(c.compress(values, f, body));
+        hdr.fparam = c.tolerance();
+        hdr.values = values.size();
+      } else if (codec == "sz") {
+        const auto values = as_values<float>(input);
+        SzCodec c(param > 0 ? param : 1e-3);
+        body.resize(c.max_compressed_bytes(values.size()));
+        body.resize(c.compress(values, body));
+        hdr.fparam = c.error_bound();
+        hdr.values = values.size();
+      } else if (codec == "fpc") {
+        const auto values = as_values<double>(input);
+        FpcCodec c;
+        body.resize(c.max_compressed_bytes(values.size()));
+        body.resize(c.compress(values, body));
+        hdr.values = values.size();
+      } else if (codec == "gfc") {
+        const auto values = as_values<double>(input);
+        GfcCodec c;
+        body.resize(c.max_compressed_bytes(values.size()));
+        body.resize(c.compress(values, body));
+        hdr.values = values.size();
+      } else {
+        return usage();
+      }
+      out.resize(sizeof(CliHeader) + body.size());
+      std::memcpy(out.data(), &hdr, sizeof(hdr));
+      std::memcpy(out.data() + sizeof(hdr), body.data(), body.size());
+    } else {
+      if (input.size() < sizeof(CliHeader)) throw std::runtime_error("truncated container");
+      CliHeader hdr;
+      std::memcpy(&hdr, input.data(), sizeof(hdr));
+      if (hdr.magic != 0x47434d43u) throw std::runtime_error("not a gcmpi_compress file");
+      const std::span<const std::uint8_t> body{input.data() + sizeof(hdr),
+                                               input.size() - sizeof(hdr)};
+      if (codec == "mpc") {
+        MpcCodec c(static_cast<int>(hdr.param));
+        std::vector<float> values(hdr.values);
+        (void)c.decompress(body, values);
+        out.resize(values.size() * 4);
+        std::memcpy(out.data(), values.data(), out.size());
+      } else if (codec == "zfp" || codec == "zfp-acc") {
+        const ZfpCodec c = codec == "zfp" ? ZfpCodec(static_cast<int>(hdr.param))
+                                          : ZfpCodec::fixed_accuracy(hdr.fparam);
+        const ZfpField f = ZfpField::d1(hdr.values);
+        std::vector<float> values(hdr.values);
+        c.decompress(body, f, values);
+        out.resize(values.size() * 4);
+        std::memcpy(out.data(), values.data(), out.size());
+      } else if (codec == "sz") {
+        SzCodec c(hdr.fparam);
+        std::vector<float> values(hdr.values);
+        (void)c.decompress(body, values);
+        out.resize(values.size() * 4);
+        std::memcpy(out.data(), values.data(), out.size());
+      } else if (codec == "fpc") {
+        FpcCodec c;
+        std::vector<double> values(hdr.values);
+        (void)c.decompress(body, values);
+        out.resize(values.size() * 8);
+        std::memcpy(out.data(), values.data(), out.size());
+      } else if (codec == "gfc") {
+        GfcCodec c;
+        std::vector<double> values(hdr.values);
+        (void)c.decompress(body, values);
+        out.resize(values.size() * 8);
+        std::memcpy(out.data(), values.data(), out.size());
+      } else {
+        return usage();
+      }
+    }
+
+    const auto t1 = std::chrono::steady_clock::now();
+    write_file(out_path, out.data(), out.size());
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    const double mb = static_cast<double>(compressing ? input.size() : out.size()) / 1e6;
+    std::printf("%s %s: %zu -> %zu bytes (ratio %.3f) in %.1f ms (%.0f MB/s)\n",
+                compressing ? "compressed" : "decompressed", codec.c_str(), input.size(),
+                out.size(),
+                compressing ? static_cast<double>(input.size()) / static_cast<double>(out.size())
+                            : static_cast<double>(out.size()) / static_cast<double>(input.size()),
+                secs * 1e3, mb / secs);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
