@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dynamic_selection.dir/ablation_dynamic_selection.cpp.o"
+  "CMakeFiles/ablation_dynamic_selection.dir/ablation_dynamic_selection.cpp.o.d"
+  "ablation_dynamic_selection"
+  "ablation_dynamic_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dynamic_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

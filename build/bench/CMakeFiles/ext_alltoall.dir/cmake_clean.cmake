@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_alltoall.dir/ext_alltoall.cpp.o"
+  "CMakeFiles/ext_alltoall.dir/ext_alltoall.cpp.o.d"
+  "ext_alltoall"
+  "ext_alltoall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_alltoall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_collectives.dir/fig11_collectives.cpp.o"
+  "CMakeFiles/fig11_collectives.dir/fig11_collectives.cpp.o.d"
+  "fig11_collectives"
+  "fig11_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

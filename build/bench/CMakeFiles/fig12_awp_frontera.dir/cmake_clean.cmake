@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_awp_frontera.dir/fig12_awp_frontera.cpp.o"
+  "CMakeFiles/fig12_awp_frontera.dir/fig12_awp_frontera.cpp.o.d"
+  "fig12_awp_frontera"
+  "fig12_awp_frontera.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_awp_frontera.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

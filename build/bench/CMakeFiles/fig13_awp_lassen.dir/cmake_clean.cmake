@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_awp_lassen.dir/fig13_awp_lassen.cpp.o"
+  "CMakeFiles/fig13_awp_lassen.dir/fig13_awp_lassen.cpp.o.d"
+  "fig13_awp_lassen"
+  "fig13_awp_lassen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_awp_lassen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_dask.dir/fig14_dask.cpp.o"
+  "CMakeFiles/fig14_dask.dir/fig14_dask.cpp.o.d"
+  "fig14_dask"
+  "fig14_dask.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_dask.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2a_bandwidth.dir/fig2a_bandwidth.cpp.o"
+  "CMakeFiles/fig2a_bandwidth.dir/fig2a_bandwidth.cpp.o.d"
+  "fig2a_bandwidth"
+  "fig2a_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2a_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

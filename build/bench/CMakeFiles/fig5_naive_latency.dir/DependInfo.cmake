@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig5_naive_latency.cpp" "bench/CMakeFiles/fig5_naive_latency.dir/fig5_naive_latency.cpp.o" "gcc" "bench/CMakeFiles/fig5_naive_latency.dir/fig5_naive_latency.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/gcmpi_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/gcmpi_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gcmpi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/gcmpi_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gcmpi_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/gcmpi_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/gcmpi_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gcmpi_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

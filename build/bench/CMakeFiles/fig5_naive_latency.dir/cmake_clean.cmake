@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_naive_latency.dir/fig5_naive_latency.cpp.o"
+  "CMakeFiles/fig5_naive_latency.dir/fig5_naive_latency.cpp.o.d"
+  "fig5_naive_latency"
+  "fig5_naive_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_naive_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

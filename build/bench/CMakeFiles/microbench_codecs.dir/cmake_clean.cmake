@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_codecs.dir/microbench_codecs.cpp.o"
+  "CMakeFiles/microbench_codecs.dir/microbench_codecs.cpp.o.d"
+  "microbench_codecs"
+  "microbench_codecs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_codecs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_compressors.dir/table3_compressors.cpp.o"
+  "CMakeFiles/table3_compressors.dir/table3_compressors.cpp.o.d"
+  "table3_compressors"
+  "table3_compressors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_compressors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

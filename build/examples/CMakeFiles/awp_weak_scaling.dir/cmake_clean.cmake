@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awp_weak_scaling.dir/awp_weak_scaling.cpp.o"
+  "CMakeFiles/awp_weak_scaling.dir/awp_weak_scaling.cpp.o.d"
+  "awp_weak_scaling"
+  "awp_weak_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awp_weak_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collectives_on_datasets.dir/collectives_on_datasets.cpp.o"
+  "CMakeFiles/collectives_on_datasets.dir/collectives_on_datasets.cpp.o.d"
+  "collectives_on_datasets"
+  "collectives_on_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collectives_on_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

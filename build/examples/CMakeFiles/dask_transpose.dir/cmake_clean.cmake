@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dask_transpose.dir/dask_transpose.cpp.o"
+  "CMakeFiles/dask_transpose.dir/dask_transpose.cpp.o.d"
+  "dask_transpose"
+  "dask_transpose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dask_transpose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcmpi_apps.dir/awp/distributed.cpp.o"
+  "CMakeFiles/gcmpi_apps.dir/awp/distributed.cpp.o.d"
+  "CMakeFiles/gcmpi_apps.dir/awp/elastic.cpp.o"
+  "CMakeFiles/gcmpi_apps.dir/awp/elastic.cpp.o.d"
+  "CMakeFiles/gcmpi_apps.dir/awp/solver.cpp.o"
+  "CMakeFiles/gcmpi_apps.dir/awp/solver.cpp.o.d"
+  "CMakeFiles/gcmpi_apps.dir/dask/distributed_array.cpp.o"
+  "CMakeFiles/gcmpi_apps.dir/dask/distributed_array.cpp.o.d"
+  "libgcmpi_apps.a"
+  "libgcmpi_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcmpi_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/fpc.cpp" "src/compress/CMakeFiles/gcmpi_compress.dir/fpc.cpp.o" "gcc" "src/compress/CMakeFiles/gcmpi_compress.dir/fpc.cpp.o.d"
+  "/root/repo/src/compress/gfc.cpp" "src/compress/CMakeFiles/gcmpi_compress.dir/gfc.cpp.o" "gcc" "src/compress/CMakeFiles/gcmpi_compress.dir/gfc.cpp.o.d"
+  "/root/repo/src/compress/huffman.cpp" "src/compress/CMakeFiles/gcmpi_compress.dir/huffman.cpp.o" "gcc" "src/compress/CMakeFiles/gcmpi_compress.dir/huffman.cpp.o.d"
+  "/root/repo/src/compress/kernel_cost.cpp" "src/compress/CMakeFiles/gcmpi_compress.dir/kernel_cost.cpp.o" "gcc" "src/compress/CMakeFiles/gcmpi_compress.dir/kernel_cost.cpp.o.d"
+  "/root/repo/src/compress/mpc.cpp" "src/compress/CMakeFiles/gcmpi_compress.dir/mpc.cpp.o" "gcc" "src/compress/CMakeFiles/gcmpi_compress.dir/mpc.cpp.o.d"
+  "/root/repo/src/compress/sz.cpp" "src/compress/CMakeFiles/gcmpi_compress.dir/sz.cpp.o" "gcc" "src/compress/CMakeFiles/gcmpi_compress.dir/sz.cpp.o.d"
+  "/root/repo/src/compress/zfp.cpp" "src/compress/CMakeFiles/gcmpi_compress.dir/zfp.cpp.o" "gcc" "src/compress/CMakeFiles/gcmpi_compress.dir/zfp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/gcmpi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/gcmpi_gpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcmpi_compress.dir/fpc.cpp.o"
+  "CMakeFiles/gcmpi_compress.dir/fpc.cpp.o.d"
+  "CMakeFiles/gcmpi_compress.dir/gfc.cpp.o"
+  "CMakeFiles/gcmpi_compress.dir/gfc.cpp.o.d"
+  "CMakeFiles/gcmpi_compress.dir/huffman.cpp.o"
+  "CMakeFiles/gcmpi_compress.dir/huffman.cpp.o.d"
+  "CMakeFiles/gcmpi_compress.dir/kernel_cost.cpp.o"
+  "CMakeFiles/gcmpi_compress.dir/kernel_cost.cpp.o.d"
+  "CMakeFiles/gcmpi_compress.dir/mpc.cpp.o"
+  "CMakeFiles/gcmpi_compress.dir/mpc.cpp.o.d"
+  "CMakeFiles/gcmpi_compress.dir/sz.cpp.o"
+  "CMakeFiles/gcmpi_compress.dir/sz.cpp.o.d"
+  "CMakeFiles/gcmpi_compress.dir/zfp.cpp.o"
+  "CMakeFiles/gcmpi_compress.dir/zfp.cpp.o.d"
+  "libgcmpi_compress.a"
+  "libgcmpi_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcmpi_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config.cpp" "src/core/CMakeFiles/gcmpi_core.dir/config.cpp.o" "gcc" "src/core/CMakeFiles/gcmpi_core.dir/config.cpp.o.d"
+  "/root/repo/src/core/dynamic.cpp" "src/core/CMakeFiles/gcmpi_core.dir/dynamic.cpp.o" "gcc" "src/core/CMakeFiles/gcmpi_core.dir/dynamic.cpp.o.d"
+  "/root/repo/src/core/header.cpp" "src/core/CMakeFiles/gcmpi_core.dir/header.cpp.o" "gcc" "src/core/CMakeFiles/gcmpi_core.dir/header.cpp.o.d"
+  "/root/repo/src/core/manager.cpp" "src/core/CMakeFiles/gcmpi_core.dir/manager.cpp.o" "gcc" "src/core/CMakeFiles/gcmpi_core.dir/manager.cpp.o.d"
+  "/root/repo/src/core/telemetry.cpp" "src/core/CMakeFiles/gcmpi_core.dir/telemetry.cpp.o" "gcc" "src/core/CMakeFiles/gcmpi_core.dir/telemetry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compress/CMakeFiles/gcmpi_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/gcmpi_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gcmpi_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcmpi_core.dir/config.cpp.o"
+  "CMakeFiles/gcmpi_core.dir/config.cpp.o.d"
+  "CMakeFiles/gcmpi_core.dir/dynamic.cpp.o"
+  "CMakeFiles/gcmpi_core.dir/dynamic.cpp.o.d"
+  "CMakeFiles/gcmpi_core.dir/header.cpp.o"
+  "CMakeFiles/gcmpi_core.dir/header.cpp.o.d"
+  "CMakeFiles/gcmpi_core.dir/manager.cpp.o"
+  "CMakeFiles/gcmpi_core.dir/manager.cpp.o.d"
+  "CMakeFiles/gcmpi_core.dir/telemetry.cpp.o"
+  "CMakeFiles/gcmpi_core.dir/telemetry.cpp.o.d"
+  "libgcmpi_core.a"
+  "libgcmpi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcmpi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

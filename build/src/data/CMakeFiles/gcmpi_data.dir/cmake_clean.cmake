@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcmpi_data.dir/datasets.cpp.o"
+  "CMakeFiles/gcmpi_data.dir/datasets.cpp.o.d"
+  "libgcmpi_data.a"
+  "libgcmpi_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcmpi_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcmpi_gpu.dir/buffer_pool.cpp.o"
+  "CMakeFiles/gcmpi_gpu.dir/buffer_pool.cpp.o.d"
+  "CMakeFiles/gcmpi_gpu.dir/device.cpp.o"
+  "CMakeFiles/gcmpi_gpu.dir/device.cpp.o.d"
+  "libgcmpi_gpu.a"
+  "libgcmpi_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcmpi_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

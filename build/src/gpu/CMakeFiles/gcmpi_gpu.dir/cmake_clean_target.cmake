@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgcmpi_gpu.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcmpi_mpi.dir/collectives.cpp.o"
+  "CMakeFiles/gcmpi_mpi.dir/collectives.cpp.o.d"
+  "CMakeFiles/gcmpi_mpi.dir/world.cpp.o"
+  "CMakeFiles/gcmpi_mpi.dir/world.cpp.o.d"
+  "libgcmpi_mpi.a"
+  "libgcmpi_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcmpi_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

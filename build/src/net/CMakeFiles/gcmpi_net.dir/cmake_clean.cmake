@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcmpi_net.dir/cluster.cpp.o"
+  "CMakeFiles/gcmpi_net.dir/cluster.cpp.o.d"
+  "libgcmpi_net.a"
+  "libgcmpi_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcmpi_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcmpi_sim.dir/engine.cpp.o"
+  "CMakeFiles/gcmpi_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/gcmpi_sim.dir/stats.cpp.o"
+  "CMakeFiles/gcmpi_sim.dir/stats.cpp.o.d"
+  "libgcmpi_sim.a"
+  "libgcmpi_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcmpi_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

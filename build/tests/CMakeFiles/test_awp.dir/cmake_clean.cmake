@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_awp.dir/test_awp.cpp.o"
+  "CMakeFiles/test_awp.dir/test_awp.cpp.o.d"
+  "test_awp"
+  "test_awp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_awp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_awp.
+# This may be replaced when dependencies are built.

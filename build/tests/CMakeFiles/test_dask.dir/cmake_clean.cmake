@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dask.dir/test_dask.cpp.o"
+  "CMakeFiles/test_dask.dir/test_dask.cpp.o.d"
+  "test_dask"
+  "test_dask.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dask.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_dask.
+# This may be replaced when dependencies are built.

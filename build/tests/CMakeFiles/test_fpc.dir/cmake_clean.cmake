@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fpc.dir/test_fpc.cpp.o"
+  "CMakeFiles/test_fpc.dir/test_fpc.cpp.o.d"
+  "test_fpc"
+  "test_fpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

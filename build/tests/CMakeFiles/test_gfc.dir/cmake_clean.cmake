@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gfc.dir/test_gfc.cpp.o"
+  "CMakeFiles/test_gfc.dir/test_gfc.cpp.o.d"
+  "test_gfc"
+  "test_gfc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gfc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_header.dir/test_header.cpp.o"
+  "CMakeFiles/test_header.dir/test_header.cpp.o.d"
+  "test_header"
+  "test_header.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_header.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_cost.dir/test_kernel_cost.cpp.o"
+  "CMakeFiles/test_kernel_cost.dir/test_kernel_cost.cpp.o.d"
+  "test_kernel_cost"
+  "test_kernel_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcmpi_compress_cli.dir/gcmpi_compress.cpp.o"
+  "CMakeFiles/gcmpi_compress_cli.dir/gcmpi_compress.cpp.o.d"
+  "gcmpi_compress"
+  "gcmpi_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcmpi_compress_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
