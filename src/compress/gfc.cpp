@@ -80,7 +80,7 @@ std::size_t GfcCodec::compress(std::span<const double> in, std::span<std::uint8_
     }
   }
   if (half) out[pos++] = pending;
-  std::memcpy(out.data() + pos, payload.data(), payload.size());
+  if (!payload.empty()) std::memcpy(out.data() + pos, payload.data(), payload.size());
   return pos + payload.size();
 }
 

@@ -17,25 +17,41 @@ constexpr int kIntPrec = 32;      // bit planes per coefficient
 constexpr int kEmaxBias = 150;    // covers float exponents incl. denormals
 constexpr int kEmaxBits = 9;
 
+// The lifting transforms rely on two's-complement wrap-around: truncated
+// bit planes can push reconstructed coefficients past INT32 range, and the
+// inverse transform must wrap exactly like the forward one so the lossless
+// path stays bit-exact. Route +/-/<< through uint32 to keep that defined.
+[[nodiscard]] std::int32_t wadd(std::int32_t a, std::int32_t b) {
+  return static_cast<std::int32_t>(static_cast<std::uint32_t>(a) +
+                                   static_cast<std::uint32_t>(b));
+}
+[[nodiscard]] std::int32_t wsub(std::int32_t a, std::int32_t b) {
+  return static_cast<std::int32_t>(static_cast<std::uint32_t>(a) -
+                                   static_cast<std::uint32_t>(b));
+}
+[[nodiscard]] std::int32_t wshl1(std::int32_t a) {
+  return static_cast<std::int32_t>(static_cast<std::uint32_t>(a) << 1);
+}
+
 /// zfp forward lifting transform over 4 values with stride s.
 void fwd_lift(std::int32_t* p, std::size_t s) {
   std::int32_t x = p[0 * s], y = p[1 * s], z = p[2 * s], w = p[3 * s];
-  x += w; x >>= 1; w -= x;
-  z += y; z >>= 1; y -= z;
-  x += z; x >>= 1; z -= x;
-  w += y; w >>= 1; y -= w;
-  w += y >> 1; y -= w >> 1;
+  x = wadd(x, w); x >>= 1; w = wsub(w, x);
+  z = wadd(z, y); z >>= 1; y = wsub(y, z);
+  x = wadd(x, z); x >>= 1; z = wsub(z, x);
+  w = wadd(w, y); w >>= 1; y = wsub(y, w);
+  w = wadd(w, y >> 1); y = wsub(y, w >> 1);
   p[0 * s] = x; p[1 * s] = y; p[2 * s] = z; p[3 * s] = w;
 }
 
 /// Exact inverse of fwd_lift.
 void inv_lift(std::int32_t* p, std::size_t s) {
   std::int32_t x = p[0 * s], y = p[1 * s], z = p[2 * s], w = p[3 * s];
-  y += w >> 1; w -= y >> 1;
-  y += w; w <<= 1; w -= y;
-  z += x; x <<= 1; x -= z;
-  y += z; z <<= 1; z -= y;
-  w += x; x <<= 1; x -= w;
+  y = wadd(y, w >> 1); w = wsub(w, y >> 1);
+  y = wadd(y, w); w = wshl1(w); w = wsub(w, y);
+  z = wadd(z, x); x = wshl1(x); x = wsub(x, z);
+  y = wadd(y, z); z = wshl1(z); z = wsub(z, y);
+  w = wadd(w, x); x = wshl1(x); x = wsub(x, w);
   p[0 * s] = x; p[1 * s] = y; p[2 * s] = z; p[3 * s] = w;
 }
 
@@ -429,12 +445,17 @@ void ZfpCodec::decompress(std::span<const std::uint8_t> in, const ZfpField& fiel
 
 double ZfpCodec::error_bound(double max_abs) const {
   if (max_abs <= 0.0) return 0.0;
-  // Truncating to `rate` bit planes of a 30-bit quantization aligned at the
-  // block exponent leaves at most ~2^(emax - rate + dims + 2) of error
-  // (transform gain <= 2^dims). Conservative envelope:
+  // Truncating to the rate budget leaves ~2^(emax - planes + 5) of error
+  // (30-bit quantization aligned at the block exponent, transform gain
+  // <= 2^dims). `planes` is the bit planes the budget can actually code:
+  // the per-block header (zero marker + biased emax) is paid out of the
+  // same fixed-rate budget, and on 1D blocks (4 values) it costs up to
+  // three whole planes — at low rates that dominates the error.
   int emax = 0;
   (void)std::frexp(max_abs, &emax);
-  return std::ldexp(1.0, emax - rate_ + 5);
+  const int header_planes = (1 + kEmaxBits + 3) / 4;  // worst case: 1D blocks
+  const int planes = rate_ > header_planes ? rate_ - header_planes : 0;
+  return std::ldexp(1.0, emax - planes + 5);
 }
 
 }  // namespace gcmpi::comp

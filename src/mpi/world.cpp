@@ -145,7 +145,9 @@ void World::deliver_eager_to(PostedRecv& recv, const EagerMsg& msg) {
   if (recv.capacity < msg.env.bytes) {
     throw std::runtime_error("MiniMPI: eager message truncation (receive buffer too small)");
   }
-  std::memcpy(recv.buf, msg.payload->data(), msg.payload->size());
+  // Zero-byte messages are legal (match + status only); memcpy with a null
+  // src/dst is not, even for size 0.
+  if (!msg.payload->empty()) std::memcpy(recv.buf, msg.payload->data(), msg.payload->size());
 }
 
 void World::wake_probers(RankState& state, const Envelope& env) {
@@ -393,14 +395,14 @@ void Rank::decompress_wire(const WireMessage& msg, void* buf, std::uint64_t capa
   sim::Timeline tl(ctx_.now());
   if (msg.header.compressed) {
     auto staging = mgr.prepare_receive(tl, msg.header);
-    std::memcpy(staging.data, msg.payload->data(), msg.payload->size());
+    if (!msg.payload->empty()) std::memcpy(staging.data, msg.payload->data(), msg.payload->size());
     mgr.decompress_received(tl, msg.header, staging, buf, capacity);
     mgr.release_receive(tl, staging);
   } else {
     if (capacity < msg.payload->size()) {
       throw std::runtime_error("decompress_wire: buffer too small");
     }
-    std::memcpy(buf, msg.payload->data(), msg.payload->size());
+    if (!msg.payload->empty()) std::memcpy(buf, msg.payload->data(), msg.payload->size());
   }
   ctx_.advance_to(tl.now());
 }

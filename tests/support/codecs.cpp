@@ -1,0 +1,296 @@
+#include "support/codecs.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <iomanip>
+#include <sstream>
+
+#include "compress/fpc.hpp"
+#include "compress/gfc.hpp"
+#include "compress/huffman.hpp"
+#include "compress/mpc.hpp"
+#include "compress/sz.hpp"
+#include "compress/zfp.hpp"
+
+namespace gcmpi::testing {
+
+namespace {
+
+using comp::ZfpCodec;
+using comp::ZfpField;
+
+template <typename T>
+std::string hex_bits(T v) {
+  using U = std::conditional_t<sizeof(T) == 4, std::uint32_t, std::uint64_t>;
+  std::ostringstream os;
+  os << "0x" << std::hex << std::setw(sizeof(T) * 2) << std::setfill('0')
+     << std::bit_cast<U>(v);
+  return os.str();
+}
+
+template <typename T>
+std::optional<std::string> first_bit_divergence(std::span<const T> in,
+                                                std::span<const T> out) {
+  if (in.size() != out.size()) {
+    return "restored " + std::to_string(out.size()) + " of " +
+           std::to_string(in.size()) + " values";
+  }
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    if (std::memcmp(&in[i], &out[i], sizeof(T)) != 0) {
+      return "first divergence at [" + std::to_string(i) + "]: wrote " +
+             hex_bits(in[i]) + " read " + hex_bits(out[i]);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> bound_divergence(std::span<const float> in,
+                                            std::span<const float> out, double bound) {
+  if (in.size() != out.size()) {
+    return "restored " + std::to_string(out.size()) + " of " +
+           std::to_string(in.size()) + " values";
+  }
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const double err = std::fabs(static_cast<double>(in[i]) - static_cast<double>(out[i]));
+    if (!(err <= bound) || !std::isfinite(out[i])) {
+      std::ostringstream os;
+      os << "error bound violated at [" << i << "]: in " << in[i] << " out " << out[i]
+         << " |err| " << err << " bound " << bound;
+      return os.str();
+    }
+  }
+  return std::nullopt;
+}
+
+Property<float> mpc_prop(int dim, std::size_t chunk) {
+  return [dim, chunk](std::span<const float> in) -> std::optional<std::string> {
+    const comp::MpcCodec codec(dim, chunk);
+    std::vector<std::uint8_t> buf(codec.max_compressed_bytes(in.size()));
+    const std::size_t size = codec.compress(in, buf);
+    if (size > buf.size()) return "compress overran max_compressed_bytes";
+    if (comp::MpcCodec::encoded_values({buf.data(), size}) != in.size()) {
+      return "encoded_values header peek mismatch";
+    }
+    std::vector<float> out(in.size(), -99.0f);
+    const std::size_t n = codec.decompress({buf.data(), size}, out);
+    if (n != in.size()) return "decompress returned wrong count";
+    return first_bit_divergence(in, std::span<const float>(out));
+  };
+}
+
+Property<float> zfp_rate_prop(int rate) {
+  return [rate](std::span<const float> in) -> std::optional<std::string> {
+    if (in.empty()) return std::nullopt;  // zero-extent fields are rejected by design
+    const ZfpCodec codec(rate);
+    const ZfpField f = ZfpField::d1(in.size());
+    std::vector<std::uint8_t> buf(codec.compressed_bytes(f));
+    const std::size_t written = codec.compress(in, f, buf);
+    if (written != buf.size()) return "fixed-rate size not exact";
+    std::vector<float> out(in.size(), -1.0f);
+    codec.decompress(buf, f, out);
+    double max_abs = 0.0;
+    for (float x : in) {
+      if (std::isfinite(x)) max_abs = std::max(max_abs, std::fabs(static_cast<double>(x)));
+    }
+    return bound_divergence(in, std::span<const float>(out), codec.error_bound(max_abs));
+  };
+}
+
+/// 2D/3D fixed-rate round trip: fold the 1D payload into a boxy field so
+/// partial blocks occur on every axis.
+Property<float> zfp_multidim_prop(int rate, int dims) {
+  return [rate, dims](std::span<const float> in) -> std::optional<std::string> {
+    if (in.empty()) return std::nullopt;
+    ZfpField f;
+    if (dims == 2) {
+      std::size_t nx = 1;
+      while ((nx + 1) * (nx + 1) <= in.size()) ++nx;
+      f = ZfpField::d2(nx, (in.size() + nx - 1) / nx);
+    } else {
+      std::size_t nx = 1;
+      while ((nx + 1) * (nx + 1) * (nx + 1) <= in.size()) ++nx;
+      const std::size_t ny = nx;
+      const std::size_t nz = (in.size() + nx * ny - 1) / (nx * ny);
+      f = ZfpField::d3(nx, ny, nz);
+    }
+    std::vector<float> padded(f.values(), 0.0f);
+    std::memcpy(padded.data(), in.data(), in.size() * sizeof(float));
+    const ZfpCodec codec(rate);
+    std::vector<std::uint8_t> buf(codec.compressed_bytes(f));
+    if (codec.compress(padded, f, buf) != buf.size()) return "fixed-rate size not exact";
+    std::vector<float> out(f.values(), -1.0f);
+    codec.decompress(buf, f, out);
+    double max_abs = 0.0;
+    for (float x : padded) max_abs = std::max(max_abs, std::fabs(static_cast<double>(x)));
+    return bound_divergence(padded, std::span<const float>(out), codec.error_bound(max_abs));
+  };
+}
+
+Property<float> zfp_accuracy_prop(double tolerance) {
+  return [tolerance](std::span<const float> in) -> std::optional<std::string> {
+    if (in.empty()) return std::nullopt;
+    const auto codec = ZfpCodec::fixed_accuracy(tolerance);
+    const ZfpField f = ZfpField::d1(in.size());
+    std::vector<std::uint8_t> buf(codec.compressed_bytes(f));
+    const std::size_t written = codec.compress(in, f, buf);
+    if (written > buf.size()) return "compress overran the upper bound";
+    std::vector<float> out(in.size(), -1.0f);
+    codec.decompress({buf.data(), written}, f, out);
+    return bound_divergence(in, std::span<const float>(out), tolerance);
+  };
+}
+
+/// Fixed-precision mode has no simple absolute bound; the fuzzable
+/// invariants are: encode is deterministic, size respects the upper bound,
+/// and finite input decodes to finite output.
+Property<float> zfp_precision_prop(int precision) {
+  return [precision](std::span<const float> in) -> std::optional<std::string> {
+    if (in.empty()) return std::nullopt;
+    const auto codec = ZfpCodec::fixed_precision(precision);
+    const ZfpField f = ZfpField::d1(in.size());
+    std::vector<std::uint8_t> buf(codec.compressed_bytes(f));
+    const std::size_t a = codec.compress(in, f, buf);
+    if (a > buf.size()) return "compress overran the upper bound";
+    std::vector<std::uint8_t> buf2(codec.compressed_bytes(f));
+    const std::size_t b = codec.compress(in, f, buf2);
+    if (a != b || std::memcmp(buf.data(), buf2.data(), a) != 0) {
+      return "encode is not deterministic";
+    }
+    std::vector<float> out(in.size(), -1.0f);
+    codec.decompress({buf.data(), a}, f, out);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      if (!std::isfinite(out[i])) {
+        return "non-finite output at [" + std::to_string(i) + "] from finite input";
+      }
+    }
+    return std::nullopt;
+  };
+}
+
+Property<float> sz_prop(double bound, int quant_bits) {
+  return [bound, quant_bits](std::span<const float> in) -> std::optional<std::string> {
+    const comp::SzCodec codec(bound, quant_bits);
+    std::vector<std::uint8_t> buf(codec.max_compressed_bytes(in.size()));
+    const std::size_t size = codec.compress(in, buf);
+    if (size > buf.size()) return "compress overran max_compressed_bytes";
+    if (comp::SzCodec::encoded_values({buf.data(), size}) != in.size()) {
+      return "encoded_values header peek mismatch";
+    }
+    std::vector<float> out(in.size(), -99.0f);
+    if (codec.decompress({buf.data(), size}, out) != in.size()) {
+      return "decompress returned wrong count";
+    }
+    return bound_divergence(in, std::span<const float>(out), bound);
+  };
+}
+
+/// Huffman over the raw bit patterns of the payload (the SZ quantization
+/// codes in production): table + stream must restore every symbol.
+Property<float> huffman_prop() {
+  return [](std::span<const float> in) -> std::optional<std::string> {
+    if (in.empty()) return std::nullopt;
+    std::vector<std::uint32_t> symbols(in.size());
+    std::memcpy(symbols.data(), in.data(), in.size() * sizeof(float));
+    comp::BitWriter w;
+    const comp::HuffmanEncoder enc(symbols);
+    enc.write_table(w);
+    for (std::uint32_t s : symbols) enc.encode(w, s);
+    const auto bytes = w.take();
+    comp::BitReader r(bytes);
+    const comp::HuffmanDecoder dec(r);
+    if (dec.distinct_symbols() != enc.distinct_symbols()) {
+      return "decoder rebuilt a different codebook size";
+    }
+    for (std::size_t i = 0; i < symbols.size(); ++i) {
+      const std::uint32_t got = dec.decode(r);
+      if (got != symbols[i]) {
+        return "first divergence at [" + std::to_string(i) + "]: wrote " +
+               hex_bits(std::bit_cast<float>(symbols[i])) + " read " +
+               hex_bits(std::bit_cast<float>(got));
+      }
+    }
+    return std::nullopt;
+  };
+}
+
+Property<double> mpc64_prop(int dim, std::size_t chunk) {
+  return [dim, chunk](std::span<const double> in) -> std::optional<std::string> {
+    const comp::MpcCodec64 codec(dim, chunk);
+    std::vector<std::uint8_t> buf(codec.max_compressed_bytes(in.size()));
+    const std::size_t size = codec.compress(in, buf);
+    if (size > buf.size()) return "compress overran max_compressed_bytes";
+    std::vector<double> out(in.size(), -99.0);
+    if (codec.decompress({buf.data(), size}, out) != in.size()) {
+      return "decompress returned wrong count";
+    }
+    return first_bit_divergence(in, std::span<const double>(out));
+  };
+}
+
+Property<double> fpc_prop(unsigned lg) {
+  return [lg](std::span<const double> in) -> std::optional<std::string> {
+    const comp::FpcCodec codec(lg);
+    std::vector<std::uint8_t> buf(codec.max_compressed_bytes(in.size()));
+    const std::size_t size = codec.compress(in, buf);
+    if (size > buf.size()) return "compress overran max_compressed_bytes";
+    std::vector<double> out(in.size(), -99.0);
+    if (codec.decompress({buf.data(), size}, out) != in.size()) {
+      return "decompress returned wrong count";
+    }
+    return first_bit_divergence(in, std::span<const double>(out));
+  };
+}
+
+Property<double> gfc_prop(std::size_t chunk) {
+  return [chunk](std::span<const double> in) -> std::optional<std::string> {
+    const comp::GfcCodec codec(chunk);
+    std::vector<std::uint8_t> buf(codec.max_compressed_bytes(in.size()));
+    const std::size_t size = codec.compress(in, buf);
+    if (size > buf.size()) return "compress overran max_compressed_bytes";
+    std::vector<double> out(in.size(), -99.0);
+    if (codec.decompress({buf.data(), size}, out) != in.size()) {
+      return "decompress returned wrong count";
+    }
+    return first_bit_divergence(in, std::span<const double>(out));
+  };
+}
+
+}  // namespace
+
+std::vector<FloatCodecCheck> float_codec_checks() {
+  std::vector<FloatCodecCheck> checks;
+  for (const auto& [dim, chunk] : {std::pair<int, std::size_t>{1, 1024},
+                                   {2, 1024},
+                                   {4, 32},
+                                   {8, 256},
+                                   {32, 64}}) {
+    checks.push_back({"mpc_dim" + std::to_string(dim) + "_chunk" + std::to_string(chunk),
+                      false, 1u << 16, mpc_prop(dim, chunk)});
+  }
+  for (int rate : {4, 8, 16, 32}) {
+    checks.push_back({"zfp_rate" + std::to_string(rate), true, 1u << 15, zfp_rate_prop(rate)});
+  }
+  checks.push_back({"zfp_rate16_2d", true, 1u << 13, zfp_multidim_prop(16, 2)});
+  checks.push_back({"zfp_rate8_3d", true, 1u << 12, zfp_multidim_prop(8, 3)});
+  checks.push_back({"zfp_accuracy_1e_3", true, 1u << 14, zfp_accuracy_prop(1e-3)});
+  checks.push_back({"zfp_accuracy_1e_6", true, 1u << 14, zfp_accuracy_prop(1e-6)});
+  checks.push_back({"zfp_precision_20", true, 1u << 14, zfp_precision_prop(20)});
+  checks.push_back({"sz_1e_2_q16", true, 1u << 15, sz_prop(1e-2, 16)});
+  checks.push_back({"sz_1e_4_q12", true, 1u << 15, sz_prop(1e-4, 12)});
+  checks.push_back({"huffman_bits", false, 1u << 14, huffman_prop()});
+  return checks;
+}
+
+std::vector<DoubleCodecCheck> double_codec_checks() {
+  std::vector<DoubleCodecCheck> checks;
+  checks.push_back({"mpc64_dim1_chunk1024", false, 1u << 15, mpc64_prop(1, 1024)});
+  checks.push_back({"mpc64_dim2_chunk64", false, 1u << 15, mpc64_prop(2, 64)});
+  checks.push_back({"fpc_lg10", false, 1u << 15, fpc_prop(10)});
+  checks.push_back({"fpc_lg16", false, 1u << 15, fpc_prop(16)});
+  checks.push_back({"gfc_chunk32", false, 1u << 15, gfc_prop(32)});
+  checks.push_back({"gfc_chunk1024", false, 1u << 15, gfc_prop(1024)});
+  return checks;
+}
+
+}  // namespace gcmpi::testing

@@ -1,0 +1,39 @@
+// Uniform round-trip properties for every codec in src/compress, shaped
+// for the property harness: each entry is a named Property that compresses
+// a payload, decompresses it, and validates either bit-exactness (MPC,
+// FPC, GFC, Huffman) or the codec's published error bound (ZFP fixed
+// rate/accuracy, SZ). The fuzz suite iterates these against all payload
+// kinds; the failure message pinpoints the first diverging value.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/property.hpp"
+
+namespace gcmpi::testing {
+
+struct FloatCodecCheck {
+  std::string name;
+  bool finite_only = false;   // lossy codecs sanitize NaN/Inf; bound checks
+                              // only make sense on finite payloads
+  std::size_t max_values = 1u << 16;
+  Property<float> prop;
+};
+
+struct DoubleCodecCheck {
+  std::string name;
+  bool finite_only = false;
+  std::size_t max_values = 1u << 15;
+  Property<double> prop;
+};
+
+/// All float32 codec round-trip properties: MPC at several dimensionalities
+/// and chunk sizes, ZFP at every paper rate plus the variable-size modes,
+/// SZ at loose and tight bounds, and Huffman over the raw bit patterns.
+[[nodiscard]] std::vector<FloatCodecCheck> float_codec_checks();
+
+/// All float64 codec properties: MPC64, FPC, GFC.
+[[nodiscard]] std::vector<DoubleCodecCheck> double_codec_checks();
+
+}  // namespace gcmpi::testing

@@ -1,0 +1,112 @@
+// Minimal property-testing harness: run a predicate over generated inputs,
+// and on failure greedily shrink the input to a (locally) minimal failing
+// payload before reporting, QuickCheck-style. The report carries the
+// payload case triple (kind, n, seed) plus the shrunken values so any
+// failure is reproducible with GCMPI_TEST_SEED and pastable into a
+// regression test.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/payloads.hpp"
+
+namespace gcmpi::testing {
+
+/// A property over a payload: empty optional == holds; otherwise the
+/// explanation of the violation (first bad index, expected vs got bits...).
+template <typename T>
+using Property = std::function<std::optional<std::string>(std::span<const T>)>;
+
+/// Greedily shrink `input` while `prop` keeps failing. Candidate moves:
+/// drop the front half, drop the back half, drop quarters, then truncate
+/// single elements off the tail. Bounded by `max_steps` property calls so
+/// pathological codecs cannot stall the suite.
+template <typename T>
+std::vector<T> shrink_failing(std::vector<T> input, const Property<T>& prop,
+                              int max_steps = 200) {
+  int steps = 0;
+  auto fails = [&](const std::vector<T>& v) {
+    ++steps;
+    return prop(std::span<const T>(v)).has_value();
+  };
+  bool progress = true;
+  while (progress && steps < max_steps && input.size() > 1) {
+    progress = false;
+    const std::size_t n = input.size();
+    // Halves, then quarters.
+    for (std::size_t denom : {2u, 4u}) {
+      const std::size_t piece = n / denom;
+      if (piece == 0) continue;
+      for (std::size_t start = 0; start + piece <= n; start += piece) {
+        std::vector<T> candidate;
+        candidate.reserve(n - piece);
+        candidate.insert(candidate.end(), input.begin(),
+                         input.begin() + static_cast<std::ptrdiff_t>(start));
+        candidate.insert(candidate.end(),
+                         input.begin() + static_cast<std::ptrdiff_t>(start + piece),
+                         input.end());
+        if (fails(candidate)) {
+          input = std::move(candidate);
+          progress = true;
+          break;
+        }
+        if (steps >= max_steps) return input;
+      }
+      if (progress) break;
+    }
+  }
+  // Tail truncation for the last few elements.
+  while (steps < max_steps && input.size() > 1) {
+    std::vector<T> candidate(input.begin(), input.end() - 1);
+    if (!fails(candidate)) break;
+    input = std::move(candidate);
+  }
+  return input;
+}
+
+/// Render a shrunken failing payload compactly (hex bits + value preview).
+template <typename T>
+std::string render_payload(std::span<const T> v, std::size_t max_items = 16) {
+  std::ostringstream os;
+  os << "[" << v.size() << " values]";
+  const std::size_t show = v.size() < max_items ? v.size() : max_items;
+  for (std::size_t i = 0; i < show; ++i) os << " " << v[i];
+  if (show < v.size()) os << " ...";
+  return os.str();
+}
+
+/// Run `cases` fuzz iterations of `prop` over drawn payloads; on the first
+/// failure, shrink and return the formatted report. Empty optional == all
+/// cases passed. `name` labels the unit under test in the report.
+template <typename T>
+std::optional<std::string> check_property(
+    const std::string& name, int cases, std::uint64_t root_seed, std::size_t max_values,
+    bool finite_only, const std::function<std::vector<T>(const PayloadCase&)>& gen,
+    const Property<T>& prop) {
+  sim::Rng rng(root_seed);
+  for (int i = 0; i < cases; ++i) {
+    const PayloadCase c = draw_case(rng, max_values, finite_only);
+    std::vector<T> payload = gen(c);
+    auto error = prop(std::span<const T>(payload));
+    if (!error) continue;
+    const auto shrunk = shrink_failing(payload, prop);
+    auto shrunk_error = prop(std::span<const T>(shrunk));
+    std::ostringstream os;
+    os << name << ": property violated on case #" << i << " (" << describe(c)
+       << ", root seed " << root_seed << ")\n  original failure: " << *error
+       << "\n  shrunk to " << render_payload(std::span<const T>(shrunk))
+       << "\n  shrunk failure: " << (shrunk_error ? *shrunk_error : error->c_str())
+       << "\n  reproduce with GCMPI_TEST_SEED=" << root_seed;
+    return os.str();
+  }
+  return std::nullopt;
+}
+
+}  // namespace gcmpi::testing

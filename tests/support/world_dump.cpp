@@ -1,0 +1,147 @@
+#include "support/world_dump.hpp"
+
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "core/telemetry.hpp"
+#include "data/datasets.hpp"
+#include "mpi/world.hpp"
+#include "sim/rng.hpp"
+#include "support/payloads.hpp"
+
+namespace gcmpi::testing {
+
+namespace {
+
+std::uint64_t fnv1a(const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < bytes; ++i) h = (h ^ p[i]) * 0x100000001b3ULL;
+  return h;
+}
+
+}  // namespace
+
+std::string run_world_dump(const WorldScenario& s) {
+  const int P = s.nodes * s.gpus_per_node;
+
+  // Plan all p2p traffic up front, deterministically in the scenario seed.
+  sim::Rng rng(s.seed);
+  struct Send {
+    int dst;
+    int tag;
+    PayloadCase payload;
+  };
+  std::vector<std::vector<Send>> plan(static_cast<std::size_t>(P));
+  std::vector<int> expected(static_cast<std::size_t>(P), 0);
+  for (int src = 0; src < P; ++src) {
+    for (int m = 0; m < s.messages_per_rank; ++m) {
+      Send snd;
+      const int d = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(P - 1)));
+      snd.dst = d >= src ? d + 1 : d;
+      snd.tag = 1 + static_cast<int>(rng.next_below(4));
+      snd.payload = draw_case(rng, s.max_message_values);
+      if (snd.payload.n == 0) snd.payload.n = 1;  // probe-free drain needs bytes
+      plan[static_cast<std::size_t>(src)].push_back(snd);
+      ++expected[static_cast<std::size_t>(snd.dst)];
+    }
+  }
+
+  sim::Engine engine;
+  core::Telemetry telemetry;
+  auto cfg = s.compression ? core::CompressionConfig::mpc_opt() : core::CompressionConfig::off();
+  cfg.threshold_bytes = 8 * 1024;
+  mpi::WorldOptions opts;
+  opts.telemetry = &telemetry;
+  mpi::World world(engine, net::longhorn(s.nodes, s.gpus_per_node), cfg, opts);
+
+  // Per-rank observation log: every receive completion and collective
+  // result, stamped with virtual time. Indexed by rank so the dump order
+  // is independent of actor scheduling.
+  std::vector<std::vector<std::string>> observed(static_cast<std::size_t>(P));
+
+  world.run([&](mpi::Rank& R) {
+    const int me = R.rank();
+    auto& log = observed[static_cast<std::size_t>(me)];
+    std::vector<mpi::Request> sends;
+    std::vector<std::vector<float>> live;
+    for (const auto& snd : plan[static_cast<std::size_t>(me)]) {
+      live.push_back(make_floats(snd.payload.kind, snd.payload.n, snd.payload.seed));
+      sends.push_back(
+          R.isend(live.back().data(), live.back().size() * 4, snd.dst, snd.tag));
+    }
+    std::vector<float> rbuf(s.max_message_values + 16);
+    for (int m = 0; m < expected[static_cast<std::size_t>(me)]; ++m) {
+      const auto st = R.recv(rbuf.data(), rbuf.size() * 4, mpi::kAnySource, mpi::kAnyTag);
+      std::ostringstream os;
+      os << "recv rank=" << me << " t_ns=" << R.now().count_ns() << " src=" << st.source
+         << " tag=" << st.tag << " bytes=" << st.bytes << " fnv="
+         << fnv1a(rbuf.data(), st.bytes);
+      log.push_back(os.str());
+    }
+    R.waitall(sends);
+
+    for (int round = 0; round < s.collective_rounds; ++round) {
+      float v = static_cast<float>(me * 13 + round);
+      float sum = 0.0f;
+      R.allreduce(&v, &sum, 1, mpi::ReduceOp::Sum);
+      std::vector<float> block(256, static_cast<float>(me) + 0.5f);
+      std::vector<float> all(block.size() * static_cast<std::size_t>(P));
+      R.allgather(block.data(), block.size() * 4, all.data());
+      std::vector<float> bc = data::generate("msg_sppm", 4096,
+                                             static_cast<std::uint64_t>(round + 1));
+      R.bcast(bc.data(), bc.size() * 4, round % P);
+      std::ostringstream os;
+      os << "coll rank=" << me << " round=" << round << " t_ns=" << R.now().count_ns()
+         << " sum=" << sum << " fnv_all=" << fnv1a(all.data(), all.size() * 4)
+         << " fnv_bcast=" << fnv1a(bc.data(), bc.size() * 4);
+      log.push_back(os.str());
+      R.barrier();
+    }
+  });
+
+  std::ostringstream dump;
+  dump << "scenario seed=" << s.seed << " ranks=" << P
+       << " msgs=" << s.messages_per_rank << " compression=" << s.compression << "\n";
+  for (int r = 0; r < P; ++r) {
+    for (const auto& line : observed[static_cast<std::size_t>(r)]) dump << line << "\n";
+    const auto& stats = world.compression_of(r).stats();
+    dump << "stats rank=" << r << " considered=" << stats.messages_considered
+         << " compressed=" << stats.messages_compressed
+         << " fallback=" << stats.messages_fallback_raw
+         << " original=" << stats.original_bytes << " wire=" << stats.wire_bytes << "\n";
+  }
+  dump << "telemetry_events=" << telemetry.events().size() << "\n";
+  telemetry.write_csv(dump);
+  const auto summary = telemetry.summarize();
+  dump << "telemetry_summary compressions=" << summary.compressions
+       << " decompressions=" << summary.decompressions
+       << " bypasses=" << summary.raw_bypasses << " fallbacks=" << summary.fallbacks
+       << " original=" << summary.original_bytes << " wire=" << summary.wire_bytes
+       << " ct_ns=" << summary.compression_time.count_ns()
+       << " dt_ns=" << summary.decompression_time.count_ns() << "\n";
+  dump << "engine_final_ns=" << engine.now().count_ns() << "\n";
+  return dump.str();
+}
+
+std::string first_divergence(const std::string& a, const std::string& b) {
+  std::istringstream sa(a), sb(b);
+  std::string la, lb;
+  std::size_t line = 0;
+  while (true) {
+    const bool ga = static_cast<bool>(std::getline(sa, la));
+    const bool gb = static_cast<bool>(std::getline(sb, lb));
+    ++line;
+    if (!ga && !gb) return "dumps are identical";
+    if (ga != gb || la != lb) {
+      std::ostringstream os;
+      os << "first divergence at line " << line << ":\n  run1: "
+         << (ga ? la : "<end of dump>") << "\n  run2: " << (gb ? lb : "<end of dump>");
+      return os.str();
+    }
+  }
+}
+
+}  // namespace gcmpi::testing

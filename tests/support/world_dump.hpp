@@ -1,0 +1,32 @@
+// Deterministic scenario runner for the determinism suite: run a seeded
+// mixed workload (random point-to-point traffic + collectives) on a
+// simulated cluster and serialize everything observable — per-rank receive
+// timeline with virtual timestamps and payload checksums, compression
+// stats, the full telemetry event log, and the final engine clock — into
+// one canonical text dump. The simulator's contract is that two runs of
+// the same scenario produce byte-identical dumps.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace gcmpi::testing {
+
+struct WorldScenario {
+  int nodes = 4;
+  int gpus_per_node = 2;            // ranks = nodes * gpus_per_node
+  int messages_per_rank = 20;       // random p2p sends per rank
+  std::size_t max_message_values = 16384;
+  bool compression = true;          // MPC-OPT with a low threshold
+  int collective_rounds = 2;        // allreduce+allgather+bcast interleaved
+  std::uint64_t seed = 1;
+};
+
+[[nodiscard]] std::string run_world_dump(const WorldScenario& s);
+
+/// Locate the first diverging line between two dumps and format a
+/// human-readable diff snippet (line number, both lines, context).
+[[nodiscard]] std::string first_divergence(const std::string& a, const std::string& b);
+
+}  // namespace gcmpi::testing

@@ -3,13 +3,20 @@
 // the qualitatively right calls on known data/link combinations.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
+#include "compress/mpc.hpp"
 #include "core/dynamic.hpp"
 #include "data/datasets.hpp"
 #include "gpu/device.hpp"
+#include "sim/rng.hpp"
+#include "support/payloads.hpp"
 
 namespace {
 
 using namespace gcmpi;
+namespace tsup = gcmpi::testing;
 using core::Algorithm;
 using core::DynamicSelector;
 
@@ -81,6 +88,52 @@ TEST(DynamicSelector, ApplyWritesConfig) {
   core::CandidateCost none{Algorithm::None, 0, 1.0, sim::Time::us(10)};
   DynamicSelector::apply(none, cfg);
   EXPECT_FALSE(cfg.enabled);
+}
+
+TEST(DynamicSelectorProperty, ChooseNeverPicksLossyWhenLossyDisallowed) {
+  // Property: with lossy_allowed=false, neither choose() nor any candidate
+  // evaluate() emits may be ZFP (the only lossy scheme the selector knows),
+  // regardless of payload shape, message size, or link bandwidth.
+  sim::Rng rng(tsup::test_seed() ^ 0xd15aULL);
+  const double bandwidths[] = {1.0, 6.8, 12.5, 25.0, 75.0, 300.0};
+  for (int c = 0; c < 60; ++c) {
+    const auto pc = tsup::draw_case(rng, 1 << 16, /*finite_only=*/true);
+    const auto payload = tsup::make_floats(pc.kind, pc.n, pc.seed);
+    const double gbs = bandwidths[rng.next_below(6)];
+    DynamicSelector sel(gpu::v100_spec(), gbs, /*lossy_allowed=*/false);
+    const auto choice = sel.choose(payload);
+    EXPECT_NE(choice.algorithm, Algorithm::ZFP)
+        << "lossy pick for kind=" << static_cast<int>(pc.kind) << " n=" << pc.n
+        << " seed=" << pc.seed << " gbs=" << gbs;
+    const std::uint64_t bytes = std::max<std::uint64_t>(payload.size() * 4, 1);
+    for (const auto& cand : sel.evaluate(bytes, 1.4)) {
+      EXPECT_NE(cand.algorithm, Algorithm::ZFP)
+          << "lossy candidate surfaced at bytes=" << bytes << " gbs=" << gbs;
+    }
+  }
+}
+
+TEST(DynamicSelectorProperty, ConstantBufferEstimateLowerBoundsFullRatio) {
+  // Property: on a constant buffer MPC compresses every chunk identically,
+  // so the sampled-prefix estimate must track the true full-buffer ratio —
+  // never undershooting its lower bound (15% slack for the per-buffer
+  // header amortization difference between sample and full sizes).
+  sim::Rng rng(tsup::test_seed() ^ 0xc057ULL);
+  DynamicSelector sel(gpu::v100_spec(), 12.5);
+  const float constants[] = {0.0f, 1.0f, -2.75f, 3.14159e7f, 1.0e-38f, -6.25e-3f};
+  for (int c = 0; c < 24; ++c) {
+    const std::size_t n = 16384 + rng.next_below(1u << 18);
+    const std::vector<float> buf(n, constants[rng.next_below(6)]);
+    const double est = sel.estimate_mpc_ratio(buf);
+    const comp::MpcCodec codec(1);
+    std::vector<std::uint8_t> out(codec.max_compressed_bytes(n));
+    const std::size_t full_bytes = codec.compress(buf, out);
+    const double full = static_cast<double>(n * 4) / static_cast<double>(full_bytes);
+    EXPECT_GE(est, full * 0.85)
+        << "estimate " << est << " undershoots full ratio " << full << " at n=" << n
+        << " value=" << buf[0];
+    EXPECT_GT(est, 1.0) << "constant data must be seen as compressible, n=" << n;
+  }
 }
 
 TEST(DynamicSelector, ChooseEndToEnd) {
