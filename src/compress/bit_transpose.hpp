@@ -1,0 +1,46 @@
+// In-place bit-matrix transposes for MPC's tile stage.
+//
+// Convention: row r of the matrix is word a[r], and bit c (LSB-first) of
+// that word is column c, i.e. M[r][c] = (a[r] >> c) & 1. The transpose
+// satisfies M'[r][c] = M[c][r] — exactly the "out[b] collects bit b of
+// in[0..N)" layout MPC's zero-elimination stage expects.
+//
+// The implementation is the Hacker's Delight recursive block swap
+// (Sec. 7-3), mirrored for LSB-first bit order: at each level, the
+// block of rows with bit j clear / columns with bit j set trades places
+// with the block of rows with bit j set / columns with bit j clear using a
+// mask/shift/xor exchange. log2(N) passes of N/2 word operations replace
+// the naive N*N double loop; the whole 32x32 tile transposes in ~160 word
+// ops. Each function is an involution: applying it twice is the identity,
+// which is what lets MPC decompression reuse the forward transpose.
+#pragma once
+
+#include <cstdint>
+
+namespace gcmpi::comp {
+
+/// Transpose a 32x32 bit matrix in place.
+inline void bit_transpose32(std::uint32_t a[32]) {
+  std::uint32_t m = 0x0000FFFFu;
+  for (int j = 16; j != 0; j >>= 1, m ^= m << j) {
+    for (int k = 0; k < 32; k = (k + j + 1) & ~j) {
+      const std::uint32_t t = ((a[k] >> j) ^ a[k + j]) & m;
+      a[k] ^= t << j;
+      a[k + j] ^= t;
+    }
+  }
+}
+
+/// Transpose a 64x64 bit matrix in place.
+inline void bit_transpose64(std::uint64_t a[64]) {
+  std::uint64_t m = 0x00000000FFFFFFFFull;
+  for (int j = 32; j != 0; j >>= 1, m ^= m << j) {
+    for (int k = 0; k < 64; k = (k + j + 1) & ~j) {
+      const std::uint64_t t = ((a[k] >> j) ^ a[k + j]) & m;
+      a[k] ^= t << j;
+      a[k + j] ^= t;
+    }
+  }
+}
+
+}  // namespace gcmpi::comp

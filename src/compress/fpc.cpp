@@ -72,10 +72,14 @@ std::size_t FpcCodec::compress(std::span<const double> in, std::span<std::uint8_
     code = static_cast<std::uint8_t>((use_dfcm ? 8 : 0) | stored);
   };
 
+  // Payload bytes go out most-significant-first; byteswapping once and
+  // copying the tail of the big-endian image emits all of them in one store
+  // instead of a shift-and-mask per byte.
   auto put_payload = [&](std::uint64_t residual, int payload) {
-    for (int b = payload - 1; b >= 0; --b) {
-      out[pos++] = static_cast<std::uint8_t>(residual >> (8 * b));
-    }
+    const std::uint64_t be = __builtin_bswap64(residual);
+    std::memcpy(out.data() + pos, reinterpret_cast<const std::uint8_t*>(&be) + (8 - payload),
+                static_cast<std::size_t>(payload));
+    pos += static_cast<std::size_t>(payload);
   };
 
   // One shared code byte per pair of values, written BEFORE their payloads.
@@ -127,13 +131,14 @@ std::size_t FpcCodec::decompress(std::span<const std::uint8_t> in, std::span<dou
     const int stored = code & 7;
     const int enc_lzb = stored >= 4 ? stored + 1 : stored;
     const int payload = 8 - enc_lzb;
-    std::uint64_t residual = 0;
     if (pos + static_cast<std::size_t>(payload) > in.size()) {
       throw std::runtime_error("FpcCodec: truncated payload");
     }
-    for (int b = 0; b < payload; ++b) {
-      residual = (residual << 8) | in[pos++];
-    }
+    std::uint64_t be = 0;
+    std::memcpy(reinterpret_cast<std::uint8_t*>(&be) + (8 - payload), in.data() + pos,
+                static_cast<std::size_t>(payload));
+    pos += static_cast<std::size_t>(payload);
+    const std::uint64_t residual = __builtin_bswap64(be);
     const std::uint64_t pred = use_dfcm ? dfcm[dfcm_hash] + last : fcm[fcm_hash];
     const std::uint64_t bits = residual ^ pred;
 

@@ -56,7 +56,7 @@ std::size_t GfcCodec::compress(std::span<const double> in, std::span<std::uint8_
   };
 
   std::vector<std::uint8_t> payload;
-  payload.reserve(n * 4);
+  payload.reserve(n * 8);  // worst case: every delta keeps all 8 bytes
 
   for (std::size_t base = 0; base < n; base += chunk_) {
     const std::size_t count = std::min(chunk_, n - base);
@@ -74,9 +74,11 @@ std::size_t GfcCodec::compress(std::span<const double> in, std::span<std::uint8_
       if (sig == 4) sig = 5;  // 4 is not representable in the 3-bit field
       const std::uint8_t stored = static_cast<std::uint8_t>(sig > 4 ? sig - 1 : sig);
       emit_header(static_cast<std::uint8_t>((use_neg ? 8 : 0) | stored));
-      for (int b = 0; b < sig; ++b) {
-        payload.push_back(static_cast<std::uint8_t>(folded >> (8 * b)));
-      }
+      // Payload is the low `sig` bytes of `folded` in little-endian order —
+      // exactly its in-memory prefix, so one memcpy replaces the byte loop.
+      const std::size_t old = payload.size();
+      payload.resize(old + static_cast<std::size_t>(sig));
+      std::memcpy(payload.data() + old, &folded, static_cast<std::size_t>(sig));
     }
   }
   if (half) out[pos++] = pending;
@@ -117,9 +119,8 @@ std::size_t GfcCodec::decompress(std::span<const std::uint8_t> in, std::span<dou
         throw std::runtime_error("GfcCodec: truncated payload");
       }
       std::uint64_t folded = 0;
-      for (int b = 0; b < sig; ++b) {
-        folded |= static_cast<std::uint64_t>(payload[ppos++]) << (8 * b);
-      }
+      std::memcpy(&folded, payload + ppos, static_cast<std::size_t>(sig));
+      ppos += static_cast<std::size_t>(sig);
       const std::uint64_t delta = use_neg ? (~folded + 1) : folded;
       const std::uint64_t bits = prev + delta;
       prev = bits;

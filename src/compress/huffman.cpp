@@ -55,7 +55,7 @@ HuffmanEncoder::HuffmanEncoder(std::span<const std::uint32_t> symbols) {
       if (len > kMaxLength) {
         throw std::runtime_error("HuffmanEncoder: code length limit exceeded");
       }
-      entries_.push_back(Entry{nd.symbol, static_cast<std::uint8_t>(len), 0});
+      entries_.push_back(Entry{nd.symbol, static_cast<std::uint8_t>(len), 0, 0});
     } else {
       stack.emplace_back(nd.left, depth + 1);
       stack.emplace_back(nd.right, depth + 1);
@@ -73,6 +73,11 @@ HuffmanEncoder::HuffmanEncoder(std::span<const std::uint32_t> symbols) {
     code <<= (e.length - prev_len);
     prev_len = e.length;
     e.code = code++;
+    // Pre-reverse so encode() can emit the whole code with one put_bits
+    // (LSB-first) instead of a put_bit per code bit (MSB-first).
+    std::uint32_t r = 0;
+    for (int i = 0; i < e.length; ++i) r |= ((e.code >> i) & 1u) << (e.length - 1 - i);
+    e.rcode = r;
   }
 
   // Mean code length under the histogram.
@@ -120,9 +125,7 @@ void HuffmanEncoder::write_table(BitWriter& w) const {
 void HuffmanEncoder::encode(BitWriter& w, std::uint32_t symbol) const {
   const Entry* e = find(symbol);
   if (e == nullptr) throw std::invalid_argument("HuffmanEncoder: unknown symbol");
-  for (int j = e->length - 1; j >= 0; --j) {
-    w.put_bit((e->code >> j) & 1u);
-  }
+  w.put_bits(e->rcode, e->length);
 }
 
 HuffmanDecoder::HuffmanDecoder(BitReader& r) {
@@ -162,10 +165,15 @@ HuffmanDecoder::HuffmanDecoder(BitReader& r) {
 
 std::uint32_t HuffmanDecoder::decode(BitReader& r) const {
   if (symbols_.empty()) throw std::logic_error("HuffmanDecoder: empty codebook");
+  // One peek covers the longest possible code; the canonical length scan
+  // then runs on a register window instead of per-bit reader calls, and the
+  // reader advances once by the matched length.
+  const std::uint64_t window = r.peek_bits(max_length_);
   std::uint32_t acc = 0;
   for (int len = 1; len <= max_length_; ++len) {
-    acc = (acc << 1) | r.get_bit();
+    acc = (acc << 1) | static_cast<std::uint32_t>((window >> (len - 1)) & 1u);
     if (count_[len] != 0 && acc - first_code_[len] < count_[len]) {
+      r.skip(len);
       return symbols_[first_index_[len] + (acc - first_code_[len])];
     }
   }

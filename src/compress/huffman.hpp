@@ -35,7 +35,9 @@ class HuffmanEncoder {
   struct Entry {
     std::uint32_t symbol;
     std::uint8_t length;
-    std::uint32_t code;  // canonical, MSB-first semantics stored LSB-first
+    std::uint32_t code;   // canonical value, MSB-first semantics
+    std::uint32_t rcode;  // bit-reversed code: one LSB-first put_bits emits
+                          // the same MSB-first bit sequence as `code`
   };
   // Sparse symbol -> entry index lookup (symbols can be arbitrary u32).
   [[nodiscard]] const Entry* find(std::uint32_t symbol) const;

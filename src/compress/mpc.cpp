@@ -4,6 +4,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "compress/bit_transpose.hpp"
+
 namespace gcmpi::comp {
 
 namespace {
@@ -36,52 +38,54 @@ void store_u32(std::uint8_t* p, std::uint32_t v) { std::memcpy(p, &v, 4); }
   return (z >> 1) ^ (~(z & 1u) + 1u);
 }
 
-/// Transpose a 32x32 bit matrix: out[b] collects bit b of in[0..31].
-void bit_transpose(const std::uint32_t in[32], std::uint32_t out[32]) {
-  for (int b = 0; b < 32; ++b) out[b] = 0;
-  for (int w = 0; w < 32; ++w) {
-    std::uint32_t v = in[w];
-    while (v != 0) {
-      const int b = __builtin_ctz(v);
-      out[b] |= 1u << w;
-      v &= v - 1;
-    }
-  }
-}
-
-void bit_transpose_back(const std::uint32_t in[32], std::uint32_t out[32]) {
-  bit_transpose(in, out);  // transposition is an involution
-}
-
 /// Compress one chunk of `n` values (n <= chunk capacity) into u32 words.
 std::size_t compress_chunk(const std::uint32_t* bits, std::size_t n, int dim,
                            std::uint32_t* out) {
-  // Stage 1+2: dimension-stride residual, zig-zag.
-  std::uint32_t resid[32];
+  const auto d = static_cast<std::size_t>(dim);
   std::size_t out_words = 0;
   std::uint32_t tile[32];
-  std::uint32_t transposed[32];
   for (std::size_t base = 0; base < n; base += 32) {
-    for (std::size_t j = 0; j < 32; ++j) {
-      const std::size_t i = base + j;
-      if (i < n) {
-        const std::uint32_t prev = i >= static_cast<std::size_t>(dim) ? bits[i - static_cast<std::size_t>(dim)] : 0u;
-        resid[j] = zigzag(bits[i] - prev);
-      } else {
-        resid[j] = 0;  // tail padding, elided by zero elimination
+    // Stage 1+2: dimension-stride residual, zig-zag.
+    if (base >= d && base + 32 <= n) {
+      // Interior tile: the predictor never clamps and there is no tail
+      // padding, so the loop has no data-dependent branches to block
+      // vectorization.
+      for (std::size_t j = 0; j < 32; ++j) {
+        tile[j] = zigzag(bits[base + j] - bits[base + j - d]);
       }
-      tile[j] = resid[j];
+    } else {
+      for (std::size_t j = 0; j < 32; ++j) {
+        const std::size_t i = base + j;
+        if (i < n) {
+          const std::uint32_t prev = i >= d ? bits[i - d] : 0u;
+          tile[j] = zigzag(bits[i] - prev);
+        } else {
+          tile[j] = 0;  // tail padding, elided by zero elimination
+        }
+      }
     }
-    // Stage 3: 32x32 bit transpose.
-    bit_transpose(tile, transposed);
-    // Stage 4: zero elimination behind a presence mask.
+    // All-zero tile (constant or slowly-varying data hits this constantly):
+    // the transpose of zero is zero, so the tile is just an empty mask.
+    std::uint32_t any = 0;
+    for (std::size_t j = 0; j < 32; ++j) any |= tile[j];
+    if (any == 0) {
+      out[out_words++] = 0;
+      continue;
+    }
+    // Stage 3: 32x32 bit transpose (log-depth block swap, in place).
+    bit_transpose32(tile);
+    // Stage 4: zero elimination behind a presence mask. Both loops are
+    // branchless: the mask accumulates comparison results, and the scatter
+    // always stores but only advances past kept words (the dead store is
+    // overwritten by the next kept word or ignored by the word count).
     std::uint32_t mask = 0;
     for (int b = 0; b < 32; ++b) {
-      if (transposed[b] != 0) mask |= 1u << b;
+      mask |= static_cast<std::uint32_t>(tile[b] != 0) << b;
     }
     out[out_words++] = mask;
     for (int b = 0; b < 32; ++b) {
-      if (transposed[b] != 0) out[out_words++] = transposed[b];
+      out[out_words] = tile[b];
+      out_words += tile[b] != 0;
     }
   }
   return out_words;
@@ -89,21 +93,37 @@ std::size_t compress_chunk(const std::uint32_t* bits, std::size_t n, int dim,
 
 void decompress_chunk(const std::uint32_t* in, std::size_t in_words, std::size_t n,
                       int dim, std::uint32_t* bits) {
+  const auto d = static_cast<std::size_t>(dim);
   std::size_t pos = 0;
-  std::uint32_t transposed[32];
   std::uint32_t tile[32];
   for (std::size_t base = 0; base < n; base += 32) {
     if (pos >= in_words) throw std::runtime_error("MPC: truncated chunk");
     const std::uint32_t mask = in[pos++];
-    for (int b = 0; b < 32; ++b) {
-      transposed[b] = (mask >> b) & 1u ? in[pos++] : 0u;
+    if (mask == 0) {
+      // Empty tile: every residual is zero, so each value is its predictor.
+      for (std::size_t j = 0; j < 32; ++j) {
+        const std::size_t i = base + j;
+        if (i >= n) break;
+        bits[i] = i >= d ? bits[i - d] : 0u;
+      }
+      continue;
     }
-    bit_transpose_back(transposed, tile);
-    for (std::size_t j = 0; j < 32; ++j) {
-      const std::size_t i = base + j;
-      if (i >= n) break;
-      const std::uint32_t prev = i >= static_cast<std::size_t>(dim) ? bits[i - static_cast<std::size_t>(dim)] : 0u;
-      bits[i] = unzigzag(tile[j]) + prev;
+    for (int b = 0; b < 32; ++b) {
+      tile[b] = (mask >> b) & 1u ? in[pos++] : 0u;
+    }
+    bit_transpose32(tile);  // involution: same transpose inverts
+    if (base >= d && base + 32 <= n) {
+      for (std::size_t j = 0; j < 32; ++j) {
+        const std::size_t i = base + j;
+        bits[i] = unzigzag(tile[j]) + bits[i - d];
+      }
+    } else {
+      for (std::size_t j = 0; j < 32; ++j) {
+        const std::size_t i = base + j;
+        if (i >= n) break;
+        const std::uint32_t prev = i >= d ? bits[i - d] : 0u;
+        bits[i] = unzigzag(tile[j]) + prev;
+      }
     }
   }
   if (pos != in_words) throw std::runtime_error("MPC: trailing chunk bytes");
@@ -213,10 +233,11 @@ int MpcCodec::tune_dimensionality(std::span<const float> data, std::size_t sampl
   const std::span<const float> sample = data.subspan(0, n);
   int best_dim = 1;
   std::size_t best_size = static_cast<std::size_t>(-1);
-  std::vector<std::uint8_t> buf;
+  // The size bound is dimensionality-independent, so one allocation serves
+  // all eight candidate codecs.
+  std::vector<std::uint8_t> buf(MpcCodec(1).max_compressed_bytes(n));
   for (int d = 1; d <= 8; ++d) {
     MpcCodec codec(d);
-    buf.resize(codec.max_compressed_bytes(n));
     const std::size_t size = codec.compress(sample, buf);
     if (size < best_size) {
       best_size = size;
@@ -243,43 +264,42 @@ constexpr std::uint32_t kMagic64 = 0x4d504338u;  // "MPC8"
   return (z >> 1) ^ (~(z & 1u) + 1u);
 }
 
-/// Transpose a 64x64 bit matrix.
-void bit_transpose64(const std::uint64_t in[64], std::uint64_t out[64]) {
-  for (int b = 0; b < 64; ++b) out[b] = 0;
-  for (int w = 0; w < 64; ++w) {
-    std::uint64_t v = in[w];
-    while (v != 0) {
-      const int b = __builtin_ctzll(v);
-      out[b] |= std::uint64_t{1} << w;
-      v &= v - 1;
-    }
-  }
-}
-
 std::size_t compress_chunk64(const std::uint64_t* bits, std::size_t n, int dim,
                              std::uint64_t* out) {
+  const auto d = static_cast<std::size_t>(dim);
   std::size_t out_words = 0;
   std::uint64_t tile[64];
-  std::uint64_t transposed[64];
   for (std::size_t base = 0; base < n; base += 64) {
-    for (std::size_t j = 0; j < 64; ++j) {
-      const std::size_t i = base + j;
-      if (i < n) {
-        const std::uint64_t prev =
-            i >= static_cast<std::size_t>(dim) ? bits[i - static_cast<std::size_t>(dim)] : 0u;
-        tile[j] = zigzag64(bits[i] - prev);
-      } else {
-        tile[j] = 0;
+    if (base >= d && base + 64 <= n) {
+      for (std::size_t j = 0; j < 64; ++j) {
+        tile[j] = zigzag64(bits[base + j] - bits[base + j - d]);
+      }
+    } else {
+      for (std::size_t j = 0; j < 64; ++j) {
+        const std::size_t i = base + j;
+        if (i < n) {
+          const std::uint64_t prev = i >= d ? bits[i - d] : 0u;
+          tile[j] = zigzag64(bits[i] - prev);
+        } else {
+          tile[j] = 0;
+        }
       }
     }
-    bit_transpose64(tile, transposed);
+    std::uint64_t any = 0;
+    for (std::size_t j = 0; j < 64; ++j) any |= tile[j];
+    if (any == 0) {
+      out[out_words++] = 0;  // empty mask; zero tile transposes to itself
+      continue;
+    }
+    bit_transpose64(tile);
     std::uint64_t mask = 0;
     for (int b = 0; b < 64; ++b) {
-      if (transposed[b] != 0) mask |= std::uint64_t{1} << b;
+      mask |= static_cast<std::uint64_t>(tile[b] != 0) << b;
     }
     out[out_words++] = mask;
     for (int b = 0; b < 64; ++b) {
-      if (transposed[b] != 0) out[out_words++] = transposed[b];
+      out[out_words] = tile[b];
+      out_words += tile[b] != 0;
     }
   }
   return out_words;
@@ -287,22 +307,36 @@ std::size_t compress_chunk64(const std::uint64_t* bits, std::size_t n, int dim,
 
 void decompress_chunk64(const std::uint64_t* in, std::size_t in_words, std::size_t n,
                         int dim, std::uint64_t* bits) {
+  const auto d = static_cast<std::size_t>(dim);
   std::size_t pos = 0;
-  std::uint64_t transposed[64];
   std::uint64_t tile[64];
   for (std::size_t base = 0; base < n; base += 64) {
     if (pos >= in_words) throw std::runtime_error("MPC64: truncated chunk");
     const std::uint64_t mask = in[pos++];
-    for (int b = 0; b < 64; ++b) {
-      transposed[b] = (mask >> b) & 1u ? in[pos++] : 0u;
+    if (mask == 0) {
+      for (std::size_t j = 0; j < 64; ++j) {
+        const std::size_t i = base + j;
+        if (i >= n) break;
+        bits[i] = i >= d ? bits[i - d] : 0u;
+      }
+      continue;
     }
-    bit_transpose64(transposed, tile);  // involution
-    for (std::size_t j = 0; j < 64; ++j) {
-      const std::size_t i = base + j;
-      if (i >= n) break;
-      const std::uint64_t prev =
-          i >= static_cast<std::size_t>(dim) ? bits[i - static_cast<std::size_t>(dim)] : 0u;
-      bits[i] = unzigzag64(tile[j]) + prev;
+    for (int b = 0; b < 64; ++b) {
+      tile[b] = (mask >> b) & 1u ? in[pos++] : 0u;
+    }
+    bit_transpose64(tile);  // involution
+    if (base >= d && base + 64 <= n) {
+      for (std::size_t j = 0; j < 64; ++j) {
+        const std::size_t i = base + j;
+        bits[i] = unzigzag64(tile[j]) + bits[i - d];
+      }
+    } else {
+      for (std::size_t j = 0; j < 64; ++j) {
+        const std::size_t i = base + j;
+        if (i >= n) break;
+        const std::uint64_t prev = i >= d ? bits[i - d] : 0u;
+        bits[i] = unzigzag64(tile[j]) + prev;
+      }
     }
   }
   if (pos != in_words) throw std::runtime_error("MPC64: trailing chunk bytes");

@@ -85,6 +85,7 @@ std::size_t SzCodec::compress(std::span<const float> in, std::span<std::uint8_t>
 
   // Pass 2: entropy-code the quantization codes.
   BitWriter w;
+  w.reserve_bits(max_compressed_bytes(n) * 8);
   w.put_bits(kMagic, 32);
   w.put_bits(n, 64);
   w.put_bits(static_cast<std::uint64_t>(quant_bits_), 8);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <cmath>
 #include <cstring>
 #include <numeric>
@@ -91,6 +92,11 @@ const std::array<std::uint8_t, std::size_t(1) << (2 * Dims)>& perm() {
 /// Embedded bit-plane encoder with group testing (zfp's encode_ints).
 /// Writes at most `budget` bits; stops above plane `kmin` (fixed-precision
 /// and fixed-accuracy modes truncate by plane instead of by budget).
+///
+/// The emitted bit sequence is identical to the scalar reference (one
+/// group-test bit, then a unary run of zeros ending in the next value's
+/// significance bit), but each unary run is emitted as one put_bits call
+/// sized by countr_zero instead of a bit-at-a-time loop.
 template <int BlockSize>
 void encode_ints(BitWriter& w, const std::uint32_t* u, std::size_t budget, int kmin) {
   constexpr std::uint32_t bs = BlockSize;
@@ -108,38 +114,369 @@ void encode_ints(BitWriter& w, const std::uint32_t* u, std::size_t budget, int k
     w.put_bits(x, static_cast<int>(m));
     x = (m < 64) ? (x >> m) : 0;
     // Group-tested unary expansion of the remainder of the plane.
-    auto write_bit = [&w](std::uint32_t b) {
-      w.put_bit(b);
-      return b;
-    };
-    for (; n < bs && bits && (bits--, write_bit(x != 0 ? 1u : 0u)); x >>= 1, n++) {
-      for (; n < bs - 1 && bits && (bits--, !write_bit(x & 1u)); x >>= 1, n++) {
+    while (n < bs && bits) {
+      --bits;  // group-test bit
+      if (x == 0) {
+        w.put_bit(0);
+        break;  // rest of the plane is zero
       }
+      w.put_bit(1);
+      if (n == bs - 1) {
+        // Last position: the group bit doubles as the significance bit.
+        n = bs;
+        break;
+      }
+      const std::size_t head = bs - 1 - n;  // unary positions before the cap
+      const auto tz = static_cast<std::size_t>(std::countr_zero(x));
+      if (tz < head && tz < bits) {
+        // Full run: tz zeros then the terminating one, in one store.
+        w.put_bits(std::uint64_t{1} << tz, static_cast<int>(tz + 1));
+        bits -= tz + 1;
+        x >>= tz + 1;
+        n += static_cast<std::uint32_t>(tz + 1);
+        continue;
+      }
+      // Clipped run: only zeros fit before the budget or the position cap.
+      const std::size_t zeros = std::min(std::min(tz, head), bits);
+      w.put_bits(0, static_cast<int>(zeros));
+      bits -= zeros;
+      n = bs;  // plane over either way: budget exhausted or position cap hit
+      break;
     }
   }
 }
 
-/// Mirror of encode_ints.
+/// Scatter plane k into the values. Small blocks take the branchless form
+/// (the data-dependent jump loop mispredicts once or twice per plane, which
+/// dominates the decode for 4- and 16-value blocks); 64-value blocks keep
+/// the sparse set-bit walk, which wins while high planes are mostly zero.
 template <int BlockSize>
-void decode_ints(BitReader& r, std::uint32_t* u, std::size_t budget, int kmin) {
-  constexpr std::uint32_t bs = BlockSize;
-  std::fill_n(u, BlockSize, 0u);
-  std::size_t bits = budget;
-  std::uint32_t n = 0;
-  for (int k = kIntPrec; bits > 0 && k-- > kmin;) {
-    const std::uint32_t m = static_cast<std::uint32_t>(std::min<std::size_t>(n, bits));
-    bits -= m;
-    std::uint64_t x = r.get_bits(static_cast<int>(m));
-    for (; n < bs && bits && (bits--, r.get_bit());
-         x += std::uint64_t{1} << n, n++) {
-      for (; n < bs - 1 && bits && (bits--, !r.get_bit()); n++) {
-      }
+inline void deposit_plane(std::uint32_t* u, std::uint64_t x, int k) {
+  if (x == 0) return;  // empty planes dominate smooth data; skip the stores
+  if constexpr (BlockSize <= 16) {
+    for (int i = 0; i < BlockSize; ++i) {
+      u[i] |= static_cast<std::uint32_t>((x >> i) & 1u) << k;
     }
-    // Deposit plane k.
-    for (std::uint32_t i = 0; x != 0; ++i, x >>= 1) {
-      if (x & 1u) u[i] |= 1u << k;
+  } else {
+    while (x != 0) {
+      const int i = std::countr_zero(x);
+      u[i] |= 1u << k;
+      x &= x - 1;
     }
   }
+}
+
+[[nodiscard]] inline std::uint64_t reverse_bits64(std::uint64_t x) {
+  x = __builtin_bswap64(x);
+  x = ((x & 0x0F0F0F0F0F0F0F0Full) << 4) | ((x >> 4) & 0x0F0F0F0F0F0F0F0Full);
+  x = ((x & 0x3333333333333333ull) << 2) | ((x >> 2) & 0x3333333333333333ull);
+  x = ((x & 0x5555555555555555ull) << 1) | ((x >> 1) & 0x5555555555555555ull);
+  return x;
+}
+
+/// Compress the even-position bits of x into the low 32 bits.
+[[nodiscard]] inline std::uint64_t even_bits64(std::uint64_t x) {
+  x &= 0x5555555555555555ull;
+  x = (x | (x >> 1)) & 0x3333333333333333ull;
+  x = (x | (x >> 2)) & 0x0F0F0F0F0F0F0F0Full;
+  x = (x | (x >> 4)) & 0x00FF00FF00FF00FFull;
+  x = (x | (x >> 8)) & 0x0000FFFF0000FFFFull;
+  x = (x | (x >> 16)) & 0x00000000FFFFFFFFull;
+  return x;
+}
+
+/// Compress bits at positions 0, 3, 6, ..., 60 into the low 21 bits
+/// (the Morton 3D coordinate compaction).
+[[nodiscard]] inline std::uint64_t stride3_bits64(std::uint64_t x) {
+  x &= 0x1249249249249249ull;
+  x = (x ^ (x >> 2)) & 0x10C30C30C30C30C3ull;
+  x = (x ^ (x >> 4)) & 0x100F00F00F00F00Full;
+  x = (x ^ (x >> 8)) & 0x001F0000FF0000FFull;
+  x = (x ^ (x >> 16)) & 0x001F00000000FFFFull;
+  x = (x ^ (x >> 32)) & 0x00000000001FFFFFull;
+  return x;
+}
+
+/// Compress bits at positions 0, 4, 8, ... into the low 16 bits.
+[[nodiscard]] inline std::uint64_t stride4_bits64(std::uint64_t x) {
+  x &= 0x1111111111111111ull;
+  x = (x | (x >> 3)) & 0x0303030303030303ull;
+  x = (x | (x >> 6)) & 0x000F000F000F000Full;
+  x = (x | (x >> 12)) & 0x000000FF000000FFull;
+  x = (x | (x >> 24)) & 0x000000000000FFFFull;
+  return x;
+}
+
+/// decode_ints for budgets that fit one reader window (< 64 bits) — every
+/// fixed-rate 1D block lands here (rate*4 - 10 header bits <= 54). The whole
+/// payload is peeked once and the entire plane loop runs on registers; the
+/// reader advances a single time at the end.
+template <int BlockSize>
+void decode_ints_small(BitReader& r, std::uint32_t* out, std::size_t budget, int kmin) {
+  constexpr std::uint32_t bs = BlockSize;
+  // Accumulate into a local block: with constant indices the compiler keeps
+  // small blocks in registers (or vectors) instead of read-modify-writing
+  // the caller's array once per plane.
+  std::uint32_t u[BlockSize] = {};
+  std::uint64_t win = r.peek_bits(static_cast<int>(budget));
+  int t = 0;  // bits consumed from the window
+  std::size_t bits = budget;
+  std::uint32_t n = 0;
+  int k = kIntPrec;
+  // Deposit a batch of q extracted plane bits (stream order, descending k)
+  // into value i: plane p of the run is bit plane k-1-p, so the bits land
+  // reversed, as the contiguous range [k-q, k-1].
+  auto deposit_column = [&u](int i, std::uint64_t e, int q, int kk) {
+    u[i] |= static_cast<std::uint32_t>((reverse_bits64(e) >> (64 - q)) << (kk - q));
+  };
+  while (bits > 0 && k > kmin) {
+    // Steady-state batching. A quiet plane (no new significance) with n
+    // values already significant is n verbatim bits followed by a 0 group
+    // bit, so a run of them is a periodic pattern of period n+1: locate the
+    // first 1 group bit with countr_zero on the masked window and peel the
+    // whole run with stride-(n+1) bit compressions instead of a plane loop.
+    // n == 1 is the dominant regime for smooth data (DC significant, ACs
+    // quiet); n == 0 covers the leading planes and near-constant blocks.
+    if (n == 0) {
+      const int q = std::min(std::min(static_cast<int>(std::countr_zero(win)), k - kmin),
+                             static_cast<int>(bits));
+      if (q > 0) {
+        win >>= q;
+        t += q;
+        bits -= static_cast<std::size_t>(q);
+        k -= q;
+        if (bits == 0 || k == kmin) break;
+      }
+    } else if (n == 1) {
+      const std::uint64_t g = win & 0xAAAAAAAAAAAAAAAAull;
+      const int quiet = (g != 0) ? (std::countr_zero(g) >> 1) : 32;
+      const int q = std::min(std::min(quiet, k - kmin), static_cast<int>(bits >> 1));
+      if (q > 0) {
+        deposit_column(0, even_bits64(win) & ((std::uint64_t{1} << q) - 1u), q, k);
+        win >>= 2 * q;
+        t += 2 * q;
+        bits -= static_cast<std::size_t>(2 * q);
+        k -= q;
+        if (bits == 0 || k == kmin) break;
+      }
+    } else if (n == 2) {
+      const std::uint64_t g = win & 0x4924924924924924ull;
+      const int quiet = (g != 0) ? (std::countr_zero(g) / 3) : 21;
+      const int q = std::min(std::min(quiet, k - kmin), static_cast<int>(bits / 3));
+      if (q > 0) {
+        const std::uint64_t qm = (std::uint64_t{1} << q) - 1u;
+        deposit_column(0, stride3_bits64(win) & qm, q, k);
+        deposit_column(1, stride3_bits64(win >> 1) & qm, q, k);
+        win >>= 3 * q;
+        t += 3 * q;
+        bits -= static_cast<std::size_t>(3 * q);
+        k -= q;
+        if (bits == 0 || k == kmin) break;
+      }
+    } else if (n == 3) {
+      const std::uint64_t g = win & 0x8888888888888888ull;
+      const int quiet = (g != 0) ? (std::countr_zero(g) >> 2) : 16;
+      const int q = std::min(std::min(quiet, k - kmin), static_cast<int>(bits >> 2));
+      if (q > 0) {
+        const std::uint64_t qm = (std::uint64_t{1} << q) - 1u;
+        deposit_column(0, stride4_bits64(win) & qm, q, k);
+        deposit_column(1, stride4_bits64(win >> 1) & qm, q, k);
+        deposit_column(2, stride4_bits64(win >> 2) & qm, q, k);
+        win >>= 4 * q;
+        t += 4 * q;
+        bits -= static_cast<std::size_t>(4 * q);
+        k -= q;
+        if (bits == 0 || k == kmin) break;
+      }
+    }
+    --k;
+    const std::uint32_t m = static_cast<std::uint32_t>(std::min<std::size_t>(n, bits));
+    bits -= m;
+    std::uint64_t x = win & ((std::uint64_t{1} << m) - 1u);
+    win >>= m;
+    t += static_cast<int>(m);
+    while (n < bs && bits) {
+      --bits;  // group-test bit
+      ++t;
+      const std::uint64_t g = win & 1u;
+      win >>= 1;
+      if (g == 0) break;
+      const auto limit = static_cast<std::size_t>(std::min<std::size_t>(bs - 1 - n, bits));
+      const auto z =
+          static_cast<std::size_t>(std::countr_zero(win | (std::uint64_t{1} << limit)));
+      if (z < limit) {
+        win >>= z + 1;
+        t += static_cast<int>(z + 1);
+        bits -= z + 1;
+        x += std::uint64_t{1} << (n + z);
+        n += static_cast<std::uint32_t>(z + 1);
+        continue;
+      }
+      // Clipped run: the significance bit at position n+z is implied by the
+      // budget or position cap, exactly as the scalar loop's exit path.
+      win >>= z;
+      t += static_cast<int>(z);
+      bits -= z;
+      x += std::uint64_t{1} << (n + z);
+      n += static_cast<std::uint32_t>(z + 1);
+      break;
+    }
+    deposit_plane<BlockSize>(u, x, k);
+    if (n == bs) break;  // all significant: the rest is pure verbatim
+  }
+  if (n == bs) {
+    if constexpr (bs == 4) {
+      // All values significant: the remaining full planes are a 4 x q bit
+      // matrix, transposed with four stride-4 compressions at once.
+      const int q = std::min(k - kmin, static_cast<int>(bits >> 2));
+      if (q > 0) {
+        const std::uint64_t qm = (std::uint64_t{1} << q) - 1u;
+        deposit_column(0, stride4_bits64(win) & qm, q, k);
+        deposit_column(1, stride4_bits64(win >> 1) & qm, q, k);
+        deposit_column(2, stride4_bits64(win >> 2) & qm, q, k);
+        deposit_column(3, stride4_bits64(win >> 3) & qm, q, k);
+        win >>= 4 * q;
+        t += 4 * q;
+        bits -= static_cast<std::size_t>(4 * q);
+        k -= q;
+      }
+    } else {
+      while (k > kmin && bits >= bs) {
+        // bs == 64 cannot reach here (bits <= budget < 64), so the shifts
+        // are guarded for compile-time well-formedness only.
+        --k;
+        deposit_plane<BlockSize>(u, (bs < 64) ? (win & ((std::uint64_t{1} << bs) - 1u)) : win, k);
+        win = (bs < 64) ? (win >> bs) : 0;
+        t += static_cast<int>(bs);
+        bits -= bs;
+      }
+    }
+    if (k > kmin && bits > 0) {
+      // Budget ends inside the final plane: m = min(n, bits) = bits < bs.
+      deposit_plane<BlockSize>(u, win & ((std::uint64_t{1} << bits) - 1u), k - 1);
+      t += static_cast<int>(bits);
+      bits = 0;
+    }
+  }
+  r.skip(t);
+  std::memcpy(out, u, sizeof(u));
+}
+
+/// Mirror of encode_ints: consumes exactly the bit positions the scalar
+/// reference reads, batching each unary run with peek_bits + countr_zero.
+template <int BlockSize>
+void decode_ints(BitReader& r, std::uint32_t* out, std::size_t budget, int kmin) {
+  constexpr std::uint32_t bs = BlockSize;
+  if (budget < 64) {
+    decode_ints_small<BlockSize>(r, out, budget, kmin);
+    return;
+  }
+  std::uint32_t u[BlockSize] = {};
+  std::size_t bits = budget;
+  std::uint32_t n = 0;
+  auto deposit = [&u](std::uint64_t x, int k) { deposit_plane<BlockSize>(u, x, k); };
+  int k = kIntPrec;
+  if constexpr (bs <= 16) {
+    // A whole plane (verbatim prefix + group bits + unary runs) consumes at
+    // most 2*bs + 1 <= 33 bits, so one peek covers it and the plane parses
+    // entirely out of a register with a single skip at the end.
+    constexpr int kPlanePeek = 2 * static_cast<int>(bs) + 1;
+    while (bits > 0 && k-- > kmin) {
+      std::uint64_t win = r.peek_bits(kPlanePeek);
+      int t = 0;  // bits consumed from the window
+      const std::uint32_t m = static_cast<std::uint32_t>(std::min<std::size_t>(n, bits));
+      bits -= m;
+      std::uint64_t x = win & ((std::uint64_t{1} << m) - 1u);
+      win >>= m;
+      t += static_cast<int>(m);
+      while (n < bs && bits) {
+        --bits;  // group-test bit
+        ++t;
+        const std::uint64_t g = win & 1u;
+        win >>= 1;
+        if (g == 0) break;
+        const auto limit =
+            static_cast<std::size_t>(std::min<std::size_t>(bs - 1 - n, bits));
+        const auto z = static_cast<std::size_t>(
+            std::countr_zero(win | (std::uint64_t{1} << limit)));
+        if (z < limit) {
+          win >>= z + 1;
+          t += static_cast<int>(z + 1);
+          bits -= z + 1;
+          x += std::uint64_t{1} << (n + z);
+          n += static_cast<std::uint32_t>(z + 1);
+          continue;
+        }
+        // Clipped run: the significance bit at position n+z is implied by
+        // the budget or position cap, exactly as the scalar loop's exit path.
+        win >>= z;
+        t += static_cast<int>(z);
+        bits -= z;
+        x += std::uint64_t{1} << (n + z);
+        n += static_cast<std::uint32_t>(z + 1);
+        break;
+      }
+      r.skip(t);
+      deposit(x, k);
+      if (n == bs) break;  // all significant: the rest is pure verbatim
+    }
+  } else {
+    while (bits > 0 && k-- > kmin) {
+      const std::uint32_t m = static_cast<std::uint32_t>(std::min<std::size_t>(n, bits));
+      bits -= m;
+      std::uint64_t x = r.get_bits(static_cast<int>(m));
+      while (n < bs && bits) {
+        --bits;  // group-test bit
+        if (!r.get_bit()) break;
+        // Unary run: zeros until the next significance bit, capped by the
+        // remaining budget and by position bs-1 (whose bit is implied).
+        const auto limit =
+            static_cast<std::size_t>(std::min<std::size_t>(bs - 1 - n, bits));  // <= 63
+        const std::uint64_t window = r.peek_bits(static_cast<int>(limit));
+        const auto z = static_cast<std::size_t>(
+            std::countr_zero(window | (std::uint64_t{1} << limit)));
+        if (z < limit) {
+          r.skip(static_cast<int>(z + 1));
+          bits -= z + 1;
+          x += std::uint64_t{1} << (n + z);
+          n += static_cast<std::uint32_t>(z + 1);
+          continue;
+        }
+        // Clipped run: the significance bit at position n+z is implied by the
+        // budget or position cap, exactly as the scalar loop's exit path.
+        r.skip(static_cast<int>(z));
+        bits -= z;
+        x += std::uint64_t{1} << (n + z);
+        n += static_cast<std::uint32_t>(z + 1);
+        break;
+      }
+      deposit(x, k);
+      if (n == bs) break;  // all significant: the rest is pure verbatim
+    }
+  }
+  // Verbatim tail: every remaining plane is exactly bs bits with no group
+  // tests, so several planes come out of the reader per call (64/bs at a
+  // time) instead of one.
+  if (n == bs) {
+    constexpr int kPlanesPerRead = 64 / static_cast<int>(bs);
+    while (k > kmin && bits >= bs) {
+      const int planes = std::min(
+          {k - kmin, kPlanesPerRead, static_cast<int>(bits / bs)});
+      std::uint64_t v = r.get_bits(planes * static_cast<int>(bs));
+      bits -= static_cast<std::size_t>(planes) * bs;
+      for (int p = 0; p < planes; ++p) {
+        --k;
+        deposit((bs < 64) ? (v & ((std::uint64_t{1} << bs) - 1)) : v, k);
+        v = (bs < 64) ? (v >> bs) : 0;
+      }
+    }
+    if (k > kmin && bits > 0) {
+      // Budget ends inside the final plane: m = min(n, bits) = bits < bs.
+      deposit(r.get_bits(static_cast<int>(bits)), k - 1);
+      bits = 0;
+    }
+  }
+  std::memcpy(out, u, sizeof(u));
 }
 
 template <int Dims>
@@ -242,9 +579,15 @@ void encode_block(BitWriter& w, const float* fblock, ZfpMode mode, int rate, int
 
   fwd_xform<Dims>(iblock);
 
-  const auto& p = perm<Dims>();
   std::uint32_t ublock[BS];
-  for (int i = 0; i < BS; ++i) ublock[i] = int_to_negabinary(iblock[p[static_cast<std::size_t>(i)]]);
+  if constexpr (Dims == 1) {
+    for (int i = 0; i < BS; ++i) ublock[i] = int_to_negabinary(iblock[i]);
+  } else {
+    const auto& p = perm<Dims>();
+    for (int i = 0; i < BS; ++i) {
+      ublock[i] = int_to_negabinary(iblock[p[static_cast<std::size_t>(i)]]);
+    }
+  }
 
   const BlockCoding c = block_coding<Dims>(mode, rate, precision, tolerance, emax);
   const std::size_t used = w.bit_size() - block_start;
@@ -259,12 +602,18 @@ void decode_block(BitReader& r, float* fblock, ZfpMode mode, int rate, int preci
   const std::size_t block_start = r.tell();
   const std::size_t rate_bits = static_cast<std::size_t>(rate) * BS;
 
-  if (r.get_bit() == 0) {
+  // One peek covers the nonzero flag and the exponent; the skip settles the
+  // position for either outcome with a single reader advance.
+  const std::uint64_t hdr = r.peek_bits(1 + kEmaxBits);
+  if ((hdr & 1u) == 0) {
+    r.skip(1);
     std::fill_n(fblock, BS, 0.0f);
     if (mode == ZfpMode::FixedRate) r.seek(block_start + rate_bits);
     return;
   }
-  const int emax = static_cast<int>(r.get_bits(kEmaxBits)) - kEmaxBias;
+  r.skip(1 + kEmaxBits);
+  const int emax =
+      static_cast<int>((hdr >> 1) & ((1u << kEmaxBits) - 1u)) - kEmaxBias;
 
   std::uint32_t ublock[BS];
   const BlockCoding c = block_coding<Dims>(mode, rate, precision, tolerance, emax);
@@ -272,9 +621,17 @@ void decode_block(BitReader& r, float* fblock, ZfpMode mode, int rate, int preci
   decode_ints<BS>(r, ublock, c.pad ? c.budget - used : c.budget, c.kmin);
   if (c.pad) r.seek(block_start + c.budget);
 
-  const auto& p = perm<Dims>();
   std::int32_t iblock[BS];
-  for (int i = 0; i < BS; ++i) iblock[p[static_cast<std::size_t>(i)]] = negabinary_to_int(ublock[i]);
+  if constexpr (Dims == 1) {
+    // The 1D sequency permutation is the identity; skip the table lookup
+    // (and its static-init guard) entirely.
+    for (int i = 0; i < BS; ++i) iblock[i] = negabinary_to_int(ublock[i]);
+  } else {
+    const auto& p = perm<Dims>();
+    for (int i = 0; i < BS; ++i) {
+      iblock[p[static_cast<std::size_t>(i)]] = negabinary_to_int(ublock[i]);
+    }
+  }
 
   inv_xform<Dims>(iblock);
 
@@ -418,6 +775,7 @@ std::size_t ZfpCodec::compress(std::span<const float> in, const ZfpField& field,
 
   const ModeParams m{mode_, rate_, precision_, tolerance_};
   BitWriter w;
+  w.reserve_bits(need * 8);  // block loop never reallocates the word buffer
   switch (field.dims) {
     case 1: compress_impl<1>(in.data(), field, m, w); break;
     case 2: compress_impl<2>(in.data(), field, m, w); break;

@@ -1,0 +1,19 @@
+// Minimal self-contained SHA-256 for the golden-stream tests.
+//
+// The golden tests pin the exact compressed bytes each codec emits; a
+// cryptographic digest keeps the pinned corpus to one short hex string per
+// case instead of megabytes of expected output. No external dependency on
+// purpose — the container has no crypto library baked in.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace gcmpi::testing {
+
+/// Lowercase hex SHA-256 digest of `data`.
+[[nodiscard]] std::string sha256_hex(std::span<const std::uint8_t> data);
+
+}  // namespace gcmpi::testing

@@ -1,0 +1,228 @@
+// Golden-stream corpus: pins the SHA-256 of the exact compressed bytes each
+// codec emits on fixed seeded inputs. The word-parallel fast paths in
+// src/compress/ are only allowed because of this file — any rewrite of the
+// bit-level hot loops must keep the wire format bit-identical, and these
+// hashes are how that invariant is enforced. If a test here fails, the
+// change altered the compressed stream; that is a wire-format break, not a
+// "just update the hash" situation, unless the PR explicitly versions the
+// format.
+//
+// To regenerate after an *intentional* format change:
+//   GCMPI_UPDATE_GOLDEN=1 ./test_golden_streams | grep '{"' (paste into kGolden)
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "compress/bitstream.hpp"
+#include "compress/fpc.hpp"
+#include "compress/gfc.hpp"
+#include "compress/huffman.hpp"
+#include "compress/mpc.hpp"
+#include "compress/sz.hpp"
+#include "compress/zfp.hpp"
+#include "support/payloads.hpp"
+#include "support/sha256.hpp"
+
+namespace {
+
+using namespace gcmpi;
+namespace gt = gcmpi::testing;
+
+struct GoldenEntry {
+  const char* name;
+  const char* sha256;
+};
+
+// Pinned digests of each codec's compressed output on the corpus below.
+// Generated from the pre-optimization scalar implementations (PR 1 state);
+// the word-parallel rewrites must reproduce them bit for bit.
+constexpr GoldenEntry kGolden[] = {
+    {"mpc/d1/smooth/65536", "83df06838045b369ed1c3b52a95b11913c7c3c49bd391189d1149a8065c656c8"},
+    {"mpc/d4/interleaved/32768", "e79d851056e9c2aa55f3a1302b67f098c6c5cb47cb10ffc29d7e1ed56c26044e"},
+    {"mpc/d1/special/4099", "ff94e458fbee7835a75298c105b5273dc5c348b6ee3e5e32609ed0c62f542aef"},
+    {"mpc/d3/plateaus/4131", "50794dc39dd4fbeb931557d5c5b9ba443f8ae0c94f2403ac1ab87db66dfa7802"},
+    {"mpc64/d1/smooth/32768", "742b1c17e7e251bdff2590de6976a4b2e696daf67ab4bab758e1569ec9184735"},
+    {"mpc64/d2/special/4097", "0b9d6029b04168b3d789f0392823260ba83a673afbbd8b6b9a0de45415d1c598"},
+    {"zfp/r4/d1/65536", "47a49718211adf30cf7e6c2c5124476905fd467f7ea253a8e1b18af23baf54d2"},
+    {"zfp/r8/d1/4099", "51d39314f5d7139cac7a1da0a26f46bc8d3082f2dcc318e10afc9ff5ee016a96"},
+    {"zfp/r16/d1/65536", "284761de7fc182d801d75f5c773fee544c893b6b582613d14ac04eced90d17db"},
+    {"zfp/r8/d2/318x202", "a81f249b99b1a7bb78a6cb949bd4586ca94f94aaed26c7800e3be9872c478ab4"},
+    {"zfp/r8/d3/40x31x23", "990de514d7dd85cfdc19cca937d5ce62e28fce409e5157842da22af15beb0a0f"},
+    {"zfp/prec14/d2/128x128", "9b96e2edae73688dc889f40dd88c79b78227026ced375c9293d7fb55eff37d8d"},
+    {"zfp/acc1e-4/d1/65536", "6e517c3666ad0c5be85b15df30fed2fbc6fd83d1836018b026e806df53ed1831"},
+    {"fpc/smooth/32768", "e4f536c5799e585c50d7b18f3818700c0df8995e2189e24cb84eb4415db8073c"},
+    {"fpc/special/4099", "a935aa283f6a613cdace544d8094fae58bfe7148fc736da4d55bb309a4a8ff44"},
+    {"sz/eb1e-3/smooth/65536", "71eb60322b7a8c1d5d4e7fdecb6c43ea5b3a9c248ac819cf7b3a05ff8a7fb97d"},
+    {"sz/eb1e-2/qnoise/32768", "c39d302c0d493691ef418629c7f001aa8978e25f0d034161d56da86cd12fe4f3"},
+    {"gfc/smooth/32768", "61faad051770feb08bc9c0f91a3f5e1a96f1093753ca872c2a72015a6b638049"},
+    {"gfc/special/4099", "8914b190407e45179d8c1b16be3db137de9cc1e0739a06fcc899e3193d422ea3"},
+    {"huffman/qnoise/65536", "7cfb9af4490de830332a12df5450bef72138f1c4af5d150aebbbadf7b2cfea01"},
+};
+
+using MakeStream = std::function<std::vector<std::uint8_t>()>;
+
+std::vector<std::uint8_t> mpc_stream(int dim, gt::PayloadKind kind, std::size_t n,
+                                     std::uint64_t seed) {
+  const auto in = gt::make_floats(kind, n, seed);
+  comp::MpcCodec codec(dim);
+  std::vector<std::uint8_t> out(codec.max_compressed_bytes(in.size()));
+  out.resize(codec.compress(in, out));
+  return out;
+}
+
+std::vector<std::uint8_t> mpc64_stream(int dim, gt::PayloadKind kind, std::size_t n,
+                                       std::uint64_t seed) {
+  const auto in = gt::make_doubles(kind, n, seed);
+  comp::MpcCodec64 codec(dim);
+  std::vector<std::uint8_t> out(codec.max_compressed_bytes(in.size()));
+  out.resize(codec.compress(in, out));
+  return out;
+}
+
+std::vector<std::uint8_t> zfp_stream(const comp::ZfpCodec& codec, const comp::ZfpField& field,
+                                     gt::PayloadKind kind, std::uint64_t seed) {
+  const auto in = gt::make_floats(kind, field.values(), seed);
+  std::vector<std::uint8_t> out(codec.compressed_bytes(field));
+  out.resize(codec.compress(in, field, out));
+  return out;
+}
+
+std::vector<std::uint8_t> fpc_stream(gt::PayloadKind kind, std::size_t n, std::uint64_t seed) {
+  const auto in = gt::make_doubles(kind, n, seed);
+  comp::FpcCodec codec;
+  std::vector<std::uint8_t> out(codec.max_compressed_bytes(in.size()));
+  out.resize(codec.compress(in, out));
+  return out;
+}
+
+std::vector<std::uint8_t> sz_stream(double eb, gt::PayloadKind kind, std::size_t n,
+                                    std::uint64_t seed) {
+  const auto in = gt::make_floats(kind, n, seed);
+  comp::SzCodec codec(eb);
+  std::vector<std::uint8_t> out(codec.max_compressed_bytes(in.size()));
+  out.resize(codec.compress(in, out));
+  return out;
+}
+
+std::vector<std::uint8_t> gfc_stream(gt::PayloadKind kind, std::size_t n, std::uint64_t seed) {
+  const auto in = gt::make_doubles(kind, n, seed);
+  comp::GfcCodec codec;
+  std::vector<std::uint8_t> out(codec.max_compressed_bytes(in.size()));
+  out.resize(codec.compress(in, out));
+  return out;
+}
+
+std::vector<std::uint8_t> huffman_stream(std::size_t n, std::uint64_t seed) {
+  const auto floats = gt::make_floats(gt::PayloadKind::QuantizedNoise, n, seed);
+  std::vector<std::uint32_t> symbols(floats.size());
+  for (std::size_t i = 0; i < floats.size(); ++i) {
+    symbols[i] = static_cast<std::uint32_t>(static_cast<std::int64_t>(floats[i])) & 0x3ffu;
+  }
+  comp::HuffmanEncoder enc(symbols);
+  comp::BitWriter w;
+  enc.write_table(w);
+  for (std::uint32_t s : symbols) enc.encode(w, s);
+  return w.take();
+}
+
+std::vector<std::pair<std::string, MakeStream>> corpus() {
+  using K = gt::PayloadKind;
+  std::vector<std::pair<std::string, MakeStream>> c;
+  c.emplace_back("mpc/d1/smooth/65536", [] { return mpc_stream(1, K::SmoothField, 65536, 11); });
+  c.emplace_back("mpc/d4/interleaved/32768",
+                 [] { return mpc_stream(4, K::Interleaved, 32768, 12); });
+  c.emplace_back("mpc/d1/special/4099", [] { return mpc_stream(1, K::SpecialValues, 4099, 13); });
+  c.emplace_back("mpc/d3/plateaus/4131", [] { return mpc_stream(3, K::Plateaus, 4131, 14); });
+  c.emplace_back("mpc64/d1/smooth/32768", [] { return mpc64_stream(1, K::SmoothField, 32768, 15); });
+  c.emplace_back("mpc64/d2/special/4097",
+                 [] { return mpc64_stream(2, K::SpecialValues, 4097, 16); });
+  c.emplace_back("zfp/r4/d1/65536", [] {
+    return zfp_stream(comp::ZfpCodec(4), comp::ZfpField::d1(65536), K::SmoothField, 21);
+  });
+  c.emplace_back("zfp/r8/d1/4099", [] {
+    return zfp_stream(comp::ZfpCodec(8), comp::ZfpField::d1(4099), K::VelocityPlane, 22);
+  });
+  c.emplace_back("zfp/r16/d1/65536", [] {
+    return zfp_stream(comp::ZfpCodec(16), comp::ZfpField::d1(65536), K::SmoothField, 23);
+  });
+  c.emplace_back("zfp/r8/d2/318x202", [] {
+    return zfp_stream(comp::ZfpCodec(8), comp::ZfpField::d2(318, 202), K::SmoothField, 24);
+  });
+  c.emplace_back("zfp/r8/d3/40x31x23", [] {
+    return zfp_stream(comp::ZfpCodec(8), comp::ZfpField::d3(40, 31, 23), K::SmoothField, 25);
+  });
+  c.emplace_back("zfp/prec14/d2/128x128", [] {
+    return zfp_stream(comp::ZfpCodec::fixed_precision(14), comp::ZfpField::d2(128, 128),
+                      K::SmoothField, 26);
+  });
+  c.emplace_back("zfp/acc1e-4/d1/65536", [] {
+    return zfp_stream(comp::ZfpCodec::fixed_accuracy(1e-4), comp::ZfpField::d1(65536),
+                      K::SmoothField, 27);
+  });
+  c.emplace_back("fpc/smooth/32768", [] { return fpc_stream(K::SmoothField, 32768, 31); });
+  c.emplace_back("fpc/special/4099", [] { return fpc_stream(K::SpecialValues, 4099, 32); });
+  c.emplace_back("sz/eb1e-3/smooth/65536", [] { return sz_stream(1e-3, K::SmoothField, 65536, 41); });
+  c.emplace_back("sz/eb1e-2/qnoise/32768",
+                 [] { return sz_stream(1e-2, K::QuantizedNoise, 32768, 42); });
+  c.emplace_back("gfc/smooth/32768", [] { return gfc_stream(K::SmoothField, 32768, 51); });
+  c.emplace_back("gfc/special/4099", [] { return gfc_stream(K::SpecialValues, 4099, 52); });
+  c.emplace_back("huffman/qnoise/65536", [] { return huffman_stream(65536, 61); });
+  return c;
+}
+
+TEST(GoldenStreams, CompressedBytesAreBitIdentical) {
+  const bool update = std::getenv("GCMPI_UPDATE_GOLDEN") != nullptr;
+  const auto cases = corpus();
+  ASSERT_EQ(cases.size(), std::size(kGolden));
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const auto& [name, make] = cases[i];
+    ASSERT_STREQ(name.c_str(), kGolden[i].name);
+    const std::vector<std::uint8_t> bytes = make();
+    ASSERT_FALSE(bytes.empty()) << name;
+    const std::string got = gt::sha256_hex(bytes);
+    if (update) {
+      std::printf("    {\"%s\", \"%s\"},\n", name.c_str(), got.c_str());
+      continue;
+    }
+    EXPECT_EQ(got, kGolden[i].sha256)
+        << name << ": compressed stream changed (" << bytes.size()
+        << " bytes). This is a wire-format break; see the header comment.";
+  }
+}
+
+// The corpus exercises every wire path the hashes pin: decode each stream
+// once so a silently-corrupt golden stream cannot hide behind its own hash.
+TEST(GoldenStreams, StreamsRoundTrip) {
+  for (const auto& [name, make] : corpus()) {
+    if (name.rfind("huffman/", 0) == 0) continue;  // raw table+codes, no self-framing
+    const std::vector<std::uint8_t> bytes = make();
+    SCOPED_TRACE(name);
+    if (name.rfind("mpc64/", 0) == 0) {
+      std::uint32_t n32 = 0;  // mpc64 shares the header layout but not the magic
+      std::memcpy(&n32, bytes.data() + 4, 4);
+      const std::size_t n = n32;
+      std::vector<double> out(n);
+      const int dim = name.find("/d2/") != std::string::npos ? 2 : 1;
+      comp::MpcCodec64 codec(dim);
+      EXPECT_EQ(codec.decompress(bytes, out), n);
+    } else if (name.rfind("mpc/", 0) == 0) {
+      const std::size_t n = comp::MpcCodec::encoded_values(bytes);
+      std::vector<float> out(n);
+      int dim = 1;
+      if (name.find("/d4/") != std::string::npos) dim = 4;
+      if (name.find("/d3/") != std::string::npos) dim = 3;
+      comp::MpcCodec codec(dim);
+      EXPECT_EQ(codec.decompress(bytes, out), n);
+    }
+    // zfp/fpc/sz/gfc round-trips are covered by their dedicated suites and
+    // the fuzz harness; here the hash comparison is the contract.
+  }
+}
+
+}  // namespace
