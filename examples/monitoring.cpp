@@ -1,7 +1,9 @@
 // Example: INAM-style monitoring of the compression framework (the paper's
 // Sec. IX future work). Runs a mixed workload — several datasets broadcast
 // across the cluster — with telemetry attached, then prints per-rank
-// summaries and dumps the raw event stream as CSV.
+// summaries and dumps the raw event stream as CSV. A second run repeats
+// the workload over a lossy fabric to show the reliability counters
+// (retransmissions, detected corruptions, codec faults).
 //
 //   $ ./monitoring [out.csv]
 #include <cstdio>
@@ -11,14 +13,17 @@
 
 #include "core/telemetry.hpp"
 #include "data/datasets.hpp"
+#include "fault/injector.hpp"
 #include "mpi/world.hpp"
 
 using namespace gcmpi;
 
-int main(int argc, char** argv) {
-  core::Telemetry telemetry;
+namespace {
+
+int run_workload(core::Telemetry& telemetry, fault::FaultInjector* fault) {
   mpi::WorldOptions opts;
   opts.telemetry = &telemetry;
+  opts.fault = fault;
 
   sim::Engine engine;
   mpi::World world(engine, net::longhorn(4, 2), core::CompressionConfig::mpc_opt(), opts);
@@ -35,11 +40,19 @@ int main(int argc, char** argv) {
     }
     R.gpu_free(dev);
   });
+  return world.size();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::Telemetry telemetry;
+  const int ranks = run_workload(telemetry, nullptr);
 
   std::printf("Per-rank compression activity (8 broadcasts of 2MB dataset slices):\n\n");
   std::printf("%5s %10s %12s %10s %12s %14s\n", "rank", "compress", "decompress", "ratio",
               "t_comp(us)", "t_decomp(us)");
-  for (int r = 0; r < world.size(); ++r) {
+  for (int r = 0; r < ranks; ++r) {
     const auto s = telemetry.summarize(r);
     std::printf("%5d %10llu %12llu %9.2fx %12.1f %14.1f\n", r,
                 static_cast<unsigned long long>(s.compressions),
@@ -50,6 +63,27 @@ int main(int argc, char** argv) {
   std::printf("\nGlobal: %llu compressions, %.1f MB saved on the wire (ratio %.2fx)\n",
               static_cast<unsigned long long>(all.compressions),
               static_cast<double>(all.bytes_saved()) / 1e6, all.achieved_ratio());
+
+  // Same workload, unhealthy fabric: 2% packet drop, 1% corruption, and the
+  // occasional decompression kernel fault. The reliability layer keeps the
+  // broadcasts bit-exact; the new telemetry kinds show what it cost.
+  fault::FaultPlan plan = fault::FaultPlan::lossy(/*seed=*/2026, 0.02, 0.01);
+  plan.decompress_fail_probability = 0.01;
+  fault::FaultInjector injector(plan);
+  core::Telemetry chaos_telemetry;
+  run_workload(chaos_telemetry, &injector);
+
+  const auto chaos = chaos_telemetry.summarize();
+  const auto& fs = injector.stats();
+  std::printf("\nSame workload over a lossy fabric (2%% drop, 1%% corruption):\n");
+  std::printf("  data packets %llu, dropped %llu, corrupted %llu\n",
+              static_cast<unsigned long long>(fs.data_packets),
+              static_cast<unsigned long long>(fs.drops),
+              static_cast<unsigned long long>(fs.corruptions));
+  std::printf("  retransmissions %llu, corruptions detected (CRC32C) %llu, codec faults %llu\n",
+              static_cast<unsigned long long>(chaos.retransmits),
+              static_cast<unsigned long long>(chaos.corruptions_detected),
+              static_cast<unsigned long long>(chaos.codec_faults));
 
   if (argc > 1) {
     std::ofstream out(argv[1]);

@@ -24,7 +24,7 @@ T get(std::span<const std::uint8_t> in, std::size_t& pos) {
 }  // namespace
 
 std::size_t CompressionHeader::wire_bytes() const {
-  return 1 + 1 + 8 + 8 + 2 + 4 + 2 + 2 + partition_bytes.size() * 4;
+  return 1 + 1 + 8 + 8 + 4 + 2 + 4 + 2 + 2 + partition_bytes.size() * 4;
 }
 
 std::vector<std::uint8_t> CompressionHeader::serialize() const {
@@ -34,6 +34,7 @@ std::vector<std::uint8_t> CompressionHeader::serialize() const {
   put<std::uint8_t>(out, compressed ? 1 : 0);
   put<std::uint64_t>(out, original_bytes);
   put<std::uint64_t>(out, compressed_bytes);
+  put<std::uint32_t>(out, payload_crc32c);
   put<std::uint16_t>(out, mpc_dimensionality);
   put<std::uint32_t>(out, mpc_chunk_values);
   put<std::uint16_t>(out, zfp_rate);
@@ -51,6 +52,7 @@ CompressionHeader CompressionHeader::deserialize(std::span<const std::uint8_t> i
   h.compressed = get<std::uint8_t>(in, pos) != 0;
   h.original_bytes = get<std::uint64_t>(in, pos);
   h.compressed_bytes = get<std::uint64_t>(in, pos);
+  h.payload_crc32c = get<std::uint32_t>(in, pos);
   h.mpc_dimensionality = get<std::uint16_t>(in, pos);
   h.mpc_chunk_values = get<std::uint32_t>(in, pos);
   h.zfp_rate = get<std::uint16_t>(in, pos);

@@ -22,6 +22,13 @@ struct CompressionHeader {
   std::uint64_t original_bytes = 0;
   std::uint64_t compressed_bytes = 0;
 
+  // CRC32C over the wire payload exactly as transmitted (compressed bytes
+  // when `compressed`, raw bytes otherwise). Computed only when the wire
+  // reliability layer is active (see DESIGN.md); 0 otherwise. Verified by
+  // the receiver before decompression so a flipped bit in a compressed
+  // stream can never fan out into the user buffer.
+  std::uint32_t payload_crc32c = 0;
+
   // MPC control parameters + per-partition compressed sizes (bytes).
   std::uint16_t mpc_dimensionality = 1;
   std::uint32_t mpc_chunk_values = 1024;

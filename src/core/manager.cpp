@@ -4,6 +4,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "fault/injector.hpp"
+
 namespace gcmpi::core {
 
 using sim::Phase;
@@ -90,6 +92,30 @@ CompressionManager::WireData CompressionManager::compress_for_send(
     return wire;
   }
 
+  // Injected compression-kernel faults (chaos testing). A hard launch
+  // failure is detected immediately and the message degrades to a raw
+  // send; a truncated-output fault is only caught after the kernels ran,
+  // via the size validation below — both are survivable by design.
+  fault::CodecFault injected;
+  if (fault_ != nullptr) injected = fault_->on_compress(rank_id_);
+  if (injected.fail) {
+    // The launch itself errored: charge the wasted enqueue, then send raw.
+    tl.advance(gpu_.costs().kernel_launch);
+    wire.data = buf;
+    wire.bytes = bytes;
+    wire.header.compressed = false;
+    wire.header.compressed_bytes = bytes;
+    ++stats_.messages_fallback_raw;
+    ++stats_.codec_faults;
+    stats_.original_bytes += bytes;
+    stats_.wire_bytes += bytes;
+    if (telemetry_ != nullptr) {
+      telemetry_->record({started, rank_id_, EventKind::CodecFault, config_.algorithm, bytes,
+                          bytes, tl.now() - started});
+    }
+    return wire;
+  }
+
   const auto* values = static_cast<const float*>(buf);
   const std::size_t n = bytes / 4;
   Breakdown* bd = &sender_bd_;
@@ -146,6 +172,28 @@ CompressionManager::WireData CompressionManager::compress_for_send(
     wire.header.compressed = true;
     wire.data = out;
     wire.bytes = written;
+  }
+
+  if (injected.truncate) {
+    // The kernels ran but the device-reported output size disagrees with
+    // the bytes actually written (truncated stream). Caught by the size
+    // validation on readback; never put a short stream on the wire —
+    // degrade to raw instead.
+    release_send(tl, wire);
+    wire.data = buf;
+    wire.bytes = bytes;
+    wire.header.compressed = false;
+    wire.header.compressed_bytes = bytes;
+    wire.header.partition_bytes.clear();
+    ++stats_.messages_fallback_raw;
+    ++stats_.codec_faults;
+    stats_.original_bytes += bytes;
+    stats_.wire_bytes += bytes;
+    if (telemetry_ != nullptr) {
+      telemetry_->record({started, rank_id_, EventKind::CodecFault, config_.algorithm, bytes,
+                          bytes, tl.now() - started});
+    }
+    return wire;
   }
 
   ++stats_.messages_compressed;
@@ -288,6 +336,18 @@ void CompressionManager::decompress_received(Timeline& tl, const CompressionHead
   const std::size_t n = header.original_bytes / 4;
 
   const Time started = tl.now();
+  if (fault_ != nullptr && fault_->on_decompress(rank_id_)) {
+    // Injected decompression-kernel fault: the launch errors out before
+    // any output is produced. Charge the wasted enqueue and report; the
+    // caller recovers (protocol NACK -> raw resend, or a local relaunch).
+    tl.advance(gpu_.costs().kernel_launch);
+    ++stats_.codec_faults;
+    if (telemetry_ != nullptr) {
+      telemetry_->record({started, rank_id_, EventKind::CodecFault, header.algorithm,
+                          header.original_bytes, header.compressed_bytes, tl.now() - started});
+    }
+    throw CodecFaultError{};
+  }
   if (header.algorithm == Algorithm::MPC) {
     run_mpc_decompress(tl, header, in, out, n, bd, synchronize);
   } else if (header.algorithm == Algorithm::ZFP) {
@@ -298,6 +358,22 @@ void CompressionManager::decompress_received(Timeline& tl, const CompressionHead
   if (telemetry_ != nullptr) {
     telemetry_->record({started, rank_id_, EventKind::Decompress, header.algorithm,
                         header.original_bytes, header.compressed_bytes, tl.now() - started});
+  }
+}
+
+void CompressionManager::decompress_with_retry(Timeline& tl, const CompressionHeader& header,
+                                               const RecvStaging& staging, void* user_buf,
+                                               std::uint64_t user_bytes, bool synchronize,
+                                               int max_retries) {
+  for (int attempt = 0;; ++attempt) {
+    try {
+      decompress_received(tl, header, staging, user_buf, user_bytes, synchronize);
+      return;
+    } catch (const CodecFaultError&) {
+      if (attempt >= max_retries) throw;
+      // Transient kernel fault: relaunch. Each retry consults the injector
+      // again, so a fresh draw decides whether this attempt succeeds.
+    }
   }
 }
 

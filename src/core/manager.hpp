@@ -27,17 +27,32 @@
 #include "sim/stats.hpp"
 #include "sim/timeline.hpp"
 
+#include <stdexcept>
+
+namespace gcmpi::fault {
+class FaultInjector;
+}
+
 namespace gcmpi::core {
 
 using sim::Breakdown;
 using sim::Time;
 using sim::Timeline;
 
+/// Thrown by decompress_received when the (injected) decompression kernel
+/// fails. The rendezvous protocol turns this into a NACK that asks the
+/// sender for a raw resend; collectives retry the kernel locally (see
+/// decompress_with_retry).
+struct CodecFaultError : std::runtime_error {
+  CodecFaultError() : std::runtime_error("injected decompression kernel fault") {}
+};
+
 /// Counters for the experiment reports.
 struct CompressionStats {
   std::uint64_t messages_considered = 0;
   std::uint64_t messages_compressed = 0;
   std::uint64_t messages_fallback_raw = 0;  // compression did not pay off
+  std::uint64_t codec_faults = 0;           // injected kernel faults survived
   std::uint64_t original_bytes = 0;
   std::uint64_t wire_bytes = 0;
 
@@ -93,9 +108,19 @@ class CompressionManager {
   /// enqueued on the GPU streams (the compression-aware collectives overlap
   /// them with subsequent transfers); the caller must device_synchronize()
   /// before touching `user_buf`'s results or releasing the staging.
+  /// Throws CodecFaultError when an injected decompression fault fires.
   void decompress_received(Timeline& tl, const CompressionHeader& header,
                            const RecvStaging& staging, void* user_buf,
                            std::uint64_t user_bytes, bool synchronize = true);
+
+  /// decompress_received with local kernel-relaunch recovery: an injected
+  /// transient decompression fault is retried (a fresh launch, a fresh
+  /// fault draw) up to `max_retries` times before the error propagates.
+  /// Used where no protocol-level resend exists (wire-form collectives).
+  void decompress_with_retry(Timeline& tl, const CompressionHeader& header,
+                             const RecvStaging& staging, void* user_buf,
+                             std::uint64_t user_bytes, bool synchronize = true,
+                             int max_retries = 8);
 
   void release_receive(Timeline& tl, RecvStaging& staging);
 
@@ -104,6 +129,10 @@ class CompressionManager {
     telemetry_ = telemetry;
     rank_id_ = rank;
   }
+
+  /// Attach the deterministic fault injector; compression/decompression
+  /// operations then consult it for kernel faults (chaos testing).
+  void attach_fault_injector(fault::FaultInjector* injector) { fault_ = injector; }
 
   [[nodiscard]] const CompressionStats& stats() const { return stats_; }
   [[nodiscard]] Breakdown& sender_breakdown() { return sender_bd_; }
@@ -150,6 +179,7 @@ class CompressionManager {
   Breakdown sender_bd_;
   Breakdown receiver_bd_;
   Telemetry* telemetry_ = nullptr;
+  fault::FaultInjector* fault_ = nullptr;
   int rank_id_ = -1;
 };
 

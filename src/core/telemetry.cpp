@@ -8,6 +8,9 @@ const char* event_kind_name(EventKind k) {
     case EventKind::Decompress: return "decompress";
     case EventKind::RawBypass: return "raw";
     case EventKind::FallbackRaw: return "fallback";
+    case EventKind::Retransmit: return "retransmit";
+    case EventKind::CorruptionDetected: return "corruption";
+    case EventKind::CodecFault: return "codec_fault";
   }
   return "?";
 }
@@ -33,6 +36,15 @@ Telemetry::Summary Telemetry::summarize(int rank) const {
       case EventKind::FallbackRaw:
         ++s.fallbacks;
         s.compression_time += ev.duration;
+        break;
+      case EventKind::Retransmit:
+        ++s.retransmits;
+        break;
+      case EventKind::CorruptionDetected:
+        ++s.corruptions_detected;
+        break;
+      case EventKind::CodecFault:
+        ++s.codec_faults;
         break;
     }
   }

@@ -20,10 +20,13 @@
 namespace gcmpi::core {
 
 enum class EventKind : std::uint8_t {
-  Compress,     // sender-side compression performed
-  Decompress,   // receiver-side decompression performed
-  RawBypass,    // message did not qualify (threshold / host / disabled)
-  FallbackRaw,  // compression ran but did not pay off; sent raw
+  Compress,            // sender-side compression performed
+  Decompress,          // receiver-side decompression performed
+  RawBypass,           // message did not qualify (threshold / host / disabled)
+  FallbackRaw,         // compression ran but did not pay off; sent raw
+  Retransmit,          // reliability layer re-pushed a rendezvous payload
+  CorruptionDetected,  // receiver CRC32C mismatch on an arrived payload
+  CodecFault,          // compression/decompression kernel fault (injected)
 };
 
 [[nodiscard]] const char* event_kind_name(EventKind k);
@@ -50,6 +53,9 @@ class Telemetry {
     std::uint64_t decompressions = 0;
     std::uint64_t raw_bypasses = 0;
     std::uint64_t fallbacks = 0;
+    std::uint64_t retransmits = 0;
+    std::uint64_t corruptions_detected = 0;
+    std::uint64_t codec_faults = 0;
     std::uint64_t original_bytes = 0;  // over compressed sends
     std::uint64_t wire_bytes = 0;
     sim::Time compression_time;

@@ -171,8 +171,8 @@ void Rank::allgather(const void* sendbuf, std::uint64_t block_bytes, void* recvb
     if (incoming.header.compressed) {
       auto staging = mgr.prepare_receive(tl, incoming.header);
       std::memcpy(staging.data, incoming.payload->data(), incoming.payload->size());
-      mgr.decompress_received(tl, incoming.header, staging, dst, block_bytes,
-                              /*synchronize=*/false);
+      mgr.decompress_with_retry(tl, incoming.header, staging, dst, block_bytes,
+                                /*synchronize=*/false);
       stagings.push_back(staging);
     } else {
       std::memcpy(dst, incoming.payload->data(), incoming.payload->size());

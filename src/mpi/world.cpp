@@ -3,10 +3,23 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "util/crc32c.hpp"
+
 namespace gcmpi::mpi {
 
 using sim::Time;
 using sim::Timeline;
+
+namespace {
+
+/// CRC32C of a staged payload. Checksums are charged zero virtual time:
+/// real NICs fold the ICRC into the DMA engine, so the paper's timing
+/// model is unchanged by turning the reliability layer on.
+std::uint32_t payload_crc(const std::vector<std::uint8_t>& payload) {
+  return payload.empty() ? 0 : util::crc32c(payload.data(), payload.size());
+}
+
+}  // namespace
 
 World::World(sim::Engine& engine, net::ClusterSpec cluster,
              core::CompressionConfig compression, WorldOptions options)
@@ -14,7 +27,9 @@ World::World(sim::Engine& engine, net::ClusterSpec cluster,
       cluster_(std::move(cluster)),
       compression_(std::move(compression)),
       options_(options),
-      fabric_(std::make_unique<net::Fabric>(cluster_)) {
+      fabric_(std::make_unique<net::Fabric>(cluster_)),
+      reliability_(options.fault != nullptr || options.verify_checksums) {
+  fabric_->set_fault_injector(options_.fault);
   ranks_.resize(static_cast<std::size_t>(cluster_.ranks()));
   int rank_id = 0;
   for (auto& r : ranks_) {
@@ -22,6 +37,9 @@ World::World(sim::Engine& engine, net::ClusterSpec cluster,
     r.mgr = std::make_unique<core::CompressionManager>(*r.gpu, compression_);
     if (options_.telemetry != nullptr) {
       r.mgr->attach_telemetry(options_.telemetry, rank_id);
+    }
+    if (options_.fault != nullptr) {
+      r.mgr->attach_fault_injector(options_.fault);
     }
     ++rank_id;
   }
@@ -46,12 +64,16 @@ void World::run(std::function<void(Rank&)> main) {
 }
 
 void World::complete(const Request& req, Status status) {
+  complete_at(req, status, engine_.now());
+}
+
+void World::complete_at(const Request& req, Status status, Time at) {
   req->status = status;
   req->complete = true;
   if (req->waiter != sim::kNoActor) {
     const sim::ActorId waiter = req->waiter;
     req->waiter = sim::kNoActor;
-    engine_.wake(waiter, engine_.now());
+    engine_.wake(waiter, at);
   }
 }
 
@@ -71,6 +93,7 @@ Request World::do_isend(sim::ActorContext& ctx, int src, const void* buf,
     auto payload = std::make_shared<std::vector<std::uint8_t>>(
         static_cast<const std::uint8_t*>(buf),
         static_cast<const std::uint8_t*>(buf) + bytes);
+    if (reliability_) env.crc = payload_crc(*payload);
     ctx.advance(options_.host_send_overhead);
     const Time t_arr = fabric_->transfer(ctx.now(), src, dst, bytes + options_.envelope_bytes);
     EagerMsg msg{env, std::move(payload)};
@@ -91,20 +114,21 @@ Request World::do_isend(sim::ActorContext& ctx, int src, const void* buf,
 
   const Time t_rts = fabric_->control(ctx.now(), src, dst,
                                       options_.rts_bytes + wire.header.wire_bytes());
-  RtsMsg rts{env, wire.header, std::move(wire.payload), req};
+  RtsMsg rts{env, wire.header, std::move(wire.payload), req, buf};
   engine_.schedule(t_rts, [this, rts = std::move(rts)]() mutable {
     on_rts_arrival(std::move(rts));
   });
   return req;
 }
 
-WireMessage World::make_raw_wire(const void* buf, std::uint64_t bytes) {
+WireMessage World::make_raw_wire(const void* buf, std::uint64_t bytes) const {
   core::CompressionHeader raw;
   raw.original_bytes = bytes;
   raw.compressed_bytes = bytes;
   auto payload = std::make_shared<std::vector<std::uint8_t>>(
       static_cast<const std::uint8_t*>(buf),
       static_cast<const std::uint8_t*>(buf) + bytes);
+  if (reliability_) raw.payload_crc32c = payload_crc(*payload);
   return WireMessage{raw, std::move(payload)};
 }
 
@@ -117,6 +141,7 @@ WireMessage World::do_make_wire(sim::ActorContext& ctx, int rank, const void* bu
       static_cast<const std::uint8_t*>(wire.data),
       static_cast<const std::uint8_t*>(wire.data) + wire.bytes);
   WireMessage msg{wire.header, std::move(payload)};
+  if (reliability_) msg.header.payload_crc32c = payload_crc(*msg.payload);
   state.mgr->release_send(tl, wire);
   ctx.advance_to(tl.now());
   return msg;
@@ -135,6 +160,11 @@ Request World::do_isend_wire(sim::ActorContext& ctx, int src, const WireMessage&
   const Time t_rts = fabric_->control(ctx.now(), src, dst,
                                       options_.rts_bytes + msg.header.wire_bytes());
   RtsMsg rts{env, msg.header, msg.payload, req};
+  // A forwarded payload is byte-identical to the original, so recomputing
+  // the CRC here both covers wire messages minted before the reliability
+  // layer was on and reproduces the original value otherwise. No raw
+  // fallback for forwards: there is no original user buffer to resend.
+  if (reliability_) rts.header.payload_crc32c = payload_crc(*rts.payload);
   engine_.schedule(t_rts, [this, rts = std::move(rts)]() mutable {
     on_rts_arrival(std::move(rts));
   });
@@ -165,6 +195,12 @@ void World::wake_probers(RankState& state, const Envelope& env) {
 
 void World::on_eager_arrival(EagerMsg msg) {
   auto& state = ranks_[static_cast<std::size_t>(msg.env.dst)];
+  // Eager messages ride the reliable control plane, so this checksum is an
+  // end-to-end assertion rather than a recovery trigger: a mismatch means
+  // the library itself mangled the staged payload.
+  if (reliability_ && msg.env.crc != payload_crc(*msg.payload)) {
+    throw std::runtime_error("MiniMPI: eager payload checksum mismatch");
+  }
   for (auto it = state.posted.begin(); it != state.posted.end(); ++it) {
     if (matches(*it, msg.env)) {
       PostedRecv recv = *it;
@@ -173,6 +209,7 @@ void World::on_eager_arrival(EagerMsg msg) {
         core::CompressionHeader raw;
         raw.original_bytes = msg.env.bytes;
         raw.compressed_bytes = msg.env.bytes;
+        raw.payload_crc32c = msg.env.crc;
         *recv.wire_out = WireMessage{raw, msg.payload};
       } else {
         deliver_eager_to(recv, msg);
@@ -210,55 +247,169 @@ void World::begin_rndv_receive(Timeline& tl, RtsMsg rts, PostedRecv recv) {
   auto staging = std::make_shared<core::CompressionManager::RecvStaging>(
       recv.wire_out != nullptr ? core::CompressionManager::RecvStaging{}
                                : state.mgr->prepare_receive(tl, rts.header));
-  const int dst = rts.env.dst;
-  const int src = rts.env.src;
-  const Time t_cts = fabric_->control(tl.now(), dst, src, options_.cts_bytes);
+  auto tx = std::make_shared<RndvTransfer>();
+  tx->env = rts.env;
+  tx->header = std::move(rts.header);
+  tx->payload = std::move(rts.payload);
+  tx->send_req = std::move(rts.send_req);
+  tx->recv = std::move(recv);
+  tx->staging = std::move(staging);
+  tx->sender_buf = rts.sender_buf;
 
-  engine_.schedule(t_cts, [this, rts = std::move(rts), recv = std::move(recv),
-                           staging]() mutable {
+  const Time t_cts = fabric_->control(tl.now(), tx->env.dst, tx->env.src, options_.cts_bytes);
+  engine_.schedule(t_cts, [this, tx]() {
     // Sender-side CTS handling: push the (compressed) payload.
-    const Time start = engine_.now() + options_.progress_overhead;
-    const std::uint64_t wire_bytes = rts.payload->size() + options_.envelope_bytes;
-    const Time t_arr = fabric_->transfer(start, rts.env.src, rts.env.dst, wire_bytes);
-    engine_.schedule(t_arr, [this, rts = std::move(rts), recv = std::move(recv),
-                             staging]() mutable {
-      complete(rts.send_req, Status{rts.env.dst, rts.env.tag, rts.env.bytes});
-      on_data_arrival(std::move(rts), std::move(recv), staging);
-    });
+    push_rndv_data(tx);
   });
 }
 
-void World::on_data_arrival(RtsMsg rts, PostedRecv recv,
-                            std::shared_ptr<core::CompressionManager::RecvStaging> staging) {
-  auto& state = ranks_[static_cast<std::size_t>(rts.env.dst)];
+void World::push_rndv_data(const RndvPtr& tx) {
+  if (tx->done) return;
+  tx->recovery_pending = false;
+  ++tx->attempts;
+  const Time start = engine_.now() + options_.progress_overhead;
+  const std::uint64_t wire_bytes = tx->payload->size() + options_.envelope_bytes;
+  const net::Fabric::Delivery d =
+      fabric_->transfer_data(start, tx->env.src, tx->env.dst, wire_bytes);
+
+  if (!d.dropped) {
+    Payload delivered = tx->payload;
+    if (d.corrupted) {
+      // Flip one bit of a private copy; the sender's staged payload must
+      // stay intact for the retransmission the receiver will ask for.
+      delivered = std::make_shared<std::vector<std::uint8_t>>(*tx->payload);
+      if (!delivered->empty()) {
+        const std::uint64_t bit = d.corrupt_bits % (delivered->size() * 8);
+        (*delivered)[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+      }
+    }
+    engine_.schedule(d.at, [this, tx, delivered]() { on_rndv_data(tx, delivered); });
+    return;
+  }
+
+  // The fabric dropped the packet. The receiver cannot NACK what it never
+  // saw, so a timeout covers this case: the margin starts one
+  // retransmit_timeout past the would-be arrival and grows by
+  // retransmit_backoff with every failed attempt.
+  Time margin = options_.retransmit_timeout;
+  for (int i = 1; i < tx->attempts; ++i) {
+    margin = Time::ns(static_cast<std::int64_t>(static_cast<double>(margin.count_ns()) *
+                                                options_.retransmit_backoff));
+  }
+  tx->watchdog = engine_.schedule_cancelable(
+      d.at + margin, [this, tx]() { request_retransmit(tx, engine_.now(), false); });
+}
+
+void World::on_rndv_data(const RndvPtr& tx, const Payload& delivered) {
+  if (tx->done) return;
+  auto& state = ranks_[static_cast<std::size_t>(tx->env.dst)];
   Timeline tl(engine_.now() + options_.progress_overhead);
 
-  if (recv.wire_out != nullptr) {
-    // Deliver the wire representation as-is; the application decompresses
-    // later (or forwards it on).
-    *recv.wire_out = WireMessage{rts.header, rts.payload};
-  } else if (rts.header.compressed) {
-    // The payload landed in the receiver's temporary device buffer;
-    // decompress into the user buffer (Algorithm 2, steps 6-7).
-    std::memcpy(staging->data, rts.payload->data(), rts.payload->size());
-    state.mgr->decompress_received(tl, rts.header, *staging, recv.buf, recv.capacity);
-    state.mgr->release_receive(tl, *staging);
-  } else {
-    if (recv.capacity < rts.env.bytes) {
-      throw std::runtime_error("MiniMPI: rendezvous truncation (receive buffer too small)");
+  if (reliability_ && payload_crc(*delivered) != tx->header.payload_crc32c) {
+    // A flipped bit anywhere in the payload — detected before any of it
+    // can reach a decompression kernel or the user buffer.
+    if (options_.telemetry != nullptr) {
+      options_.telemetry->record({tl.now(), tx->env.dst, core::EventKind::CorruptionDetected,
+                                  tx->header.algorithm, tx->env.bytes, delivered->size(),
+                                  Time::zero()});
     }
-    std::memcpy(recv.buf, rts.payload->data(), rts.payload->size());
+    request_retransmit(tx, tl.now(), false);
+    return;
   }
 
-  const Request req = recv.req;
-  const Status status{rts.env.src, rts.env.tag, rts.env.bytes};
-  req->status = status;
-  req->complete = true;
-  if (req->waiter != sim::kNoActor) {
-    const sim::ActorId waiter = req->waiter;
-    req->waiter = sim::kNoActor;
-    engine_.wake(waiter, tl.now());
+  if (tx->recv.wire_out != nullptr) {
+    // Deliver the wire representation as-is; the application decompresses
+    // later (or forwards it on).
+    *tx->recv.wire_out = WireMessage{tx->header, delivered};
+  } else if (tx->header.compressed) {
+    // The payload landed in the receiver's temporary device buffer;
+    // decompress into the user buffer (Algorithm 2, steps 6-7).
+    std::memcpy(tx->staging->data, delivered->data(), delivered->size());
+    try {
+      state.mgr->decompress_received(tl, tx->header, *tx->staging, tx->recv.buf,
+                                     tx->recv.capacity);
+    } catch (const core::CodecFaultError&) {
+      // The stream is intact (CRC passed) but the kernel failed; ask the
+      // sender for the raw buffer instead of relaunching on the same data.
+      request_retransmit(tx, tl.now(), true);
+      return;
+    }
+    state.mgr->release_receive(tl, *tx->staging);
+  } else {
+    if (tx->recv.capacity < tx->env.bytes) {
+      throw std::runtime_error("MiniMPI: rendezvous truncation (receive buffer too small)");
+    }
+    if (!delivered->empty()) std::memcpy(tx->recv.buf, delivered->data(), delivered->size());
+    if (tx->staging->data != nullptr) {
+      // A decode-fault fallback switched the transfer to raw after the
+      // receiver had already staged for the compressed form.
+      state.mgr->release_receive(tl, *tx->staging);
+    }
   }
+
+  tx->done = true;
+  sim::Engine::cancel(tx->watchdog);
+  complete(tx->send_req, Status{tx->env.dst, tx->env.tag, tx->env.bytes});
+  complete_at(tx->recv.req, Status{tx->env.src, tx->env.tag, tx->env.bytes}, tl.now());
+}
+
+void World::request_retransmit(const RndvPtr& tx, Time at, bool decode_fail) {
+  if (tx->done || tx->recovery_pending) return;
+  sim::Engine::cancel(tx->watchdog);
+  if (tx->attempts > options_.max_data_retries) {
+    fail_rndv(tx, at);
+    return;
+  }
+  tx->recovery_pending = true;
+  if (options_.telemetry != nullptr) {
+    options_.telemetry->record({at, tx->env.dst, core::EventKind::Retransmit,
+                                tx->header.algorithm, tx->env.bytes, tx->payload->size(),
+                                Time::zero()});
+  }
+  // NACK rides the reliable control plane back to the sender. For drop
+  // timeouts the "NACK" models the sender's own retransmission timer, but
+  // charging the control round-trip keeps the two recovery paths uniform.
+  const Time t_nack = fabric_->control(at, tx->env.dst, tx->env.src, options_.nack_bytes);
+  engine_.schedule(t_nack, [this, tx, decode_fail]() {
+    if (tx->done) return;
+    if (decode_fail && tx->sender_buf != nullptr && !tx->fell_back_raw) {
+      switch_to_raw(tx);
+    }
+    push_rndv_data(tx);
+  });
+}
+
+void World::switch_to_raw(const RndvPtr& tx) {
+  // Decompression keeps failing on an intact stream: resend the original
+  // user buffer uncompressed (graceful degradation). The send request is
+  // still pending, so MPI semantics keep that buffer alive and unchanged.
+  tx->fell_back_raw = true;
+  tx->payload = std::make_shared<std::vector<std::uint8_t>>(
+      static_cast<const std::uint8_t*>(tx->sender_buf),
+      static_cast<const std::uint8_t*>(tx->sender_buf) + tx->env.bytes);
+  core::CompressionHeader raw;
+  raw.original_bytes = tx->env.bytes;
+  raw.compressed_bytes = tx->env.bytes;
+  if (reliability_) raw.payload_crc32c = payload_crc(*tx->payload);
+  tx->header = raw;
+}
+
+void World::fail_rndv(const RndvPtr& tx, Time at) {
+  // Retry budget exhausted: complete both sides with a clean error status
+  // instead of hanging the job on an undeliverable payload.
+  tx->done = true;
+  sim::Engine::cancel(tx->watchdog);
+  auto& state = ranks_[static_cast<std::size_t>(tx->env.dst)];
+  if (tx->staging && tx->staging->data != nullptr) {
+    Timeline tl(at);
+    state.mgr->release_receive(tl, *tx->staging);
+  }
+  Status recv_status{tx->env.src, tx->env.tag, 0};
+  recv_status.error = StatusError::RetryLimit;
+  Status send_status{tx->env.dst, tx->env.tag, 0};
+  send_status.error = StatusError::RetryLimit;
+  complete_at(tx->send_req, send_status, at);
+  complete_at(tx->recv.req, recv_status, at);
 }
 
 Request World::do_irecv(sim::ActorContext& ctx, int dst, void* buf, std::uint64_t capacity,
@@ -291,6 +442,7 @@ Request World::do_irecv(sim::ActorContext& ctx, int dst, void* buf, std::uint64_
       core::CompressionHeader raw;
       raw.original_bytes = eager_it->env.bytes;
       raw.compressed_bytes = eager_it->env.bytes;
+      raw.payload_crc32c = eager_it->env.crc;
       *wire_out = WireMessage{raw, eager_it->payload};
     } else {
       deliver_eager_to(self, *eager_it);
@@ -396,7 +548,9 @@ void Rank::decompress_wire(const WireMessage& msg, void* buf, std::uint64_t capa
   if (msg.header.compressed) {
     auto staging = mgr.prepare_receive(tl, msg.header);
     if (!msg.payload->empty()) std::memcpy(staging.data, msg.payload->data(), msg.payload->size());
-    mgr.decompress_received(tl, msg.header, staging, buf, capacity);
+    // Wire-form receives have no protocol-level resend path, so injected
+    // decompression faults are recovered by relaunching the kernels.
+    mgr.decompress_with_retry(tl, msg.header, staging, buf, capacity);
     mgr.release_receive(tl, staging);
   } else {
     if (capacity < msg.payload->size()) {

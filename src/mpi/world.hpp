@@ -17,6 +17,20 @@
 // Collectives (bcast, allgather, allreduce, reduce, alltoall, gather,
 // scatter, barrier) are built from these point-to-point primitives, so they
 // inherit per-hop compression exactly as in the paper's OMB experiments.
+//
+// Wire reliability (active when WorldOptions::fault is set, or when
+// verify_checksums is requested explicitly):
+//   * every payload carries a CRC32C — in the eager envelope for eager
+//     messages, in the piggybacked CompressionHeader for rendezvous;
+//   * rendezvous data packets can be dropped or bit-corrupted by the fault
+//     injector; the receiver NACKs on CRC mismatch, a sender-side timeout
+//     covers drops, and the payload is re-pushed with exponential backoff
+//     up to max_data_retries before both requests complete with
+//     StatusError::RetryLimit (no hangs);
+//   * a decompression kernel fault NACKs with decode_fail, and the sender
+//     falls back to resending the raw (uncompressed) user buffer.
+// Control packets (RTS/CTS/NACK) and eager messages ride the modeled
+// link-level-reliable control plane and are never dropped.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +40,7 @@
 #include <vector>
 
 #include "core/manager.hpp"
+#include "fault/injector.hpp"
 #include "gpu/device.hpp"
 #include "net/cluster.hpp"
 #include "sim/engine.hpp"
@@ -35,10 +50,20 @@ namespace gcmpi::mpi {
 inline constexpr int kAnySource = -1;
 inline constexpr int kAnyTag = -1;
 
+/// Why a request finished unsuccessfully. Only the reliability layer
+/// produces non-None values today.
+enum class StatusError : std::uint8_t {
+  None = 0,
+  RetryLimit = 1,  // rendezvous payload never delivered within retry budget
+};
+
 struct Status {
   int source = -1;
   int tag = -1;
   std::uint64_t bytes = 0;
+  StatusError error = StatusError::None;
+
+  [[nodiscard]] bool ok() const { return error == StatusError::None; }
 };
 
 struct RequestState {
@@ -72,6 +97,22 @@ struct WorldOptions {
   std::uint64_t envelope_bytes = 48;                 // wire header per message
   std::uint64_t rts_bytes = 64;                      // RTS before piggyback
   std::uint64_t cts_bytes = 32;
+
+  // --- wire reliability (see the protocol notes at the top of this file) ---
+  /// Deterministic chaos source consulted by the fabric and the codecs.
+  /// Installing one turns the reliability layer on.
+  fault::FaultInjector* fault = nullptr;
+  /// Force CRC computation/verification even without an injector (the
+  /// checksums are then pure assertions: nothing corrupts the payloads).
+  bool verify_checksums = false;
+  /// Give up after this many re-pushes of one rendezvous payload; both
+  /// requests then complete with StatusError::RetryLimit.
+  int max_data_retries = 8;
+  /// Sender-side drop-detection margin past the expected arrival, doubled
+  /// (by retransmit_backoff) after every failed attempt.
+  sim::Time retransmit_timeout = sim::Time::us(200);
+  double retransmit_backoff = 2.0;
+  std::uint64_t nack_bytes = 32;  // control packet asking for a re-push
 };
 
 class World;
@@ -169,7 +210,8 @@ class World {
     int src = -1;
     int dst = -1;
     int tag = 0;
-    std::uint64_t bytes = 0;  // original message size
+    std::uint64_t bytes = 0;   // original message size
+    std::uint32_t crc = 0;     // eager payload CRC32C (reliability layer)
   };
 
   using Payload = std::shared_ptr<std::vector<std::uint8_t>>;
@@ -185,6 +227,7 @@ class World {
     core::CompressionHeader header;
     Payload payload;  // wire bytes, staged at send time
     Request send_req;
+    const void* sender_buf = nullptr;  // user buffer, for raw-resend fallback
     std::uint64_t arrival = 0;
   };
 
@@ -196,6 +239,24 @@ class World {
     Request req;
     WireMessage* wire_out = nullptr;  // set => deliver wire form, skip decompress
   };
+
+  /// One in-flight rendezvous payload transfer (CTS received, data being
+  /// pushed), kept alive until verified delivery or retry exhaustion.
+  struct RndvTransfer {
+    Envelope env;
+    core::CompressionHeader header;
+    Payload payload;
+    Request send_req;
+    PostedRecv recv;
+    std::shared_ptr<core::CompressionManager::RecvStaging> staging;
+    const void* sender_buf = nullptr;
+    int attempts = 0;               // payload pushes so far
+    bool done = false;
+    bool fell_back_raw = false;     // decode faults switched us to raw
+    bool recovery_pending = false;  // a NACK/timeout is already in flight
+    sim::Engine::CancelToken watchdog;
+  };
+  using RndvPtr = std::shared_ptr<RndvTransfer>;
 
   struct ProbeWaiter {
     int src = kAnySource;
@@ -227,15 +288,21 @@ class World {
                    int src, int tag, WireMessage* wire_out = nullptr);
   WireMessage do_make_wire(sim::ActorContext& ctx, int rank, const void* buf,
                            std::uint64_t bytes);
-  static WireMessage make_raw_wire(const void* buf, std::uint64_t bytes);
+  WireMessage make_raw_wire(const void* buf, std::uint64_t bytes) const;
   Request do_isend_wire(sim::ActorContext& ctx, int src, const WireMessage& msg, int dst,
                         int tag);
   void on_eager_arrival(EagerMsg msg);
   void on_rts_arrival(RtsMsg rts);
   void begin_rndv_receive(sim::Timeline& tl, RtsMsg rts, PostedRecv recv);
-  void on_data_arrival(RtsMsg rts, PostedRecv recv,
-                       std::shared_ptr<core::CompressionManager::RecvStaging> staging);
+  // Reliability-aware data phase: push (or re-push) the payload, verify it
+  // on arrival, NACK / time out / fail cleanly as needed.
+  void push_rndv_data(const RndvPtr& tx);
+  void on_rndv_data(const RndvPtr& tx, const Payload& delivered);
+  void request_retransmit(const RndvPtr& tx, sim::Time at, bool decode_fail);
+  void switch_to_raw(const RndvPtr& tx);
+  void fail_rndv(const RndvPtr& tx, sim::Time at);
   void complete(const Request& req, Status status);
+  void complete_at(const Request& req, Status status, sim::Time at);
   void deliver_eager_to(PostedRecv& recv, const EagerMsg& msg);
   bool do_iprobe(int rank, int src, int tag, Status* status);
   Status do_probe(sim::ActorContext& ctx, int rank, int src, int tag);
@@ -247,6 +314,7 @@ class World {
   WorldOptions options_;
   std::unique_ptr<net::Fabric> fabric_;
   std::vector<RankState> ranks_;
+  bool reliability_ = false;  // fault injector installed or CRCs forced on
 };
 
 }  // namespace gcmpi::mpi

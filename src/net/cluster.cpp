@@ -68,23 +68,62 @@ Fabric::Port& Fabric::rx_port(int src, int dst) {
                                    : node_rx_[static_cast<std::size_t>(spec_.node_of(dst))];
 }
 
-Time Fabric::transfer(Time earliest, int src_rank, int dst_rank, std::uint64_t bytes) {
-  if (src_rank == dst_rank) return earliest;  // self-send: no wire
+Time Fabric::occupy_and_arrive(Time earliest, int src_rank, int dst_rank,
+                               std::uint64_t bytes) {
   const LinkSpec& link = route(src_rank, dst_rank);
   Port& tx = tx_port(src_rank, dst_rank);
   Port& rx = rx_port(src_rank, dst_rank);
   Time start = earliest;
   if (tx.busy_until > start) start = tx.busy_until;
   if (rx.busy_until > start) start = rx.busy_until;
-  const Time wire = link.wire_time(bytes) + link.per_message_overhead;
+  Time wire = link.wire_time(bytes) + link.per_message_overhead;
+  if (fault_ != nullptr && !spec_.same_node(src_rank, dst_rank)) {
+    const auto w = fault_->window_at(start, spec_.node_of(src_rank), spec_.node_of(dst_rank));
+    if (w.defer_until > start) start = w.defer_until;  // NIC stall/flap
+    if (w.bandwidth_scale < 1.0) {                     // degraded link
+      wire = Time::ns(static_cast<std::int64_t>(
+          static_cast<double>(wire.count_ns()) / w.bandwidth_scale));
+    }
+  }
   tx.busy_until = start + wire;
   rx.busy_until = start + wire;
   bytes_moved_ += bytes;
   return start + wire + link.latency;
 }
 
+Time Fabric::transfer(Time earliest, int src_rank, int dst_rank, std::uint64_t bytes) {
+  if (src_rank == dst_rank) return earliest;  // self-send: no wire
+  Time at = occupy_and_arrive(earliest, src_rank, dst_rank, bytes);
+  if (fault_ != nullptr) at += fault_->timing_fault(src_rank, dst_rank);
+  return at;
+}
+
 Time Fabric::control(Time earliest, int src_rank, int dst_rank, std::uint64_t bytes) {
   return transfer(earliest, src_rank, dst_rank, bytes);
+}
+
+Fabric::Delivery Fabric::transfer_data(Time earliest, int src_rank, int dst_rank,
+                                       std::uint64_t bytes) {
+  Delivery d;
+  if (src_rank == dst_rank) {
+    d.at = earliest;
+    return d;
+  }
+  d.at = occupy_and_arrive(earliest, src_rank, dst_rank, bytes);
+  if (fault_ != nullptr) {
+    const auto f = fault_->on_data_packet(src_rank, dst_rank);
+    d.dropped = f.drop;
+    d.corrupted = f.corrupt;
+    d.corrupt_bits = f.corrupt_bits;
+    d.at += f.extra_latency;
+  }
+  return d;
+}
+
+Time Fabric::estimate(int src_rank, int dst_rank, std::uint64_t bytes) const {
+  if (src_rank == dst_rank) return Time::zero();
+  const LinkSpec& link = route(src_rank, dst_rank);
+  return link.wire_time(bytes) + link.per_message_overhead + link.latency;
 }
 
 }  // namespace gcmpi::net

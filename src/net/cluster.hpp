@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/injector.hpp"
 #include "gpu/cost_model.hpp"
 #include "net/link.hpp"
 #include "sim/time.hpp"
@@ -49,15 +50,42 @@ class Fabric {
   explicit Fabric(const ClusterSpec& spec);
 
   /// Move `bytes` from `src_rank` to `dst_rank` starting no earlier than
-  /// `earliest`. Returns arrival time of the full message.
+  /// `earliest`. Returns arrival time of the full message. Subject to the
+  /// installed fault injector's timing faults (latency spikes, link-state
+  /// windows) but never dropped or corrupted — the eager/control plane is
+  /// modeled as link-level reliable, like small-MTU IB packets.
   [[nodiscard]] Time transfer(Time earliest, int src_rank, int dst_rank,
                               std::uint64_t bytes);
 
-  /// Small control message (RTS/CTS): pays latency + overhead and a
+  /// Small control message (RTS/CTS/NACK): pays latency + overhead and a
   /// negligible serialization term, but still ordered through the ports so
   /// protocol messages cannot overtake each other.
   [[nodiscard]] Time control(Time earliest, int src_rank, int dst_rank,
                              std::uint64_t bytes = 64);
+
+  /// Outcome of a data-plane transfer under fault injection. `at` is the
+  /// would-be arrival time; when `dropped` the packet still occupied the
+  /// ports (it was transmitted, then lost) but must not be delivered.
+  struct Delivery {
+    Time at;
+    bool dropped = false;
+    bool corrupted = false;
+    std::uint64_t corrupt_bits = 0;  // entropy for picking the flipped bit
+  };
+
+  /// Like transfer(), but for rendezvous payload packets: consults the
+  /// fault injector for drop/corruption verdicts in addition to the timing
+  /// faults. Identical to transfer() when no injector is installed.
+  [[nodiscard]] Delivery transfer_data(Time earliest, int src_rank, int dst_rank,
+                                       std::uint64_t bytes);
+
+  /// Nominal unloaded time for `bytes` over the route (no port queueing,
+  /// no faults): the receiver-side basis for retransmission timeouts.
+  [[nodiscard]] Time estimate(int src_rank, int dst_rank, std::uint64_t bytes) const;
+
+  /// Install (or clear, with nullptr) the deterministic fault injector.
+  void set_fault_injector(fault::FaultInjector* injector) { fault_ = injector; }
+  [[nodiscard]] fault::FaultInjector* fault_injector() const { return fault_; }
 
   [[nodiscard]] const ClusterSpec& spec() const { return spec_; }
   [[nodiscard]] std::uint64_t bytes_moved() const { return bytes_moved_; }
@@ -71,6 +99,9 @@ class Fabric {
   }
   Port& tx_port(int src, int dst);
   Port& rx_port(int src, int dst);
+  /// Shared port/serialization core: applies link-state windows, occupies
+  /// the ports, and returns the arrival time (before any latency spike).
+  Time occupy_and_arrive(Time earliest, int src_rank, int dst_rank, std::uint64_t bytes);
 
   ClusterSpec spec_;
   // Inter-node: one egress + one ingress port per node (the IB HCA).
@@ -78,6 +109,7 @@ class Fabric {
   // Intra-node: one port per GPU endpoint (NVLink/PCIe lane).
   std::vector<Port> gpu_tx_, gpu_rx_;
   std::uint64_t bytes_moved_ = 0;
+  fault::FaultInjector* fault_ = nullptr;  // non-owning; nullptr = perfect fabric
 };
 
 }  // namespace gcmpi::net

@@ -48,6 +48,21 @@ void Engine::schedule(Time t, std::function<void()> fn) {
   queue_.push(Event{t, next_seq_++, kNoActor, std::move(fn)});
 }
 
+Engine::CancelToken Engine::schedule_cancelable(Time t, std::function<void()> fn) {
+  auto armed = std::make_shared<bool>(true);
+  schedule(t, [armed, fn = std::move(fn)] {
+    if (*armed) fn();
+  });
+  return armed;
+}
+
+void Engine::cancel(CancelToken& token) {
+  if (token) {
+    *token = false;
+    token.reset();
+  }
+}
+
 void Engine::wake(ActorId id, Time t) {
   Actor& a = *actors_.at(id);
   if (a.state != ActorState::Blocked) {

@@ -88,6 +88,15 @@ class Engine {
   /// Schedule a callback `dt` after the current time.
   void schedule_after(Time dt, std::function<void()> fn) { schedule(now_ + dt, std::move(fn)); }
 
+  /// Cancelable timeout: like schedule(), but the returned token can later
+  /// be passed to cancel() to turn the pending callback into a no-op (the
+  /// queue slot still drains at `t`). Used for protocol watchdog timers
+  /// (e.g. the rendezvous retransmission timeout) that are usually
+  /// disarmed by the event they guard against.
+  using CancelToken = std::shared_ptr<bool>;
+  CancelToken schedule_cancelable(Time t, std::function<void()> fn);
+  static void cancel(CancelToken& token);
+
   /// Wake a blocked actor at absolute time `t` (>= now). It is an error to
   /// wake an actor that is not blocked.
   void wake(ActorId id, Time t);

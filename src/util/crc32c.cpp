@@ -1,0 +1,77 @@
+#include "util/crc32c.hpp"
+
+#include <array>
+
+namespace gcmpi::util {
+
+namespace {
+
+constexpr std::uint32_t kPoly = 0x82F63B78u;  // reflected Castagnoli
+
+struct Tables {
+  std::uint32_t t[8][256];
+};
+
+Tables build_tables() {
+  Tables tb{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1u) ? (c >> 1) ^ kPoly : c >> 1;
+    tb.t[0][i] = c;
+  }
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = tb.t[0][i];
+    for (int s = 1; s < 8; ++s) {
+      c = tb.t[0][c & 0xFFu] ^ (c >> 8);
+      tb.t[s][i] = c;
+    }
+  }
+  return tb;
+}
+
+const Tables& tables() {
+  static const Tables tb = build_tables();
+  return tb;
+}
+
+}  // namespace
+
+std::uint32_t crc32c(const void* data, std::size_t bytes, std::uint32_t crc) {
+  const auto& tb = tables();
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t c = ~crc;
+  // Head: align the slice-by-8 loop to an 8-byte stride.
+  while (bytes != 0 && (reinterpret_cast<std::uintptr_t>(p) & 7u) != 0) {
+    c = tb.t[0][(c ^ *p++) & 0xFFu] ^ (c >> 8);
+    --bytes;
+  }
+  while (bytes >= 8) {
+    const std::uint32_t lo = c ^ (static_cast<std::uint32_t>(p[0]) |
+                                  static_cast<std::uint32_t>(p[1]) << 8 |
+                                  static_cast<std::uint32_t>(p[2]) << 16 |
+                                  static_cast<std::uint32_t>(p[3]) << 24);
+    const std::uint32_t hi = static_cast<std::uint32_t>(p[4]) |
+                             static_cast<std::uint32_t>(p[5]) << 8 |
+                             static_cast<std::uint32_t>(p[6]) << 16 |
+                             static_cast<std::uint32_t>(p[7]) << 24;
+    c = tb.t[7][lo & 0xFFu] ^ tb.t[6][(lo >> 8) & 0xFFu] ^ tb.t[5][(lo >> 16) & 0xFFu] ^
+        tb.t[4][lo >> 24] ^ tb.t[3][hi & 0xFFu] ^ tb.t[2][(hi >> 8) & 0xFFu] ^
+        tb.t[1][(hi >> 16) & 0xFFu] ^ tb.t[0][hi >> 24];
+    p += 8;
+    bytes -= 8;
+  }
+  while (bytes-- != 0) c = tb.t[0][(c ^ *p++) & 0xFFu] ^ (c >> 8);
+  return ~c;
+}
+
+std::uint32_t crc32c_reference(const void* data, std::size_t bytes, std::uint32_t crc) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t c = ~crc;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    c ^= p[i];
+    for (int k = 0; k < 8; ++k) c = (c & 1u) ? (c >> 1) ^ kPoly : c >> 1;
+  }
+  return ~c;
+}
+
+}  // namespace gcmpi::util

@@ -2,11 +2,13 @@
 
 #include <cstring>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <vector>
 
 #include "core/telemetry.hpp"
 #include "data/datasets.hpp"
+#include "fault/injector.hpp"
 #include "mpi/world.hpp"
 #include "sim/rng.hpp"
 #include "support/payloads.hpp"
@@ -55,6 +57,16 @@ std::string run_world_dump(const WorldScenario& s) {
   cfg.threshold_bytes = 8 * 1024;
   mpi::WorldOptions opts;
   opts.telemetry = &telemetry;
+  std::optional<fault::FaultInjector> injector;
+  if (s.fault_seed != 0) {
+    fault::FaultPlan plan;
+    plan.seed = s.fault_seed;
+    plan.drop_probability = s.fault_drop;
+    plan.corrupt_probability = s.fault_corrupt;
+    plan.decompress_fail_probability = s.fault_decompress;
+    injector.emplace(plan);
+    opts.fault = &*injector;
+  }
   mpi::World world(engine, net::longhorn(s.nodes, s.gpus_per_node), cfg, opts);
 
   // Per-rank observation log: every receive completion and collective
@@ -111,6 +123,7 @@ std::string run_world_dump(const WorldScenario& s) {
     dump << "stats rank=" << r << " considered=" << stats.messages_considered
          << " compressed=" << stats.messages_compressed
          << " fallback=" << stats.messages_fallback_raw
+         << " codec_faults=" << stats.codec_faults
          << " original=" << stats.original_bytes << " wire=" << stats.wire_bytes << "\n";
   }
   dump << "telemetry_events=" << telemetry.events().size() << "\n";
@@ -119,9 +132,26 @@ std::string run_world_dump(const WorldScenario& s) {
   dump << "telemetry_summary compressions=" << summary.compressions
        << " decompressions=" << summary.decompressions
        << " bypasses=" << summary.raw_bypasses << " fallbacks=" << summary.fallbacks
+       << " retransmits=" << summary.retransmits
+       << " corruptions=" << summary.corruptions_detected
+       << " codec_faults=" << summary.codec_faults
        << " original=" << summary.original_bytes << " wire=" << summary.wire_bytes
        << " ct_ns=" << summary.compression_time.count_ns()
        << " dt_ns=" << summary.decompression_time.count_ns() << "\n";
+  if (injector.has_value()) {
+    // Only emitted when something actually fired, so an idle plan's dump
+    // stays byte-identical to a run with no injector at all.
+    const auto& fs = injector->stats();
+    if (fs.drops + fs.corruptions + fs.latency_spikes + fs.stalls + fs.degradations +
+            fs.compress_faults + fs.decompress_faults >
+        0) {
+      dump << "fault_stats data_packets=" << fs.data_packets << " drops=" << fs.drops
+           << " corruptions=" << fs.corruptions << " spikes=" << fs.latency_spikes
+           << " stalls=" << fs.stalls << " degradations=" << fs.degradations
+           << " compress_faults=" << fs.compress_faults
+           << " decompress_faults=" << fs.decompress_faults << "\n";
+    }
+  }
   dump << "engine_final_ns=" << engine.now().count_ns() << "\n";
   return dump.str();
 }

@@ -21,6 +21,14 @@ struct WorldScenario {
   bool compression = true;          // MPC-OPT with a low threshold
   int collective_rounds = 2;        // allreduce+allgather+bcast interleaved
   std::uint64_t seed = 1;
+
+  // Fault injection: a nonzero fault_seed installs a FaultInjector with
+  // these rates. An installed-but-idle plan (all rates zero) must produce
+  // a dump byte-identical to fault_seed == 0 (reliability transparency).
+  std::uint64_t fault_seed = 0;
+  double fault_drop = 0.0;
+  double fault_corrupt = 0.0;
+  double fault_decompress = 0.0;
 };
 
 [[nodiscard]] std::string run_world_dump(const WorldScenario& s);

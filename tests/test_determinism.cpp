@@ -60,6 +60,51 @@ TEST(Determinism, StressScaleWorldIsByteIdentical) {
   expect_identical_runs(s);
 }
 
+TEST(Determinism, FaultyWorldIsByteIdentical) {
+  // The chaos regime: drops, corruption, and decompression faults all
+  // active. Retransmissions, NACKs, watchdog timeouts, and raw-resend
+  // fallbacks must replay identically run to run.
+  WorldScenario s;
+  s.seed = gcmpi::testing::test_seed() ^ 0xfa;
+  s.fault_seed = 0xDEAD;
+  s.max_message_values = 65536;  // more rendezvous traffic => more draws
+  s.messages_per_rank = 40;
+  s.fault_drop = 0.08;
+  s.fault_corrupt = 0.05;
+  s.fault_decompress = 0.05;
+  expect_identical_runs(s);
+  // The scenario must actually exercise the reliability machinery: the
+  // fault_stats line only prints when at least one fault fired, and a
+  // ",retransmit," row is a telemetry *event* (the summary's
+  // "retransmits=" label would match a bare "retransmit" even when zero).
+  const auto dump = run_world_dump(s);
+  EXPECT_NE(dump.find("fault_stats "), std::string::npos);
+  EXPECT_NE(dump.find(",retransmit,"), std::string::npos);
+}
+
+TEST(Determinism, IdleFaultPlanMatchesNoPlan) {
+  // Reliability transparency: installing an injector whose plan never
+  // fires (all probabilities zero) turns on CRC computation/verification
+  // but must not change one byte of the observable run — checksums are
+  // charged zero virtual time and no protocol path diverges.
+  WorldScenario no_plan;
+  no_plan.seed = gcmpi::testing::test_seed() ^ 0x1d1e;
+  WorldScenario idle_plan = no_plan;
+  idle_plan.fault_seed = 123;  // installed, but every rate is 0.0
+  const auto a = run_world_dump(no_plan);
+  const auto b = run_world_dump(idle_plan);
+  EXPECT_EQ(a, b) << first_divergence(a, b);
+}
+
+TEST(Determinism, DifferentFaultSeedsProduceDifferentSchedules) {
+  WorldScenario a, b;
+  a.seed = b.seed = 21;
+  a.fault_seed = 1;
+  b.fault_seed = 2;
+  a.fault_drop = b.fault_drop = 0.05;
+  EXPECT_NE(run_world_dump(a), run_world_dump(b));
+}
+
 TEST(Determinism, DifferentSeedsProduceDifferentTimelines) {
   // Sanity check that the dump actually observes the traffic: two
   // different seeds must not collide (else the suite tests nothing).

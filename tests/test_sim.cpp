@@ -86,6 +86,34 @@ TEST(Engine, ScheduledCallbacksRunAtTheirTime) {
   EXPECT_EQ(fired, (std::vector<std::int64_t>{1, 3}));
 }
 
+TEST(Engine, CancelableTimerFiresUnlessCanceled) {
+  Engine e;
+  std::vector<int> fired;
+  e.spawn("a", [&](ActorContext& ctx) {
+    auto keep = ctx.engine().schedule_cancelable(Time::us(2), [&] { fired.push_back(2); });
+    auto drop = ctx.engine().schedule_cancelable(Time::us(3), [&] { fired.push_back(3); });
+    Engine::cancel(drop);
+    EXPECT_FALSE(drop);  // cancel() releases the token
+    ctx.advance(Time::us(10));
+  });
+  e.run();
+  EXPECT_EQ(fired, (std::vector<int>{2}));
+}
+
+TEST(Engine, CancelAfterFiringIsHarmless) {
+  Engine e;
+  int fired = 0;
+  Engine::CancelToken token;
+  e.spawn("a", [&](ActorContext& ctx) {
+    token = ctx.engine().schedule_cancelable(Time::us(1), [&] { ++fired; });
+    ctx.advance(Time::us(5));
+    Engine::cancel(token);  // already fired: no effect, no crash
+    Engine::cancel(token);  // double-cancel of an empty token: no-op
+  });
+  e.run();
+  EXPECT_EQ(fired, 1);
+}
+
 TEST(Engine, BlockAndWake) {
   Engine e;
   Time woke_at = Time::zero();

@@ -5,6 +5,7 @@
 //
 //   gcmpi_compress c <codec> <input> <output> [param]
 //   gcmpi_compress d <codec> <input> <output> [param]
+//   gcmpi_compress crc <input> [...]
 //
 // codecs (param):
 //   mpc [dimensionality]      float32, lossless
@@ -13,6 +14,10 @@
 //   sz  [error_bound]         float32, error-bounded lossy
 //   fpc                       float64, lossless (CPU baseline)
 //   gfc                       float64, lossless (GPU-style baseline)
+//
+// `crc` prints the CRC32C (Castagnoli) of each file — the same checksum
+// the reliability layer stamps on every wire payload, so a transferred
+// file can be checked against the value recorded in telemetry or a dump.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -27,6 +32,7 @@
 #include "compress/mpc.hpp"
 #include "compress/sz.hpp"
 #include "compress/zfp.hpp"
+#include "util/crc32c.hpp"
 
 namespace {
 
@@ -56,7 +62,8 @@ std::vector<T> as_values(const std::vector<std::uint8_t>& bytes) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: gcmpi_compress c|d mpc|zfp|zfp-acc|sz|fpc|gfc <in> <out> [param]\n");
+               "usage: gcmpi_compress c|d mpc|zfp|zfp-acc|sz|fpc|gfc <in> <out> [param]\n"
+               "       gcmpi_compress crc <in> [...]\n");
   return 2;
 }
 
@@ -72,6 +79,18 @@ struct CliHeader {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 3 && std::string(argv[1]) == "crc") {
+    try {
+      for (int i = 2; i < argc; ++i) {
+        const auto bytes = read_file(argv[i]);
+        std::printf("%08x  %s\n", gcmpi::util::crc32c(bytes.data(), bytes.size()), argv[i]);
+      }
+      return 0;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
   if (argc < 5) return usage();
   const std::string op = argv[1];
   const std::string codec = argv[2];
