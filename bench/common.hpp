@@ -53,10 +53,11 @@ struct PingPongResult {
 /// paper's 1000-iteration ping-pong average reports. A tiny warmup send
 /// warms the ZFP attribute cache like OMB's warmup iterations do.
 inline PingPongResult ping_pong(const net::ClusterSpec& cluster, CompressionConfig cfg,
-                                std::span<const float> payload, bool warmup = true) {
+                                std::span<const float> payload, bool warmup = true,
+                                const mpi::WorldOptions& opts = {}) {
   const std::size_t bytes = payload.size() * 4;
   sim::Engine engine;
-  mpi::World world(engine, cluster, cfg);
+  mpi::World world(engine, cluster, cfg, opts);
   PingPongResult result;
   Time send_start = Time::zero();
   world.run([&](mpi::Rank& R) {

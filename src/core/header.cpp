@@ -24,7 +24,8 @@ T get(std::span<const std::uint8_t> in, std::size_t& pos) {
 }  // namespace
 
 std::size_t CompressionHeader::wire_bytes() const {
-  return 1 + 1 + 8 + 8 + 4 + 2 + 4 + 2 + 2 + partition_bytes.size() * 4;
+  const std::size_t base = 1 + 1 + 8 + 8 + 4 + 2 + 4 + 2 + 2 + partition_bytes.size() * 4;
+  return base + (pipeline_chunks >= 2 ? 4 + 8 : 0);
 }
 
 std::vector<std::uint8_t> CompressionHeader::serialize() const {
@@ -40,6 +41,10 @@ std::vector<std::uint8_t> CompressionHeader::serialize() const {
   put<std::uint16_t>(out, zfp_rate);
   put<std::uint16_t>(out, static_cast<std::uint16_t>(partition_bytes.size()));
   for (std::uint32_t b : partition_bytes) put<std::uint32_t>(out, b);
+  if (pipeline_chunks >= 2) {
+    put<std::uint32_t>(out, pipeline_chunks);
+    put<std::uint64_t>(out, pipeline_chunk_bytes);
+  }
   return out;
 }
 
@@ -60,6 +65,14 @@ CompressionHeader CompressionHeader::deserialize(std::span<const std::uint8_t> i
   h.partition_bytes.reserve(nparts);
   for (std::uint16_t i = 0; i < nparts; ++i) {
     h.partition_bytes.push_back(get<std::uint32_t>(in, pos));
+  }
+  if (pos != in.size()) {
+    // Pipeline announcement record, present only on pipelined RTS headers.
+    h.pipeline_chunks = get<std::uint32_t>(in, pos);
+    h.pipeline_chunk_bytes = get<std::uint64_t>(in, pos);
+    if (h.pipeline_chunks < 2) {
+      throw std::invalid_argument("CompressionHeader: bad pipeline record");
+    }
   }
   if (pos != in.size()) throw std::invalid_argument("CompressionHeader: trailing bytes");
   return h;

@@ -37,6 +37,15 @@ struct CompressionHeader {
   // ZFP control parameters (1D fixed-rate as used in the paper).
   std::uint16_t zfp_rate = 16;
 
+  // Chunked pipelined rendezvous announcement (RTS only). When >= 2 the
+  // payload follows as `pipeline_chunks` separate data packets of up to
+  // `pipeline_chunk_bytes` original bytes each, every one carrying its own
+  // per-chunk header sub-record and CRC32C. Serialized as a trailing record
+  // only when pipelining is announced, so serial headers stay byte-for-byte
+  // identical to the pre-pipeline wire format.
+  std::uint32_t pipeline_chunks = 0;
+  std::uint64_t pipeline_chunk_bytes = 0;
+
   [[nodiscard]] int partitions() const {
     return partition_bytes.empty() ? 1 : static_cast<int>(partition_bytes.size());
   }

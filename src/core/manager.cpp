@@ -445,6 +445,248 @@ void CompressionManager::run_zfp_decompress(Timeline& tl, const CompressionHeade
   if (synchronize) gpu_.stream(0).synchronize(tl, bd, Phase::DecompressionKernel);
 }
 
+// ---------------------------------------------------------------------------
+// Chunked pipelined rendezvous
+// ---------------------------------------------------------------------------
+
+CompressionManager::ChunkWire CompressionManager::compress_chunk(
+    Timeline& tl, const void* buf, std::uint64_t bytes, int chunk_index, int blocks) {
+  ChunkWire ck;
+  ck.wire.header.original_bytes = bytes;
+
+  const bool eligible = config_.enabled && config_.algorithm != Algorithm::None &&
+                        bytes % 4 == 0 && bytes >= 16;
+  fault::CodecFault injected;
+  if (eligible && fault_ != nullptr) injected = fault_->on_compress(rank_id_);
+  if (!eligible || injected.fail) {
+    if (injected.fail) {
+      // The launch itself errored: charge the wasted enqueue, send raw.
+      tl.advance(gpu_.costs().kernel_launch);
+      ++stats_.codec_faults;
+      if (telemetry_ != nullptr) {
+        telemetry_->record({tl.now(), rank_id_, EventKind::CodecFault, config_.algorithm,
+                            bytes, bytes, Time::zero()});
+      }
+    }
+    ck.wire.data = buf;
+    ck.wire.bytes = bytes;
+    ck.wire.header.compressed = false;
+    ck.wire.header.compressed_bytes = bytes;
+    ck.finished = true;
+    ++stats_.pipeline_chunks_raw;
+    stats_.original_bytes += bytes;
+    stats_.wire_bytes += bytes;
+    ck.kernel_done = tl.now();
+    return ck;
+  }
+  ck.pending_truncate = injected.truncate;
+
+  const auto* values = static_cast<const float*>(buf);
+  const std::size_t n = bytes / 4;
+  Breakdown* bd = &sender_bd_;
+
+  if (config_.algorithm == Algorithm::MPC) {
+    const comp::MpcCodec codec(config_.mpc_dimensionality, config_.mpc_chunk_values);
+    const std::size_t capacity = codec.max_compressed_bytes(n) + 16;
+    acquire_staging(tl, capacity, bd, ck.wire.lease, ck.wire.naive_buffer, ck.wire.used_pool);
+    auto* out =
+        static_cast<std::uint8_t*>(ck.wire.used_pool ? ck.wire.lease.data : ck.wire.naive_buffer);
+    // Per-chunk d_off scratch + memset, exactly as the serial launch pays.
+    if (!config_.use_buffer_pool) {
+      charge(tl, gpu_.costs().cuda_malloc(codec.chunk_count(n) * 4), bd,
+             Phase::MemoryAllocation);
+    }
+    charge(tl, gpu_.costs().cuda_memset_launch, bd, Phase::MemoryAllocation);
+
+    const std::size_t psize = codec.compress({values, n}, {out, capacity});
+    gpu::Stream& stream = gpu_.stream(chunk_index % gpu_.num_streams());
+    const Time cost = cost_model_.mpc_compress(bytes, psize, blocks, gpu_.spec());
+    ck.kernel_done = stream.launch(tl, cost, bd, Phase::CompressionKernel);
+    ck.kernel_time = cost;
+
+    ck.wire.data = out;
+    ck.wire.bytes = psize;
+    ck.wire.header.algorithm = Algorithm::MPC;
+    ck.wire.header.mpc_dimensionality = static_cast<std::uint16_t>(config_.mpc_dimensionality);
+    ck.wire.header.mpc_chunk_values = static_cast<std::uint32_t>(config_.mpc_chunk_values);
+    ck.wire.header.compressed_bytes = psize;
+    ck.wire.header.compressed = true;
+  } else {  // ZFP
+    charge(tl, kZfpStreamFieldCreation, bd, Phase::StreamFieldCreation);
+    if (config_.cache_device_attributes) {
+      (void)gpu_.query_max_grid_dim_cached(tl, bd);
+    } else {
+      (void)gpu_.query_max_grid_dim_via_properties(tl, bd);
+    }
+    const comp::ZfpCodec codec(config_.zfp_rate);
+    const comp::ZfpField field = comp::ZfpField::d1(n);
+    const std::size_t out_capacity = codec.compressed_bytes(field);
+    acquire_staging(tl, out_capacity, bd, ck.wire.lease, ck.wire.naive_buffer,
+                    ck.wire.used_pool);
+    auto* out =
+        static_cast<std::uint8_t*>(ck.wire.used_pool ? ck.wire.lease.data : ck.wire.naive_buffer);
+    const std::uint64_t written = codec.compress({values, n}, field, {out, out_capacity});
+    // ZFP kernels expose no block-count knob to divide the GPU fairly
+    // among concurrent chunks, so chunk kernels serialize on stream 0.
+    const Time cost = cost_model_.zfp_compress(bytes, config_.zfp_rate, gpu_.spec());
+    ck.kernel_done = gpu_.stream(0).launch(tl, cost, bd, Phase::CompressionKernel);
+    ck.kernel_time = cost;
+
+    ck.wire.data = out;
+    ck.wire.bytes = written;
+    ck.wire.header.algorithm = Algorithm::ZFP;
+    ck.wire.header.zfp_rate = static_cast<std::uint16_t>(config_.zfp_rate);
+    ck.wire.header.compressed_bytes = written;
+    ck.wire.header.compressed = true;
+  }
+  return ck;
+}
+
+void CompressionManager::finish_chunk(Timeline& tl, ChunkWire& ck, const void* buf,
+                                      std::uint64_t bytes) {
+  if (ck.finished) return;
+  Breakdown* bd = &sender_bd_;
+  const Time started = tl.now();
+
+  if (ck.wire.header.algorithm == Algorithm::MPC) {
+    // Size readback of the chunk's single control word.
+    const auto device_word = static_cast<std::uint32_t>(ck.wire.bytes);
+    std::uint32_t host_word = 0;
+    if (config_.use_gdrcopy) {
+      gpu_.gdrcopy_small(tl, &host_word, &device_word, 4, bd);
+    } else {
+      gpu_.memcpy_d2h_small(tl, &host_word, &device_word, 4, bd);
+    }
+    if (!config_.use_buffer_pool) {
+      charge(tl, gpu_.costs().cuda_free, bd, Phase::MemoryAllocation);  // d_off
+    }
+  }
+  // cudaStreamSynchronize on the chunk's stream; the protocol only calls
+  // finish_chunk at/after kernel_done, so only the call cost remains.
+  charge(tl, gpu_.costs().stream_sync, bd, Phase::CompressionKernel);
+
+  if (ck.pending_truncate || ck.wire.bytes >= bytes) {
+    // Truncated stream (injected) or incompressible chunk: never put a
+    // short or inflated stream on the wire — degrade this chunk to raw.
+    release_send(tl, ck.wire);
+    ck.wire.data = buf;
+    ck.wire.bytes = bytes;
+    ck.wire.header.compressed = false;
+    ck.wire.header.compressed_bytes = bytes;
+    ck.wire.header.partition_bytes.clear();
+    if (ck.pending_truncate) ++stats_.codec_faults;
+    ++stats_.pipeline_chunks_raw;
+    stats_.original_bytes += bytes;
+    stats_.wire_bytes += bytes;
+    if (telemetry_ != nullptr) {
+      telemetry_->record({started, rank_id_,
+                          ck.pending_truncate ? EventKind::CodecFault : EventKind::FallbackRaw,
+                          config_.algorithm, bytes, bytes, tl.now() - started});
+    }
+    ck.finished = true;
+    return;
+  }
+
+  ++stats_.pipeline_chunks_compressed;
+  stats_.original_bytes += bytes;
+  stats_.wire_bytes += ck.wire.bytes;
+  if (telemetry_ != nullptr) {
+    telemetry_->record({started, rank_id_, EventKind::Compress, config_.algorithm, bytes,
+                        ck.wire.bytes, ck.kernel_time});
+  }
+  ck.finished = true;
+}
+
+CompressionManager::PipelineStaging CompressionManager::prepare_pipeline_receive(
+    Timeline& tl, std::uint64_t chunk_capacity, int slices) {
+  PipelineStaging st;
+  st.slices = std::max(1, slices);
+  st.slice_bytes = (static_cast<std::size_t>(chunk_capacity) + 255) & ~std::size_t{255};
+  Breakdown* bd = &receiver_bd_;
+  acquire_staging(tl, st.slice_bytes * static_cast<std::size_t>(st.slices), bd, st.lease,
+                  st.naive_buffer, st.used_pool);
+  st.base = st.used_pool ? st.lease.data : st.naive_buffer;
+  return st;
+}
+
+void CompressionManager::release_pipeline_receive(Timeline& tl, PipelineStaging& staging) {
+  if (staging.used_pool) {
+    pool_->release(staging.lease);
+    staging.lease = {};
+    staging.used_pool = false;
+  } else if (staging.naive_buffer != nullptr) {
+    gpu_.free_device(tl, staging.naive_buffer, &receiver_bd_);
+    staging.naive_buffer = nullptr;
+  }
+  staging.base = nullptr;
+}
+
+Time CompressionManager::decompress_chunk(Timeline& tl, const CompressionHeader& header,
+                                          const void* staged, void* out,
+                                          std::uint64_t out_capacity, int chunk_index,
+                                          int blocks, Time* kernel_time) {
+  if (!header.compressed) return tl.now();  // raw chunks are plain memcpys
+  if (header.original_bytes > out_capacity) {
+    throw std::runtime_error("CompressionManager: pipeline chunk exceeds buffer");
+  }
+  Breakdown* bd = &receiver_bd_;
+  const Time started = tl.now();
+  if (fault_ != nullptr && fault_->on_decompress(rank_id_)) {
+    tl.advance(gpu_.costs().kernel_launch);
+    ++stats_.codec_faults;
+    if (telemetry_ != nullptr) {
+      telemetry_->record({started, rank_id_, EventKind::CodecFault, header.algorithm,
+                          header.original_bytes, header.compressed_bytes, tl.now() - started});
+    }
+    throw CodecFaultError{};
+  }
+
+  const auto* in = static_cast<const std::uint8_t*>(staged);
+  auto* values = static_cast<float*>(out);
+  const std::size_t n = header.original_bytes / 4;
+  Time done;
+  Time cost;
+  if (header.algorithm == Algorithm::MPC) {
+    const comp::MpcCodec codec(header.mpc_dimensionality, header.mpc_chunk_values);
+    if (!config_.use_buffer_pool) {
+      charge(tl, gpu_.costs().cuda_malloc(codec.chunk_count(n) * 4), bd,
+             Phase::MemoryAllocation);
+    }
+    charge(tl, gpu_.costs().cuda_memset_launch, bd, Phase::MemoryAllocation);
+    const std::span<const std::uint8_t> pin{in, header.compressed_bytes};
+    if (comp::MpcCodec::encoded_values(pin) != n) {
+      throw std::runtime_error("CompressionManager: pipeline chunk stream mismatch");
+    }
+    codec.decompress(pin, {values, n});
+    gpu::Stream& stream = gpu_.stream(chunk_index % gpu_.num_streams());
+    cost = cost_model_.mpc_decompress(header.compressed_bytes, n * 4, blocks, gpu_.spec());
+    done = stream.launch(tl, cost, bd, Phase::DecompressionKernel);
+    if (!config_.use_buffer_pool) {
+      charge(tl, gpu_.costs().cuda_free, bd, Phase::MemoryAllocation);  // d_off
+    }
+  } else if (header.algorithm == Algorithm::ZFP) {
+    charge(tl, kZfpStreamFieldCreation, bd, Phase::StreamFieldCreation);
+    if (config_.cache_device_attributes) {
+      (void)gpu_.query_max_grid_dim_cached(tl, bd);
+    } else {
+      (void)gpu_.query_max_grid_dim_via_properties(tl, bd);
+    }
+    const comp::ZfpCodec codec(header.zfp_rate);
+    const comp::ZfpField field = comp::ZfpField::d1(n);
+    codec.decompress({in, header.compressed_bytes}, field, {values, n});
+    cost = cost_model_.zfp_decompress(n * 4, header.zfp_rate, gpu_.spec());
+    done = gpu_.stream(0).launch(tl, cost, bd, Phase::DecompressionKernel);
+  } else {
+    throw std::runtime_error("CompressionManager: compressed chunk with no algorithm");
+  }
+  if (kernel_time != nullptr) *kernel_time = cost;
+  if (telemetry_ != nullptr) {
+    telemetry_->record({started, rank_id_, EventKind::Decompress, header.algorithm,
+                        header.original_bytes, header.compressed_bytes, cost});
+  }
+  return done;
+}
+
 void CompressionManager::release_receive(Timeline& tl, RecvStaging& staging) {
   if (staging.used_pool) {
     pool_->release(staging.lease);

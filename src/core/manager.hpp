@@ -56,6 +56,11 @@ struct CompressionStats {
   std::uint64_t original_bytes = 0;
   std::uint64_t wire_bytes = 0;
 
+  // Chunked pipelined rendezvous (byte totals land in the fields above).
+  std::uint64_t pipelined_messages = 0;
+  std::uint64_t pipeline_chunks_compressed = 0;
+  std::uint64_t pipeline_chunks_raw = 0;  // per-chunk raw fallbacks
+
   [[nodiscard]] double achieved_ratio() const {
     return wire_bytes == 0 ? 1.0
                            : static_cast<double>(original_bytes) /
@@ -123,6 +128,71 @@ class CompressionManager {
                              int max_retries = 8);
 
   void release_receive(Timeline& tl, RecvStaging& staging);
+
+  // --- chunked pipelined rendezvous (see mpi/pipeline.hpp) ---
+  //
+  // A pipelined message is compressed one chunk at a time: each chunk is a
+  // single-partition kernel on stream (chunk_index % num_streams) with a
+  // caller-chosen block count, so up to max_in_flight chunk kernels share
+  // the GPU concurrently — MPC-OPT's partitioned launch lifted to the
+  // protocol level. compress_chunk charges only host-side enqueue costs to
+  // `tl` and reports the kernel's completion time; the protocol schedules
+  // finish_chunk at (or after) that time to pay the size readback and make
+  // the raw-fallback decision before the chunk goes on the wire.
+
+  struct ChunkWire {
+    WireData wire;     // staging ownership + per-chunk header sub-record
+    Time kernel_done;  // device completion of this chunk's kernels
+    Time kernel_time;  // pure device occupancy (overlap telemetry)
+    bool pending_truncate = false;  // injected truncate fault, applied at finish
+    bool finished = false;          // raw chunks skip the finish work
+  };
+
+  /// Launch compression of one pipeline chunk (`buf`, `bytes` must be the
+  /// chunk's slice of the user buffer). Ineligible chunks (tiny tail,
+  /// injected launch fault) come back as finished raw views.
+  ChunkWire compress_chunk(Timeline& tl, const void* buf, std::uint64_t bytes,
+                           int chunk_index, int blocks);
+
+  /// Host-side completion of a launched chunk at/after kernel_done: size
+  /// readback, incompressible/truncate fallback to raw, stats + telemetry.
+  void finish_chunk(Timeline& tl, ChunkWire& chunk, const void* buf,
+                    std::uint64_t bytes);
+
+  /// Receiver staging for a whole pipelined transfer: ONE pooled buffer
+  /// (or naive cudaMalloc) sub-allocated into `slices` per-chunk slices,
+  /// so a deep pipeline costs one acquisition, not one per chunk.
+  struct PipelineStaging {
+    void* base = nullptr;
+    std::size_t slice_bytes = 0;
+    int slices = 0;
+    gpu::BufferPool::Lease lease;
+    void* naive_buffer = nullptr;
+    bool used_pool = false;
+    [[nodiscard]] bool valid() const { return base != nullptr; }
+    [[nodiscard]] void* slice(int chunk_index) const {
+      return static_cast<std::uint8_t*>(base) +
+             static_cast<std::size_t>(chunk_index % slices) * slice_bytes;
+    }
+  };
+
+  PipelineStaging prepare_pipeline_receive(Timeline& tl, std::uint64_t chunk_capacity,
+                                           int slices);
+  void release_pipeline_receive(Timeline& tl, PipelineStaging& staging);
+
+  /// Launch decompression of one arrived chunk from its staging slice into
+  /// `out`; returns the kernel completion time (the receive completes at
+  /// the max over chunks). Throws CodecFaultError on an injected fault.
+  Time decompress_chunk(Timeline& tl, const CompressionHeader& header, const void* staged,
+                        void* out, std::uint64_t out_capacity, int chunk_index, int blocks,
+                        Time* kernel_time = nullptr);
+
+  /// Stats hook: one pipelined message enters the pipeline (its bytes are
+  /// accounted chunk by chunk as they are finished).
+  void note_pipelined_message() {
+    ++stats_.messages_considered;
+    ++stats_.pipelined_messages;
+  }
 
   /// Attach an INAM-style monitor; every (de)compression is recorded.
   void attach_telemetry(Telemetry* telemetry, int rank) {

@@ -60,4 +60,16 @@ void Telemetry::write_csv(std::ostream& os) const {
   }
 }
 
+void Telemetry::write_pipeline_csv(std::ostream& os) const {
+  os << "time_us,src,dst,algorithm,original_bytes,wire_bytes,chunks,retransmits,"
+        "span_us,compress_busy_us,transfer_busy_us,decompress_busy_us\n";
+  for (const auto& p : pipelines_) {
+    os << p.at.to_us() << ',' << p.src << ',' << p.dst << ','
+       << algorithm_name(p.algorithm) << ',' << p.original_bytes << ',' << p.wire_bytes
+       << ',' << p.chunks << ',' << p.retransmits << ',' << p.span.to_us() << ','
+       << p.compress_busy.to_us() << ',' << p.transfer_busy.to_us() << ','
+       << p.decompress_busy.to_us() << '\n';
+  }
+}
+
 }  // namespace gcmpi::core

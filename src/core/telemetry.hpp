@@ -41,12 +41,36 @@ struct TelemetryEvent {
   sim::Time duration;           // virtual time spent in the operation
 };
 
+/// One completed chunked pipelined rendezvous transfer: per-stage busy
+/// time against the transfer's span, so fig10-style breakdowns can show
+/// the overlap (busy sums may exceed the span — that IS the overlap; with
+/// concurrent chunk kernels a stage's own busy time can too).
+struct PipelineRecord {
+  sim::Time at;  // pipeline start (CTS arrival at the sender)
+  int src = -1;
+  int dst = -1;
+  Algorithm algorithm = Algorithm::None;
+  std::uint64_t original_bytes = 0;
+  std::uint64_t wire_bytes = 0;  // total pushed, retransmissions included
+  std::uint32_t chunks = 0;
+  std::uint32_t retransmits = 0;
+  sim::Time span;             // start -> receive completion
+  sim::Time compress_busy;    // sum of chunk compression kernel time
+  sim::Time transfer_busy;    // sum of chunk wire-serialization time
+  sim::Time decompress_busy;  // sum of chunk decompression kernel time
+};
+
 class Telemetry {
  public:
   void record(const TelemetryEvent& ev) { events_.push_back(ev); }
+  void record_pipeline(const PipelineRecord& rec) { pipelines_.push_back(rec); }
 
   [[nodiscard]] const std::vector<TelemetryEvent>& events() const { return events_; }
-  void clear() { events_.clear(); }
+  [[nodiscard]] const std::vector<PipelineRecord>& pipelines() const { return pipelines_; }
+  void clear() {
+    events_.clear();
+    pipelines_.clear();
+  }
 
   struct Summary {
     std::uint64_t compressions = 0;
@@ -77,8 +101,12 @@ class Telemetry {
   /// One CSV row per event: time_us,rank,kind,algorithm,original,wire,duration_us
   void write_csv(std::ostream& os) const;
 
+  /// One CSV row per pipelined transfer with per-stage busy/occupancy.
+  void write_pipeline_csv(std::ostream& os) const;
+
  private:
   std::vector<TelemetryEvent> events_;
+  std::vector<PipelineRecord> pipelines_;
 };
 
 }  // namespace gcmpi::core

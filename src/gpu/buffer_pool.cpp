@@ -1,5 +1,6 @@
 #include "gpu/buffer_pool.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace gcmpi::gpu {
@@ -22,13 +23,29 @@ BufferPool::Lease BufferPool::acquire(Timeline& tl, std::size_t bytes, Breakdown
   }
   // Grow on demand: this is a real cudaMalloc on the critical path, exactly
   // the cost the pre-allocation is designed to avoid in the common case.
-  const std::size_t alloc_bytes = bytes > buffer_bytes_ ? bytes : buffer_bytes_;
-  const Time t = gpu_.costs().cuda_malloc(alloc_bytes);
+  if (bytes > buffer_bytes_) {
+    // Oversized request: a dedicated buffer of exactly the needed size.
+    const Time t = gpu_.costs().cuda_malloc(bytes);
+    tl.advance(t);
+    if (bd != nullptr) bd->add(Phase::MemoryAllocation, t);
+    buffers_.emplace_back(gpu_, bytes);
+    ++grow_count_;
+    return Lease{buffers_.back().data(), bytes, buffers_.size() - 1};
+  }
+  // Exhaustion: grow geometrically — double the pool with one slab-sized
+  // cudaMalloc instead of one buffer per miss, so a deep pipeline that
+  // drains the pool charges a single allocation, not one per chunk.
+  const std::size_t added = std::max<std::size_t>(1, buffers_.size());
+  const Time t = gpu_.costs().cuda_malloc(added * buffer_bytes_);
   tl.advance(t);
   if (bd != nullptr) bd->add(Phase::MemoryAllocation, t);
-  buffers_.emplace_back(gpu_, alloc_bytes);
+  for (std::size_t i = 1; i < added; ++i) {
+    buffers_.emplace_back(gpu_, buffer_bytes_);
+    free_.push_back(buffers_.size() - 1);
+  }
+  buffers_.emplace_back(gpu_, buffer_bytes_);
   ++grow_count_;
-  return Lease{buffers_.back().data(), alloc_bytes, buffers_.size() - 1};
+  return Lease{buffers_.back().data(), buffer_bytes_, buffers_.size() - 1};
 }
 
 void BufferPool::release(const Lease& lease) {

@@ -30,8 +30,9 @@ class BufferPool {
   };
 
   /// Acquire a buffer able to hold `bytes`. Free pooled buffer: no time
-  /// charged. Pool exhausted or request too large: grows with a real,
-  /// timed cudaMalloc (attributed to MemoryAllocation).
+  /// charged. Pool exhausted: the pool doubles with ONE timed slab
+  /// cudaMalloc (geometric growth, attributed to MemoryAllocation), so
+  /// repeated misses amortize. Oversized request: a dedicated buffer.
   [[nodiscard]] Lease acquire(Timeline& tl, std::size_t bytes,
                               Breakdown* bd = nullptr);
   void release(const Lease& lease);

@@ -76,6 +76,39 @@ void Rank::bcast(void* buf, std::uint64_t bytes, int root) {
     return;
   }
 
+  // Chunked pipelined hops: when the pipeline covers this size, run the
+  // binomial tree over plain point-to-point sends so every edge overlaps
+  // compression, transfer, and decompression chunk by chunk. The wire-
+  // forwarding scheme below can't chunk — it ships one opaque stream — and
+  // for pipeline-sized messages the per-hop overlap wins over forwarding.
+  const WorldOptions& opt = world_.options();
+  if (opt.pipeline.enabled && opt.pipeline.collectives && bytes >= opt.pipeline.min_bytes) {
+    int pmask = 1;
+    if (vrank != 0) {
+      while (pmask < P) {
+        if (vrank & pmask) {
+          const int src = ((vrank - pmask) + root) % P;
+          (void)recv(buf, bytes, src, tag);
+          break;
+        }
+        pmask <<= 1;
+      }
+    } else {
+      while (pmask < P) pmask <<= 1;
+    }
+    pmask >>= 1;
+    std::vector<Request> sends;
+    while (pmask > 0) {
+      if (vrank + pmask < P) {
+        const int dst = ((vrank + pmask) + root) % P;
+        sends.push_back(isend(buf, bytes, dst, tag));
+      }
+      pmask >>= 1;
+    }
+    waitall(sends);
+    return;
+  }
+
   // Compression-aware binomial broadcast: the root compresses ONCE; every
   // intermediate rank forwards the wire representation to its children
   // before decompressing its own copy, so neither recompression nor
@@ -136,6 +169,22 @@ void Rank::allgather(const void* sendbuf, std::uint64_t block_bytes, void* recvb
       }
       return;
     }
+    for (int step = 0; step < P - 1; ++step) {
+      const int send_idx = (rank_ - step + P) % P;
+      const int recv_idx = (rank_ - step - 1 + P) % P;
+      sendrecv(out + static_cast<std::uint64_t>(send_idx) * block_bytes, block_bytes, right,
+               tag, out + static_cast<std::uint64_t>(recv_idx) * block_bytes, block_bytes,
+               left, tag);
+    }
+    return;
+  }
+
+  // Chunked pipelined ring: pipeline-sized blocks go through plain
+  // point-to-point hops so each ring step overlaps chunk compression,
+  // transfer, and decompression (see bcast above for the rationale).
+  const WorldOptions& opt = world_.options();
+  if (opt.pipeline.enabled && opt.pipeline.collectives &&
+      block_bytes >= opt.pipeline.min_bytes) {
     for (int step = 0; step < P - 1; ++step) {
       const int send_idx = (rank_ - step + P) % P;
       const int recv_idx = (rank_ - step - 1 + P) % P;

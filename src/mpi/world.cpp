@@ -104,6 +104,15 @@ Request World::do_isend(sim::ActorContext& ctx, int src, const void* buf,
     return req;
   }
 
+  // Chunked pipelined rendezvous: large compressible messages overlap
+  // compression, wire transfer, and decompression chunk by chunk.
+  if (pipeline_eligible(src, dst, buf, bytes)) {
+    const std::uint64_t cb = resolve_chunk_bytes(src, dst, bytes);
+    if ((bytes + cb - 1) / cb >= 2) {
+      return pipeline_isend(ctx, src, buf, bytes, dst, tag, cb);
+    }
+  }
+
   // Rendezvous: compress on the sender GPU (Algorithm 1 / 3), then RTS with
   // the piggybacked compression header. Intra-node paths may be exempted
   // from compression (CompressionConfig::compress_intra_node).
@@ -240,6 +249,10 @@ void World::on_rts_arrival(RtsMsg rts) {
 }
 
 void World::begin_rndv_receive(Timeline& tl, RtsMsg rts, PostedRecv recv) {
+  if (rts.header.pipeline_chunks >= 2) {
+    begin_pipeline(tl, std::move(rts), std::move(recv));
+    return;
+  }
   auto& state = ranks_[static_cast<std::size_t>(rts.env.dst)];
   // Receiver prepares the temporary device buffer for the compressed
   // payload (Algorithm 2), then clears the sender to send. Wire-form
@@ -403,6 +416,295 @@ void World::fail_rndv(const RndvPtr& tx, Time at) {
   if (tx->staging && tx->staging->data != nullptr) {
     Timeline tl(at);
     state.mgr->release_receive(tl, *tx->staging);
+  }
+  Status recv_status{tx->env.src, tx->env.tag, 0};
+  recv_status.error = StatusError::RetryLimit;
+  Status send_status{tx->env.dst, tx->env.tag, 0};
+  send_status.error = StatusError::RetryLimit;
+  complete_at(tx->send_req, send_status, at);
+  complete_at(tx->recv.req, recv_status, at);
+}
+
+// ---------------------------------------------------------------------------
+// Chunked pipelined rendezvous (see mpi/pipeline.hpp)
+// ---------------------------------------------------------------------------
+
+bool World::pipeline_eligible(int src, int dst, const void* buf, std::uint64_t bytes) const {
+  const PipelineConfig& cfg = options_.pipeline;
+  if (!cfg.enabled || bytes < cfg.min_bytes) return false;
+  if (!compression_.compress_intra_node && cluster_.same_node(src, dst)) return false;
+  return ranks_[static_cast<std::size_t>(src)].mgr->should_compress(buf, bytes);
+}
+
+std::uint64_t World::resolve_chunk_bytes(int src, int dst, std::uint64_t bytes) const {
+  const PipelineConfig& cfg = options_.pipeline;
+  if (cfg.chunk_bytes != 0) {
+    return std::min(std::max<std::uint64_t>(cfg.chunk_bytes, 1), bytes);
+  }
+  const net::LinkSpec& link = cluster_.same_node(src, dst) ? cluster_.intra : cluster_.inter;
+  return auto_chunk_bytes(bytes, compression_, cluster_.gpu, link, cfg);
+}
+
+Request World::pipeline_isend(sim::ActorContext& ctx, int src, const void* buf,
+                              std::uint64_t bytes, int dst, int tag,
+                              std::uint64_t chunk_bytes) {
+  auto req = std::make_shared<RequestState>();
+  Envelope env{src, dst, tag, bytes};
+  // The RTS announces the chunk geometry; compression has NOT run yet — it
+  // is overlapped with the transfers once the CTS arrives. Per-chunk
+  // headers (sizes, CRCs) travel with each chunk's envelope instead.
+  core::CompressionHeader announce;
+  announce.algorithm = compression_.algorithm;
+  announce.original_bytes = bytes;
+  announce.compressed_bytes = bytes;
+  announce.pipeline_chunks = static_cast<std::uint32_t>((bytes + chunk_bytes - 1) / chunk_bytes);
+  announce.pipeline_chunk_bytes = chunk_bytes;
+  ctx.advance(options_.host_send_overhead);
+  const Time t_rts =
+      fabric_->control(ctx.now(), src, dst, options_.rts_bytes + announce.wire_bytes());
+  RtsMsg rts{env, announce, nullptr, req, buf};
+  engine_.schedule(t_rts, [this, rts = std::move(rts)]() mutable {
+    on_rts_arrival(std::move(rts));
+  });
+  return req;
+}
+
+void World::begin_pipeline(Timeline& tl, RtsMsg rts, PostedRecv recv) {
+  auto& state = ranks_[static_cast<std::size_t>(rts.env.dst)];
+  if (recv.wire_out == nullptr && recv.capacity < rts.env.bytes) {
+    throw std::runtime_error("MiniMPI: rendezvous truncation (receive buffer too small)");
+  }
+  auto tx = std::make_shared<PipelineTransfer>();
+  tx->env = rts.env;
+  tx->send_req = std::move(rts.send_req);
+  tx->recv = std::move(recv);
+  tx->sender_buf = rts.sender_buf;
+  tx->chunk_bytes = rts.header.pipeline_chunk_bytes;
+  tx->chunks = static_cast<int>(rts.header.pipeline_chunks);
+  tx->window = std::min(tx->chunks, std::max(1, options_.pipeline.max_in_flight));
+  tx->blocks = pipeline_chunk_blocks(cluster_.gpu, options_.pipeline.max_in_flight, tx->chunks);
+  tx->chunk_state.resize(static_cast<std::size_t>(tx->chunks));
+  // One staging acquisition for the whole transfer, sub-divided into
+  // `window` slices; chunk i stages in slice i % window. A chunk's slice is
+  // only touched within its own arrival event, so the reuse is safe.
+  tx->staging = state.mgr->prepare_pipeline_receive(tl, tx->chunk_bytes, tx->window);
+  if (tx->recv.wire_out != nullptr) {
+    // Wire-form receivers of a pipelined send get the reassembled message
+    // as a raw wire view (the per-chunk streams are not forwardable).
+    tx->assemble = std::make_shared<std::vector<std::uint8_t>>(tx->env.bytes);
+  }
+  tx->recv_cursor = tl.now();
+  const Time t_cts = fabric_->control(tl.now(), tx->env.dst, tx->env.src, options_.cts_bytes);
+  engine_.schedule(t_cts, [this, tx]() { start_pipeline_sender(tx); });
+}
+
+void World::start_pipeline_sender(const PipePtr& tx) {
+  if (tx->done) return;
+  tx->start = engine_.now();
+  tx->send_cursor = engine_.now() + options_.progress_overhead;
+  ranks_[static_cast<std::size_t>(tx->env.src)].mgr->note_pipelined_message();
+  for (int i = 0; i < tx->window; ++i) launch_pipeline_chunk(tx);
+}
+
+void World::launch_pipeline_chunk(const PipePtr& tx) {
+  if (tx->done || tx->next_chunk >= tx->chunks) return;
+  const int ci = tx->next_chunk++;
+  const std::uint64_t off = static_cast<std::uint64_t>(ci) * tx->chunk_bytes;
+  const std::uint64_t len = pipeline_chunk_len(tx, ci);
+  auto& state = ranks_[static_cast<std::size_t>(tx->env.src)];
+  Timeline tl(tx->send_cursor);
+  auto ck = std::make_shared<core::CompressionManager::ChunkWire>(state.mgr->compress_chunk(
+      tl, static_cast<const std::uint8_t*>(tx->sender_buf) + off, len, ci, tx->blocks));
+  tx->send_cursor = tl.now();
+  tx->compress_busy += ck->kernel_time;
+  // Host-side completion (size readback, fallback decision, push) runs
+  // once the chunk's kernels drain AND the progress thread is free.
+  const Time ready = std::max(ck->kernel_done, tx->send_cursor);
+  engine_.schedule(ready, [this, tx, ci, ck]() { pipeline_chunk_ready(tx, ci, ck); });
+}
+
+void World::pipeline_chunk_ready(const PipePtr& tx, int chunk,
+                                 const std::shared_ptr<core::CompressionManager::ChunkWire>& ck) {
+  if (tx->done) return;
+  auto& state = ranks_[static_cast<std::size_t>(tx->env.src)];
+  const std::uint64_t off = static_cast<std::uint64_t>(chunk) * tx->chunk_bytes;
+  const std::uint64_t len = pipeline_chunk_len(tx, chunk);
+  const auto* user = static_cast<const std::uint8_t*>(tx->sender_buf) + off;
+  Timeline tl(std::max(engine_.now(), tx->send_cursor));
+  state.mgr->finish_chunk(tl, *ck, user, len);
+  auto payload = std::make_shared<std::vector<std::uint8_t>>(
+      static_cast<const std::uint8_t*>(ck->wire.data),
+      static_cast<const std::uint8_t*>(ck->wire.data) + ck->wire.bytes);
+  auto& cs = tx->chunk_state[static_cast<std::size_t>(chunk)];
+  cs.header = ck->wire.header;
+  if (reliability_) cs.header.payload_crc32c = payload_crc(*payload);
+  cs.payload = std::move(payload);
+  state.mgr->release_send(tl, ck->wire);
+  tx->send_cursor = tl.now();
+  push_pipeline_chunk(tx, chunk, tx->send_cursor);
+  // Keep the window full: one finished chunk funds the next launch.
+  launch_pipeline_chunk(tx);
+}
+
+void World::push_pipeline_chunk(const PipePtr& tx, int chunk, Time start) {
+  if (tx->done) return;
+  auto& cs = tx->chunk_state[static_cast<std::size_t>(chunk)];
+  cs.recovery_pending = false;
+  ++cs.attempts;
+  const std::uint64_t wire_bytes =
+      cs.payload->size() + options_.envelope_bytes + cs.header.wire_bytes();
+  const net::Fabric::Delivery d =
+      fabric_->transfer_data(start, tx->env.src, tx->env.dst, wire_bytes);
+  tx->wire_total += cs.payload->size();
+  tx->transfer_busy += d.wire;  // occupancy including retransmitted pushes
+
+  if (!d.dropped) {
+    Payload delivered = cs.payload;
+    if (d.corrupted) {
+      delivered = std::make_shared<std::vector<std::uint8_t>>(*cs.payload);
+      if (!delivered->empty()) {
+        const std::uint64_t bit = d.corrupt_bits % (delivered->size() * 8);
+        (*delivered)[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+      }
+    }
+    engine_.schedule(d.at, [this, tx, chunk, delivered]() {
+      on_pipeline_data(tx, chunk, delivered);
+    });
+    return;
+  }
+
+  // Dropped: per-chunk watchdog, same margin/backoff policy as the serial
+  // protocol but scoped to this chunk only.
+  Time margin = options_.retransmit_timeout;
+  for (int i = 1; i < cs.attempts; ++i) {
+    margin = Time::ns(static_cast<std::int64_t>(static_cast<double>(margin.count_ns()) *
+                                                options_.retransmit_backoff));
+  }
+  cs.watchdog = engine_.schedule_cancelable(d.at + margin, [this, tx, chunk]() {
+    pipeline_retransmit(tx, chunk, engine_.now(), false);
+  });
+}
+
+void World::on_pipeline_data(const PipePtr& tx, int chunk, const Payload& delivered) {
+  if (tx->done) return;
+  auto& cs = tx->chunk_state[static_cast<std::size_t>(chunk)];
+  if (cs.received) return;  // stale duplicate from a raced retransmit
+  auto& state = ranks_[static_cast<std::size_t>(tx->env.dst)];
+  Timeline tl(std::max(engine_.now() + options_.progress_overhead, tx->recv_cursor));
+
+  if (reliability_ && payload_crc(*delivered) != cs.header.payload_crc32c) {
+    if (options_.telemetry != nullptr) {
+      options_.telemetry->record({tl.now(), tx->env.dst, core::EventKind::CorruptionDetected,
+                                  cs.header.algorithm, cs.header.original_bytes,
+                                  delivered->size(), Time::zero()});
+    }
+    pipeline_retransmit(tx, chunk, tl.now(), false);
+    return;
+  }
+
+  const std::uint64_t off = static_cast<std::uint64_t>(chunk) * tx->chunk_bytes;
+  const std::uint64_t len = pipeline_chunk_len(tx, chunk);
+  auto* out = (tx->recv.wire_out != nullptr ? tx->assemble->data()
+                                            : static_cast<std::uint8_t*>(tx->recv.buf)) +
+              off;
+  if (cs.header.compressed) {
+    void* slice = tx->staging.slice(chunk);
+    std::memcpy(slice, delivered->data(), delivered->size());
+    Time kernel_time;
+    try {
+      const Time done = state.mgr->decompress_chunk(tl, cs.header, slice, out, len, chunk,
+                                                    tx->blocks, &kernel_time);
+      tx->recv_done = std::max(tx->recv_done, done);
+      tx->decompress_busy += kernel_time;
+    } catch (const core::CodecFaultError&) {
+      // Intact stream (CRC passed), faulting kernel: ask the sender to
+      // resend just this chunk raw.
+      pipeline_retransmit(tx, chunk, tl.now(), true);
+      return;
+    }
+  } else {
+    if (!delivered->empty()) std::memcpy(out, delivered->data(), delivered->size());
+    tx->recv_done = std::max(tx->recv_done, tl.now());
+  }
+  cs.received = true;
+  sim::Engine::cancel(cs.watchdog);
+  tx->recv_cursor = tl.now();
+  ++tx->arrived;
+  if (tx->arrived == tx->chunks) {
+    engine_.schedule(std::max(tx->recv_done, tl.now()), [this, tx]() { finish_pipeline(tx); });
+  }
+}
+
+void World::pipeline_retransmit(const PipePtr& tx, int chunk, Time at, bool decode_fail) {
+  auto& cs = tx->chunk_state[static_cast<std::size_t>(chunk)];
+  if (tx->done || cs.received || cs.recovery_pending) return;
+  sim::Engine::cancel(cs.watchdog);
+  if (cs.attempts > options_.max_data_retries) {
+    fail_pipeline(tx, at);
+    return;
+  }
+  cs.recovery_pending = true;
+  ++tx->retransmits;
+  if (options_.telemetry != nullptr) {
+    options_.telemetry->record({at, tx->env.dst, core::EventKind::Retransmit,
+                                cs.header.algorithm, cs.header.original_bytes,
+                                cs.payload->size(), Time::zero()});
+  }
+  const Time t_nack = fabric_->control(at, tx->env.dst, tx->env.src, options_.nack_bytes);
+  engine_.schedule(t_nack, [this, tx, chunk, decode_fail]() {
+    if (tx->done) return;
+    auto& cs = tx->chunk_state[static_cast<std::size_t>(chunk)];
+    if (cs.received) return;
+    if (decode_fail && !cs.fell_back_raw) {
+      // This chunk's decompression keeps faulting: degrade IT (and only it)
+      // to a raw resend from the still-live user buffer.
+      cs.fell_back_raw = true;
+      const std::uint64_t off = static_cast<std::uint64_t>(chunk) * tx->chunk_bytes;
+      const std::uint64_t len = pipeline_chunk_len(tx, chunk);
+      const auto* user = static_cast<const std::uint8_t*>(tx->sender_buf) + off;
+      cs.payload = std::make_shared<std::vector<std::uint8_t>>(user, user + len);
+      core::CompressionHeader raw;
+      raw.original_bytes = len;
+      raw.compressed_bytes = len;
+      if (reliability_) raw.payload_crc32c = payload_crc(*cs.payload);
+      cs.header = raw;
+    }
+    push_pipeline_chunk(tx, chunk, engine_.now());
+  });
+}
+
+void World::finish_pipeline(const PipePtr& tx) {
+  if (tx->done) return;
+  tx->done = true;
+  auto& state = ranks_[static_cast<std::size_t>(tx->env.dst)];
+  Timeline tl(engine_.now());
+  // One final cudaStreamSynchronize before the user buffer is handed over.
+  tl.advance(state.gpu->costs().stream_sync);
+  state.mgr->release_pipeline_receive(tl, tx->staging);
+  if (tx->recv.wire_out != nullptr) {
+    core::CompressionHeader raw;
+    raw.original_bytes = tx->env.bytes;
+    raw.compressed_bytes = tx->env.bytes;
+    if (reliability_) raw.payload_crc32c = payload_crc(*tx->assemble);
+    *tx->recv.wire_out = WireMessage{raw, tx->assemble};
+  }
+  if (options_.telemetry != nullptr) {
+    options_.telemetry->record_pipeline(
+        {tx->start, tx->env.src, tx->env.dst, compression_.algorithm, tx->env.bytes,
+         tx->wire_total, static_cast<std::uint32_t>(tx->chunks), tx->retransmits,
+         tl.now() - tx->start, tx->compress_busy, tx->transfer_busy, tx->decompress_busy});
+  }
+  complete(tx->send_req, Status{tx->env.dst, tx->env.tag, tx->env.bytes});
+  complete_at(tx->recv.req, Status{tx->env.src, tx->env.tag, tx->env.bytes}, tl.now());
+}
+
+void World::fail_pipeline(const PipePtr& tx, Time at) {
+  tx->done = true;
+  for (auto& cs : tx->chunk_state) sim::Engine::cancel(cs.watchdog);
+  auto& state = ranks_[static_cast<std::size_t>(tx->env.dst)];
+  if (tx->staging.valid()) {
+    Timeline tl(at);
+    state.mgr->release_pipeline_receive(tl, tx->staging);
   }
   Status recv_status{tx->env.src, tx->env.tag, 0};
   recv_status.error = StatusError::RetryLimit;

@@ -33,6 +33,7 @@
 // link-level-reliable control plane and are never dropped.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -42,6 +43,7 @@
 #include "core/manager.hpp"
 #include "fault/injector.hpp"
 #include "gpu/device.hpp"
+#include "mpi/pipeline.hpp"
 #include "net/cluster.hpp"
 #include "sim/engine.hpp"
 
@@ -113,6 +115,10 @@ struct WorldOptions {
   sim::Time retransmit_timeout = sim::Time::us(200);
   double retransmit_backoff = 2.0;
   std::uint64_t nack_bytes = 32;  // control packet asking for a re-push
+
+  /// Chunked pipelined rendezvous (see mpi/pipeline.hpp). Off by default:
+  /// the serial protocol above is reproduced bit-for-bit.
+  PipelineConfig pipeline;
 };
 
 class World;
@@ -258,6 +264,54 @@ class World {
   };
   using RndvPtr = std::shared_ptr<RndvTransfer>;
 
+  /// One in-flight CHUNKED pipelined rendezvous (announced via an RTS whose
+  /// header carries pipeline_chunks >= 2). Compression, wire transfer, and
+  /// decompression of consecutive chunks overlap; each chunk has its own
+  /// CRC, watchdog, and retransmission budget, so a lost or corrupted chunk
+  /// re-pushes only itself.
+  struct PipelineTransfer {
+    Envelope env;
+    Request send_req;
+    PostedRecv recv;
+    const void* sender_buf = nullptr;
+    std::uint64_t chunk_bytes = 0;
+    int chunks = 0;
+    int window = 0;  // max chunks concurrently in flight
+    int blocks = 0;  // thread blocks per chunk kernel (SMs / window)
+    core::CompressionManager::PipelineStaging staging;  // receiver slices
+    Payload assemble;  // wire-form receivers: chunks reassemble here
+
+    // Progress-thread host cursors: per-chunk host work (launches, size
+    // readbacks, CRC handling) serializes on the owning side's cursor even
+    // when chunk events interleave in engine time.
+    sim::Time start;        // CTS arrival at the sender = pipeline start
+    sim::Time send_cursor;
+    sim::Time recv_cursor;
+    sim::Time recv_done;    // max over chunk decompression completions
+    int next_chunk = 0;     // next chunk to launch compression for
+    int arrived = 0;        // chunks verified + consumed at the receiver
+    bool done = false;
+
+    struct ChunkState {
+      core::CompressionHeader header;  // per-chunk sub-record (own CRC)
+      Payload payload;                 // staged wire bytes of this chunk
+      int attempts = 0;
+      bool received = false;
+      bool fell_back_raw = false;
+      bool recovery_pending = false;
+      sim::Engine::CancelToken watchdog;
+    };
+    std::vector<ChunkState> chunk_state;
+
+    // Overlap telemetry accumulators (PipelineRecord).
+    std::uint64_t wire_total = 0;  // payload bytes pushed, retransmits included
+    std::uint32_t retransmits = 0;
+    sim::Time compress_busy;
+    sim::Time transfer_busy;
+    sim::Time decompress_busy;
+  };
+  using PipePtr = std::shared_ptr<PipelineTransfer>;
+
   struct ProbeWaiter {
     int src = kAnySource;
     int tag = kAnyTag;
@@ -301,6 +355,29 @@ class World {
   void request_retransmit(const RndvPtr& tx, sim::Time at, bool decode_fail);
   void switch_to_raw(const RndvPtr& tx);
   void fail_rndv(const RndvPtr& tx, sim::Time at);
+  // Chunked pipelined rendezvous (see mpi/pipeline.hpp and DESIGN.md).
+  [[nodiscard]] bool pipeline_eligible(int src, int dst, const void* buf,
+                                       std::uint64_t bytes) const;
+  [[nodiscard]] std::uint64_t resolve_chunk_bytes(int src, int dst,
+                                                  std::uint64_t bytes) const;
+  Request pipeline_isend(sim::ActorContext& ctx, int src, const void* buf,
+                         std::uint64_t bytes, int dst, int tag,
+                         std::uint64_t chunk_bytes);
+  void begin_pipeline(sim::Timeline& tl, RtsMsg rts, PostedRecv recv);
+  void start_pipeline_sender(const PipePtr& tx);
+  void launch_pipeline_chunk(const PipePtr& tx);
+  void pipeline_chunk_ready(const PipePtr& tx, int chunk,
+                            const std::shared_ptr<core::CompressionManager::ChunkWire>& ck);
+  void push_pipeline_chunk(const PipePtr& tx, int chunk, sim::Time start);
+  void on_pipeline_data(const PipePtr& tx, int chunk, const Payload& delivered);
+  void pipeline_retransmit(const PipePtr& tx, int chunk, sim::Time at, bool decode_fail);
+  void finish_pipeline(const PipePtr& tx);
+  void fail_pipeline(const PipePtr& tx, sim::Time at);
+  [[nodiscard]] std::uint64_t pipeline_chunk_len(const PipePtr& tx, int chunk) const {
+    const std::uint64_t off = static_cast<std::uint64_t>(chunk) * tx->chunk_bytes;
+    return std::min(tx->chunk_bytes, tx->env.bytes - off);
+  }
+
   void complete(const Request& req, Status status);
   void complete_at(const Request& req, Status status, sim::Time at);
   void deliver_eager_to(PostedRecv& recv, const EagerMsg& msg);

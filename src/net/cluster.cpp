@@ -69,7 +69,7 @@ Fabric::Port& Fabric::rx_port(int src, int dst) {
 }
 
 Time Fabric::occupy_and_arrive(Time earliest, int src_rank, int dst_rank,
-                               std::uint64_t bytes) {
+                               std::uint64_t bytes, Time* start_out, Time* wire_out) {
   const LinkSpec& link = route(src_rank, dst_rank);
   Port& tx = tx_port(src_rank, dst_rank);
   Port& rx = rx_port(src_rank, dst_rank);
@@ -88,6 +88,8 @@ Time Fabric::occupy_and_arrive(Time earliest, int src_rank, int dst_rank,
   tx.busy_until = start + wire;
   rx.busy_until = start + wire;
   bytes_moved_ += bytes;
+  if (start_out != nullptr) *start_out = start;
+  if (wire_out != nullptr) *wire_out = wire;
   return start + wire + link.latency;
 }
 
@@ -107,9 +109,10 @@ Fabric::Delivery Fabric::transfer_data(Time earliest, int src_rank, int dst_rank
   Delivery d;
   if (src_rank == dst_rank) {
     d.at = earliest;
+    d.start = earliest;
     return d;
   }
-  d.at = occupy_and_arrive(earliest, src_rank, dst_rank, bytes);
+  d.at = occupy_and_arrive(earliest, src_rank, dst_rank, bytes, &d.start, &d.wire);
   if (fault_ != nullptr) {
     const auto f = fault_->on_data_packet(src_rank, dst_rank);
     d.dropped = f.drop;

@@ -71,6 +71,12 @@ class Fabric {
     bool dropped = false;
     bool corrupted = false;
     std::uint64_t corrupt_bits = 0;  // entropy for picking the flipped bit
+    // Port-occupancy span of this packet (serialization + per-message
+    // overhead, after any degraded-link stretch). Chunked pipelined sends
+    // sum these to report wire-stage busy time: back-to-back chunks queue
+    // on the same tx/rx ports, so consecutive spans tile the link.
+    Time start;
+    Time wire;
   };
 
   /// Like transfer(), but for rendezvous payload packets: consults the
@@ -101,7 +107,9 @@ class Fabric {
   Port& rx_port(int src, int dst);
   /// Shared port/serialization core: applies link-state windows, occupies
   /// the ports, and returns the arrival time (before any latency spike).
-  Time occupy_and_arrive(Time earliest, int src_rank, int dst_rank, std::uint64_t bytes);
+  /// `start_out`/`wire_out` report the occupancy window when non-null.
+  Time occupy_and_arrive(Time earliest, int src_rank, int dst_rank, std::uint64_t bytes,
+                         Time* start_out = nullptr, Time* wire_out = nullptr);
 
   ClusterSpec spec_;
   // Inter-node: one egress + one ingress port per node (the IB HCA).

@@ -57,6 +57,10 @@ std::string run_world_dump(const WorldScenario& s) {
   cfg.threshold_bytes = 8 * 1024;
   mpi::WorldOptions opts;
   opts.telemetry = &telemetry;
+  opts.pipeline.enabled = s.pipeline;
+  opts.pipeline.min_bytes = s.pipeline_min_bytes;
+  opts.pipeline.chunk_bytes = s.pipeline_chunk_bytes;
+  opts.pipeline.max_in_flight = s.pipeline_max_in_flight;
   std::optional<fault::FaultInjector> injector;
   if (s.fault_seed != 0) {
     fault::FaultPlan plan;
@@ -79,10 +83,18 @@ std::string run_world_dump(const WorldScenario& s) {
     auto& log = observed[static_cast<std::size_t>(me)];
     std::vector<mpi::Request> sends;
     std::vector<std::vector<float>> live;
+    std::vector<void*> device_bufs;
     for (const auto& snd : plan[static_cast<std::size_t>(me)]) {
       live.push_back(make_floats(snd.payload.kind, snd.payload.n, snd.payload.seed));
-      sends.push_back(
-          R.isend(live.back().data(), live.back().size() * 4, snd.dst, snd.tag));
+      const std::uint64_t bytes = live.back().size() * 4;
+      const void* src = live.back().data();
+      if (s.device_payloads) {
+        void* d = R.gpu_malloc(bytes);
+        std::memcpy(d, src, bytes);
+        device_bufs.push_back(d);
+        src = d;
+      }
+      sends.push_back(R.isend(src, bytes, snd.dst, snd.tag));
     }
     std::vector<float> rbuf(s.max_message_values + 16);
     for (int m = 0; m < expected[static_cast<std::size_t>(me)]; ++m) {
@@ -94,6 +106,7 @@ std::string run_world_dump(const WorldScenario& s) {
       log.push_back(os.str());
     }
     R.waitall(sends);
+    for (void* d : device_bufs) R.gpu_free(d);
 
     for (int round = 0; round < s.collective_rounds; ++round) {
       float v = static_cast<float>(me * 13 + round);
@@ -124,7 +137,15 @@ std::string run_world_dump(const WorldScenario& s) {
          << " compressed=" << stats.messages_compressed
          << " fallback=" << stats.messages_fallback_raw
          << " codec_faults=" << stats.codec_faults
-         << " original=" << stats.original_bytes << " wire=" << stats.wire_bytes << "\n";
+         << " original=" << stats.original_bytes << " wire=" << stats.wire_bytes;
+    if (stats.pipelined_messages > 0) {
+      // Only printed when the rank actually pipelined, so serial-mode dumps
+      // stay byte-identical to their pre-pipeline form.
+      dump << " pipelined=" << stats.pipelined_messages
+           << " pchunks=" << stats.pipeline_chunks_compressed
+           << " praw=" << stats.pipeline_chunks_raw;
+    }
+    dump << "\n";
   }
   dump << "telemetry_events=" << telemetry.events().size() << "\n";
   telemetry.write_csv(dump);
@@ -138,6 +159,10 @@ std::string run_world_dump(const WorldScenario& s) {
        << " original=" << summary.original_bytes << " wire=" << summary.wire_bytes
        << " ct_ns=" << summary.compression_time.count_ns()
        << " dt_ns=" << summary.decompression_time.count_ns() << "\n";
+  if (!telemetry.pipelines().empty()) {
+    dump << "pipeline_transfers=" << telemetry.pipelines().size() << "\n";
+    telemetry.write_pipeline_csv(dump);
+  }
   if (injector.has_value()) {
     // Only emitted when something actually fired, so an idle plan's dump
     // stays byte-identical to a run with no injector at all.

@@ -29,6 +29,17 @@ struct WorldScenario {
   double fault_drop = 0.0;
   double fault_corrupt = 0.0;
   double fault_decompress = 0.0;
+
+  // Chunked pipelined rendezvous. device_payloads stages every p2p payload
+  // in device memory (making it compression- and pipeline-eligible);
+  // `pipeline` enables the chunked path. Both default off, and the stats /
+  // telemetry sections only grow pipeline lines when transfers actually
+  // pipelined, so legacy scenario dumps stay byte-identical.
+  bool device_payloads = false;
+  bool pipeline = false;
+  std::uint64_t pipeline_min_bytes = 1ull << 20;
+  std::uint64_t pipeline_chunk_bytes = 0;  // 0 = cost-model auto-tune
+  int pipeline_max_in_flight = 4;
 };
 
 [[nodiscard]] std::string run_world_dump(const WorldScenario& s);

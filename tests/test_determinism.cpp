@@ -16,6 +16,7 @@
 #include "sim/engine.hpp"
 #include "sim/rng.hpp"
 #include "support/payloads.hpp"
+#include "support/sha256.hpp"
 #include "support/world_dump.hpp"
 
 namespace {
@@ -94,6 +95,67 @@ TEST(Determinism, IdleFaultPlanMatchesNoPlan) {
   const auto a = run_world_dump(no_plan);
   const auto b = run_world_dump(idle_plan);
   EXPECT_EQ(a, b) << first_divergence(a, b);
+}
+
+WorldScenario pipelined_scenario() {
+  // Big device-resident messages on a 2-rank inter-node world: every
+  // qualifying send runs the chunked pipelined rendezvous (fixed 256 KiB
+  // chunks so each transfer interleaves several in-flight chunk events).
+  WorldScenario s;
+  s.nodes = 2;
+  s.gpus_per_node = 1;
+  s.messages_per_rank = 8;
+  s.max_message_values = 512 * 1024;
+  s.collective_rounds = 1;
+  s.device_payloads = true;
+  s.pipeline = true;
+  s.pipeline_min_bytes = 1ull << 17;  // draw_case is log-uniform: big is rare
+  s.pipeline_chunk_bytes = 128ull << 10;
+  s.seed = gcmpi::testing::test_seed() ^ 0x9199;
+  return s;
+}
+
+TEST(Determinism, PipelinedWorldIsByteIdentical) {
+  const WorldScenario s = pipelined_scenario();
+  expect_identical_runs(s);
+  // The scenario must actually pipeline: the per-transfer telemetry section
+  // only prints when at least one chunked rendezvous completed.
+  const auto dump = run_world_dump(s);
+  EXPECT_NE(dump.find("pipeline_transfers="), std::string::npos);
+  EXPECT_NE(dump.find(" pipelined="), std::string::npos);
+}
+
+TEST(Determinism, PipelinedFaultyWorldIsByteIdentical) {
+  // Per-chunk watchdogs, NACKs, and raw-resend fallbacks interleaved with
+  // in-flight chunk kernels must replay identically run to run.
+  WorldScenario s = pipelined_scenario();
+  s.fault_seed = 0xBEEF;
+  s.fault_drop = 0.10;
+  s.fault_corrupt = 0.08;
+  s.fault_decompress = 0.08;
+  expect_identical_runs(s);
+  const auto dump = run_world_dump(s);
+  EXPECT_NE(dump.find("pipeline_transfers="), std::string::npos);
+  EXPECT_NE(dump.find(",retransmit,"), std::string::npos);
+}
+
+TEST(Determinism, SerialDumpIsUnchangedByThePipelinePR) {
+  // Two guarantees in one: (a) the serial-mode dump for a pinned scenario
+  // still hashes to the digest captured before the pipelined rendezvous
+  // landed (the wire format, cost charges, and dump layout are untouched),
+  // and (b) enabling the pipeline on a world whose messages are all below
+  // min_bytes is perfectly inert — not one byte of the dump moves.
+  WorldScenario s;
+  s.seed = 0xC0DEC;
+  const std::string serial = run_world_dump(s);
+  EXPECT_EQ(serial.size(), 14355u);
+  EXPECT_EQ(gcmpi::testing::sha256_hex(
+                {reinterpret_cast<const std::uint8_t*>(serial.data()), serial.size()}),
+            "86008fcf193b6669198dfc159927b478afc85247be7edf779f53b3bfc29720ff");
+  WorldScenario inert = s;
+  inert.pipeline = true;  // enabled, but every message is below min_bytes
+  const std::string with_pipeline = run_world_dump(inert);
+  EXPECT_EQ(serial, with_pipeline) << first_divergence(serial, with_pipeline);
 }
 
 TEST(Determinism, DifferentFaultSeedsProduceDifferentSchedules) {
