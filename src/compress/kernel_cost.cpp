@@ -49,4 +49,17 @@ Time KernelCostModel::zfp_decompress(std::uint64_t original_bytes, int rate,
   return zfp_kernel_floor + Time::seconds(bits / (gbps * 1e9));
 }
 
+Time KernelCostModel::reduce_kernel(std::uint64_t bytes, const GpuSpec& gpu) const {
+  // acc read + in read + acc write = 3x the payload in memory traffic.
+  const double bw = reduce_bandwidth_fraction * gpu.mem_bandwidth_gbs * 1e9;
+  return Time::seconds(3.0 * static_cast<double>(bytes) / bw);
+}
+
+Time KernelCostModel::fused_reduce_overhead(std::uint64_t original_bytes,
+                                            const GpuSpec& gpu) const {
+  const double bw = reduce_bandwidth_fraction * gpu.mem_bandwidth_gbs * 1e9;
+  return Time::seconds(fused_reduce_traffic_bytes_per_byte *
+                       static_cast<double>(original_bytes) / bw);
+}
+
 }  // namespace gcmpi::comp

@@ -51,6 +51,15 @@ struct KernelCostModel {
   double zfp_decompress_k_gbs = 11760.0; // => 735 Gb/s at rate 16
   Time zfp_kernel_floor = Time::us(8);   // scheduling floor per kernel
 
+  // Elementwise reduce (acc = op(acc, in)): memory-bound — reads both
+  // operands and writes the accumulator back, at a fraction of peak memory
+  // bandwidth (strided collective shards do not stream perfectly).
+  double reduce_bandwidth_fraction = 0.75;
+  // Fusing the reduce into a decompression kernel only adds the extra
+  // accumulator traffic (read + write), not a second kernel pass: the
+  // decoded values are combined in registers before the store.
+  double fused_reduce_traffic_bytes_per_byte = 2.0;
+
   /// MPC compression kernel over `in_bytes` producing `out_bytes`, run with
   /// `blocks` thread blocks on `gpu`.
   [[nodiscard]] Time mpc_compress(std::uint64_t in_bytes, std::uint64_t out_bytes,
@@ -65,6 +74,14 @@ struct KernelCostModel {
                                   const GpuSpec& gpu) const;
   [[nodiscard]] Time zfp_decompress(std::uint64_t original_bytes, int rate,
                                     const GpuSpec& gpu) const;
+
+  /// Standalone elementwise reduce kernel over `bytes` of payload data.
+  [[nodiscard]] Time reduce_kernel(std::uint64_t bytes, const GpuSpec& gpu) const;
+
+  /// Extra cost of fusing a reduce into a decompression kernel that
+  /// restores `original_bytes` of payload.
+  [[nodiscard]] Time fused_reduce_overhead(std::uint64_t original_bytes,
+                                           const GpuSpec& gpu) const;
 
   /// Block-count efficiency: blocks/(blocks + half_sat), normalized so that
   /// using every SM of `gpu` gives 1.0.

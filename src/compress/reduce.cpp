@@ -1,0 +1,43 @@
+#include "compress/reduce.hpp"
+
+#include <algorithm>
+
+namespace gcmpi::comp {
+
+const char* reduce_op_name(ReduceOp op) {
+  switch (op) {
+    case ReduceOp::Sum: return "sum";
+    case ReduceOp::Max: return "max";
+    case ReduceOp::Min: return "min";
+  }
+  return "?";
+}
+
+namespace {
+
+template <typename T>
+void reduce_impl(T* acc, const T* in, std::size_t n, ReduceOp op) {
+  switch (op) {
+    case ReduceOp::Sum:
+      for (std::size_t i = 0; i < n; ++i) acc[i] += in[i];
+      break;
+    case ReduceOp::Max:
+      for (std::size_t i = 0; i < n; ++i) acc[i] = std::max(acc[i], in[i]);
+      break;
+    case ReduceOp::Min:
+      for (std::size_t i = 0; i < n; ++i) acc[i] = std::min(acc[i], in[i]);
+      break;
+  }
+}
+
+}  // namespace
+
+void reduce_inplace(float* acc, const float* in, std::size_t n, ReduceOp op) {
+  reduce_impl(acc, in, n, op);
+}
+
+void reduce_inplace(double* acc, const double* in, std::size_t n, ReduceOp op) {
+  reduce_impl(acc, in, n, op);
+}
+
+}  // namespace gcmpi::comp

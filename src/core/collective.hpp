@@ -1,0 +1,78 @@
+// Collective algorithm selection and the canonical-order reduction oracle.
+//
+// Determinism contract (pinned by tests/test_determinism.cpp): every
+// allreduce algorithm reduces in a *canonical fold order* that is a pure
+// function of (algorithm, ranks, topology) — never of message delivery
+// timing. The fold always uses comp::reduce_inplace with the accumulator
+// as the first operand (see compress/reduce.hpp), and `allreduce_oracle`
+// replays the exact order on the host, so with lossless codecs the engine
+// must reproduce the oracle bit-for-bit.
+//
+// Canonical orders:
+//   Linear       — Rabenseifner fold + recursive doubling, the fixed
+//                  schedule in src/mpi/collectives.cpp.
+//   Ring         — shard s is folded along the ring rotation: starting
+//                  from rank s+1's contribution, each next rank j applies
+//                  op(x_j, partial); rank s finishes its own shard.
+//   Hierarchical — each node leader folds its members in ascending rank
+//                  order, then node partials fold along the leader ring.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "compress/reduce.hpp"
+
+namespace gcmpi::core {
+
+using comp::ReduceOp;
+using comp::reduce_op_name;
+
+enum class CollectiveAlgorithm : std::uint8_t { Auto, Linear, Ring, Hierarchical };
+
+[[nodiscard]] const char* collective_algorithm_name(CollectiveAlgorithm a);
+
+/// Allreduce/reduce-scatter algorithm selection knobs, surfaced through
+/// mpi::WorldOptions::collectives.
+struct CollectiveTuning {
+  CollectiveAlgorithm algorithm = CollectiveAlgorithm::Auto;
+  // Auto policy: ring algorithms shard the message across ranks, so they
+  // only pay off once per-shard chunks are big enough to compress and to
+  // saturate the wire; below these floors the linear schedule's lower hop
+  // count wins. The byte floor matches the measured crossover in
+  // bench/fig11_collectives.cpp: on Longhorn at 8 ranks the ring pulls
+  // ahead of the linear schedule between 4 and 8 MiB.
+  std::uint64_t ring_min_bytes = 4ull << 20;
+  int ring_min_ranks = 4;
+  bool allow_hierarchical = true;  // use the leader ring when nodes > 1
+};
+
+/// Resolve `Auto` into a concrete algorithm for a `bytes`-sized allreduce
+/// over `ranks` ranks on a (nodes x gpus_per_node) cluster. Non-Auto
+/// settings are honored as-is (degenerate topologies still run correctly:
+/// Hierarchical with one GPU per node degenerates to Ring).
+[[nodiscard]] CollectiveAlgorithm resolve_allreduce_algorithm(
+    const CollectiveTuning& tuning, std::uint64_t bytes, int ranks, int nodes,
+    int gpus_per_node);
+
+/// Contiguous shard of an n-element vector split across P ranks:
+/// [first, second) for shard s, balanced to within one element.
+[[nodiscard]] inline std::pair<std::size_t, std::size_t> shard_range(std::size_t n,
+                                                                     int P,
+                                                                     int s) {
+  const auto p = static_cast<std::size_t>(P);
+  const auto i = static_cast<std::size_t>(s);
+  return {n * i / p, n * (i + 1) / p};
+}
+
+/// Host-side replay of the canonical fold order: given every rank's
+/// contribution, compute the allreduce result `algorithm` must produce.
+/// `algorithm` must be concrete (not Auto); `gpus_per_node` shapes the
+/// Hierarchical fold and is ignored otherwise.
+[[nodiscard]] std::vector<float> allreduce_oracle(
+    const std::vector<std::vector<float>>& contributions, ReduceOp op,
+    CollectiveAlgorithm algorithm, int gpus_per_node = 1);
+
+}  // namespace gcmpi::core

@@ -83,4 +83,49 @@ void DynamicSelector::apply(const CandidateCost& decision, CompressionConfig& co
   }
 }
 
+CollectiveAlgorithm DynamicSelector::choose_allreduce_algorithm(
+    std::uint64_t message_bytes, int ranks, int nodes, int gpus_per_node,
+    double mpc_cr) const {
+  if (ranks <= 2 || message_bytes == 0) return CollectiveAlgorithm::Linear;
+  const double wire_bps = network_gbs_ * 1e9;
+  const double cr = std::max(1.0, mpc_cr);
+  const double S = static_cast<double>(message_bytes);
+  const int blocks = std::max(1, gpu_.sm_count / 4);
+  const auto secs = [](Time t) { return static_cast<double>(t.count_ns()) * 1e-9; };
+  const auto hop_kernels = [&](double bytes) {
+    // Per hop: recompress the outgoing shard + fused decode of the incoming.
+    const auto b = static_cast<std::uint64_t>(bytes);
+    return secs(model_.mpc_compress(b, static_cast<std::uint64_t>(bytes / cr), blocks, gpu_)) +
+           secs(model_.mpc_decompress(static_cast<std::uint64_t>(bytes / cr), b, blocks, gpu_)) +
+           secs(model_.fused_reduce_overhead(b, gpu_));
+  };
+
+  // Linear (Rabenseifner): ~log2(P)+1 serialized full-vector exchanges,
+  // each compressed once per direction.
+  double logp = 1.0;
+  for (int p = 1; p < ranks; p <<= 1) logp += 1.0;
+  const double linear = logp * (S / (cr * wire_bps) + hop_kernels(S));
+
+  // Ring: 2(P-1) steps of S/P-sized shards; kernels per hop.
+  const double shard = S / static_cast<double>(ranks);
+  const double steps = 2.0 * static_cast<double>(ranks - 1);
+  const double ring = steps * (shard / (cr * wire_bps) + hop_kernels(shard));
+
+  // Hierarchical: intra-node fold (gpn-1 full-vector hops over the fast
+  // intra-node link, approximated at 4x the wire) + a leader ring + the
+  // intra-node result broadcast.
+  double hier = 1e18;  // effectively +inf unless applicable
+  if (nodes > 1 && gpus_per_node > 1) {
+    const double intra = 2.0 * static_cast<double>(gpus_per_node - 1) * S /
+                         (cr * wire_bps * 4.0);
+    const double nshard = S / static_cast<double>(nodes);
+    const double nsteps = 2.0 * static_cast<double>(nodes - 1);
+    hier = intra + nsteps * (nshard / (cr * wire_bps) + hop_kernels(nshard)) +
+           hop_kernels(S) * static_cast<double>(gpus_per_node);
+  }
+
+  if (hier < linear && hier < ring) return CollectiveAlgorithm::Hierarchical;
+  return ring < linear ? CollectiveAlgorithm::Ring : CollectiveAlgorithm::Linear;
+}
+
 }  // namespace gcmpi::core

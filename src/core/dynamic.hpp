@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "compress/kernel_cost.hpp"
+#include "core/collective.hpp"
 #include "core/config.hpp"
 #include "gpu/cost_model.hpp"
 #include "sim/time.hpp"
@@ -54,6 +55,16 @@ class DynamicSelector {
 
   /// Apply a decision onto a config (keeps all other knobs).
   static void apply(const CandidateCost& decision, CompressionConfig& config);
+
+  /// Cost-model companion to core::resolve_allreduce_algorithm: predict the
+  /// completion time of each allreduce algorithm for a `message_bytes`
+  /// vector over `ranks` ranks (nodes x gpus_per_node topology) whose
+  /// sampled MPC ratio is `mpc_cr`, and return the fastest. Linear moves
+  /// the full vector O(log P) times; the ring algorithms move ~2S of
+  /// compressed shards plus per-hop kernel time (gZCCL-style analysis).
+  [[nodiscard]] CollectiveAlgorithm choose_allreduce_algorithm(
+      std::uint64_t message_bytes, int ranks, int nodes, int gpus_per_node,
+      double mpc_cr) const;
 
  private:
   gpu::GpuSpec gpu_;

@@ -377,6 +377,82 @@ void CompressionManager::decompress_with_retry(Timeline& tl, const CompressionHe
   }
 }
 
+void CompressionManager::decompress_reduce(Timeline& tl, const CompressionHeader& header,
+                                           const RecvStaging& staging, float* acc,
+                                           std::uint64_t acc_bytes, comp::ReduceOp op,
+                                           bool synchronize) {
+  if (!header.compressed) {
+    throw std::runtime_error("CompressionManager: decompress_reduce needs a compressed payload");
+  }
+  if (header.original_bytes > acc_bytes) {
+    throw std::runtime_error("CompressionManager: accumulator too small");
+  }
+  Breakdown* bd = &receiver_bd_;
+  const auto* in = static_cast<const std::uint8_t*>(staging.data);
+  const std::size_t n = header.original_bytes / 4;
+
+  const Time started = tl.now();
+  if (fault_ != nullptr && fault_->on_decompress(rank_id_)) {
+    // Same contract as decompress_received: the fused kernel errors out
+    // before storing anything, so the accumulator still holds its pre-hop
+    // partial and the caller can simply relaunch.
+    tl.advance(gpu_.costs().kernel_launch);
+    ++stats_.codec_faults;
+    if (telemetry_ != nullptr) {
+      telemetry_->record({started, rank_id_, EventKind::CodecFault, header.algorithm,
+                          header.original_bytes, header.compressed_bytes, tl.now() - started});
+    }
+    throw CodecFaultError{};
+  }
+
+  std::vector<float> decoded(n);
+  if (header.algorithm == Algorithm::MPC) {
+    run_mpc_decompress(tl, header, in, decoded.data(), n, bd, /*synchronize=*/false);
+  } else if (header.algorithm == Algorithm::ZFP) {
+    run_zfp_decompress(tl, header, in, decoded.data(), n, bd, /*synchronize=*/false);
+  } else {
+    throw std::runtime_error("CompressionManager: compressed payload with no algorithm");
+  }
+  // The fusion combines decoded values with the accumulator in registers
+  // before the store: only the extra accumulator traffic is charged, on the
+  // decode kernels' tail.
+  gpu_.stream(0).launch(tl,
+                        cost_model_.fused_reduce_overhead(header.original_bytes, gpu_.spec()),
+                        bd, Phase::DecompressionKernel);
+  comp::reduce_inplace(acc, decoded.data(), n, op);
+  if (synchronize) gpu_.device_synchronize(tl, bd);
+  if (telemetry_ != nullptr) {
+    telemetry_->record({started, rank_id_, EventKind::Decompress, header.algorithm,
+                        header.original_bytes, header.compressed_bytes, tl.now() - started});
+  }
+}
+
+void CompressionManager::decompress_reduce_with_retry(Timeline& tl,
+                                                      const CompressionHeader& header,
+                                                      const RecvStaging& staging, float* acc,
+                                                      std::uint64_t acc_bytes,
+                                                      comp::ReduceOp op, bool synchronize,
+                                                      int max_retries) {
+  for (int attempt = 0;; ++attempt) {
+    try {
+      decompress_reduce(tl, header, staging, acc, acc_bytes, op, synchronize);
+      return;
+    } catch (const CodecFaultError&) {
+      if (attempt >= max_retries) throw;
+    }
+  }
+}
+
+Time CompressionManager::reduce_device(Timeline& tl, const float* in, float* acc,
+                                       std::size_t n, comp::ReduceOp op, bool synchronize) {
+  Breakdown* bd = &receiver_bd_;
+  const Time done = gpu_.stream(0).launch(
+      tl, cost_model_.reduce_kernel(n * 4, gpu_.spec()), bd, Phase::DecompressionKernel);
+  comp::reduce_inplace(acc, in, n, op);
+  if (synchronize) gpu_.stream(0).synchronize(tl, bd, Phase::DecompressionKernel);
+  return done;
+}
+
 void CompressionManager::run_mpc_decompress(Timeline& tl, const CompressionHeader& header,
                                             const std::uint8_t* in, float* out,
                                             std::size_t n, Breakdown* bd, bool synchronize) {

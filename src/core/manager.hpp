@@ -18,6 +18,7 @@
 
 #include "compress/kernel_cost.hpp"
 #include "compress/mpc.hpp"
+#include "compress/reduce.hpp"
 #include "compress/zfp.hpp"
 #include "core/config.hpp"
 #include "core/header.hpp"
@@ -126,6 +127,30 @@ class CompressionManager {
                              const RecvStaging& staging, void* user_buf,
                              std::uint64_t user_bytes, bool synchronize = true,
                              int max_retries = 8);
+
+  /// Fused decompress+reduce (the collective engine's hop primitive):
+  /// decode the staged payload and fold it into the device accumulator,
+  /// acc[i] = op(acc[i], decoded[i]), in one kernel pass. Costs the normal
+  /// decompression kernels plus the extra accumulator read+write traffic.
+  /// The injected-fault check fires BEFORE any output is produced, so the
+  /// accumulator is untouched on a CodecFaultError and a relaunch is safe.
+  void decompress_reduce(Timeline& tl, const CompressionHeader& header,
+                         const RecvStaging& staging, float* acc,
+                         std::uint64_t acc_bytes, comp::ReduceOp op,
+                         bool synchronize = true);
+
+  /// decompress_reduce with the same local kernel-relaunch recovery as
+  /// decompress_with_retry (fresh launch, fresh fault draw per attempt).
+  void decompress_reduce_with_retry(Timeline& tl, const CompressionHeader& header,
+                                    const RecvStaging& staging, float* acc,
+                                    std::uint64_t acc_bytes, comp::ReduceOp op,
+                                    bool synchronize = true, int max_retries = 8);
+
+  /// Plain on-device elementwise reduce of an uncompressed incoming payload
+  /// into the accumulator (raw collective hops). Returns the kernel's
+  /// device completion time.
+  Time reduce_device(Timeline& tl, const float* in, float* acc, std::size_t n,
+                     comp::ReduceOp op, bool synchronize = true);
 
   void release_receive(Timeline& tl, RecvStaging& staging);
 

@@ -72,4 +72,15 @@ void Telemetry::write_pipeline_csv(std::ostream& os) const {
   }
 }
 
+void Telemetry::write_collective_csv(std::ostream& os) const {
+  os << "time_us,rank,op,algorithm,bytes,hops,reduces,span_us,compress_busy_us,"
+        "transfer_busy_us,reduce_busy_us\n";
+  for (const auto& c : collectives_) {
+    os << c.at.to_us() << ',' << c.rank << ',' << c.op << ',' << c.algorithm << ','
+       << c.bytes << ',' << c.hops << ',' << c.reduces << ',' << c.span.to_us() << ','
+       << c.compress_busy.to_us() << ',' << c.transfer_busy.to_us() << ','
+       << c.reduce_busy.to_us() << '\n';
+  }
+}
+
 }  // namespace gcmpi::core

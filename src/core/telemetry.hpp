@@ -60,16 +60,40 @@ struct PipelineRecord {
   sim::Time decompress_busy;  // sum of chunk decompression kernel time
 };
 
+/// One completed collective on one rank, as executed by the ring or
+/// hierarchical engine (the linear p2p composition predates this record
+/// and stays silent so legacy dumps are unchanged). Stage busy times
+/// follow the PipelineRecord convention: sums of per-hop busy intervals
+/// against the collective's span, overlap included.
+struct CollectiveRecord {
+  sim::Time at;  // collective entry on this rank
+  int rank = -1;
+  const char* op = "allreduce";   // static name: "allreduce", "reduce_scatter"
+  const char* algorithm = "ring"; // core::collective_algorithm_name
+  std::uint64_t bytes = 0;        // per-rank payload bytes
+  std::uint32_t hops = 0;         // wire messages this rank sent
+  std::uint32_t reduces = 0;      // fused/raw reduce launches on this rank
+  sim::Time span;                 // entry -> result available
+  sim::Time compress_busy;        // shard (re)compression time
+  sim::Time transfer_busy;        // blocked in wire sends/receives
+  sim::Time reduce_busy;          // fused decompress+reduce (and final decode)
+};
+
 class Telemetry {
  public:
   void record(const TelemetryEvent& ev) { events_.push_back(ev); }
   void record_pipeline(const PipelineRecord& rec) { pipelines_.push_back(rec); }
+  void record_collective(const CollectiveRecord& rec) { collectives_.push_back(rec); }
 
   [[nodiscard]] const std::vector<TelemetryEvent>& events() const { return events_; }
   [[nodiscard]] const std::vector<PipelineRecord>& pipelines() const { return pipelines_; }
+  [[nodiscard]] const std::vector<CollectiveRecord>& collectives() const {
+    return collectives_;
+  }
   void clear() {
     events_.clear();
     pipelines_.clear();
+    collectives_.clear();
   }
 
   struct Summary {
@@ -104,9 +128,13 @@ class Telemetry {
   /// One CSV row per pipelined transfer with per-stage busy/occupancy.
   void write_pipeline_csv(std::ostream& os) const;
 
+  /// One CSV row per engine-executed collective with per-stage busy times.
+  void write_collective_csv(std::ostream& os) const;
+
  private:
   std::vector<TelemetryEvent> events_;
   std::vector<PipelineRecord> pipelines_;
+  std::vector<CollectiveRecord> collectives_;
 };
 
 }  // namespace gcmpi::core

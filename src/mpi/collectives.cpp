@@ -19,18 +19,10 @@ namespace {
 
 constexpr int kCollTagBase = 1 << 20;
 
+// The canonical accumulator-first fold shared with the collective engine
+// and the host oracle (see compress/reduce.hpp).
 void apply_op(float* acc, const float* in, std::size_t n, ReduceOp op) {
-  switch (op) {
-    case ReduceOp::Sum:
-      for (std::size_t i = 0; i < n; ++i) acc[i] += in[i];
-      break;
-    case ReduceOp::Max:
-      for (std::size_t i = 0; i < n; ++i) acc[i] = std::max(acc[i], in[i]);
-      break;
-    case ReduceOp::Min:
-      for (std::size_t i = 0; i < n; ++i) acc[i] = std::min(acc[i], in[i]);
-      break;
-  }
+  comp::reduce_inplace(acc, in, n, op);
 }
 
 }  // namespace
@@ -263,6 +255,26 @@ void Rank::reduce(const float* sendbuf, float* recvbuf, std::size_t n, ReduceOp 
 
 void Rank::allreduce(const float* sendbuf, float* recvbuf, std::size_t n, ReduceOp op) {
   const int tag = next_coll_tag();
+  const int P = size();
+  if (P == 1) {
+    std::memcpy(recvbuf, sendbuf, n * 4);
+    return;
+  }
+  switch (select_allreduce(n * 4)) {
+    case core::CollectiveAlgorithm::Ring:
+      allreduce_ring(sendbuf, recvbuf, n, op, tag);
+      return;
+    case core::CollectiveAlgorithm::Hierarchical:
+      allreduce_hierarchical(sendbuf, recvbuf, n, op, tag);
+      return;
+    default:
+      allreduce_linear(sendbuf, recvbuf, n, op, tag);
+      return;
+  }
+}
+
+void Rank::allreduce_linear(const float* sendbuf, float* recvbuf, std::size_t n,
+                            ReduceOp op, int tag) {
   const int P = size();
   std::vector<float> accum(sendbuf, sendbuf + n);
   std::vector<float> tmp(n);

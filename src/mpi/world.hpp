@@ -40,6 +40,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/collective.hpp"
 #include "core/manager.hpp"
 #include "fault/injector.hpp"
 #include "gpu/device.hpp"
@@ -87,8 +88,9 @@ struct WireMessage {
   [[nodiscard]] std::uint64_t original_bytes() const { return header.original_bytes; }
 };
 
-/// Reduction operators for reduce/allreduce on float data.
-enum class ReduceOp : std::uint8_t { Sum, Max, Min };
+/// Reduction operators for reduce/allreduce on float data (the canonical
+/// accumulator-first primitives from compress/reduce.hpp).
+using ReduceOp = core::ReduceOp;
 
 struct WorldOptions {
   std::uint64_t eager_threshold = 16 * 1024;
@@ -119,6 +121,11 @@ struct WorldOptions {
   /// Chunked pipelined rendezvous (see mpi/pipeline.hpp). Off by default:
   /// the serial protocol above is reproduced bit-for-bit.
   PipelineConfig pipeline;
+
+  /// Collective algorithm engine tuning (allreduce/reduce_scatter: linear
+  /// p2p composition vs compression-aware ring vs hierarchical leader
+  /// ring). Auto keeps small/low-rank jobs on the legacy linear schedule.
+  core::CollectiveTuning collectives;
 };
 
 class World;
@@ -177,12 +184,44 @@ class Rank {
   void allgather(const void* sendbuf, std::uint64_t block_bytes, void* recvbuf);
   void reduce(const float* sendbuf, float* recvbuf, std::size_t n, ReduceOp op, int root);
   void allreduce(const float* sendbuf, float* recvbuf, std::size_t n, ReduceOp op);
+  /// MPI_Reduce_scatter_block: reduce a P*recvcount vector, leave shard r
+  /// (recvcount floats) at rank r. Ring-capable (see coll_engine.cpp).
+  void reduce_scatter(const float* sendbuf, float* recvbuf, std::size_t recvcount,
+                      ReduceOp op);
   void alltoall(const void* sendbuf, std::uint64_t block_bytes, void* recvbuf);
   void gather(const void* sendbuf, std::uint64_t block_bytes, void* recvbuf, int root);
   void scatter(const void* sendbuf, std::uint64_t block_bytes, void* recvbuf, int root);
 
  private:
   int next_coll_tag();
+
+  // --- collective algorithm engine (coll_engine.cpp) ---
+  /// Per-hop stage accounting for one engine collective on this rank.
+  struct CollStats {
+    std::uint32_t hops = 0;
+    std::uint32_t reduces = 0;
+    sim::Time compress_busy;
+    sim::Time transfer_busy;
+    sim::Time reduce_busy;
+  };
+  [[nodiscard]] core::CollectiveAlgorithm select_allreduce(std::uint64_t bytes) const;
+  void allreduce_linear(const float* sendbuf, float* recvbuf, std::size_t n, ReduceOp op,
+                        int tag);
+  void allreduce_ring(const float* sendbuf, float* recvbuf, std::size_t n, ReduceOp op,
+                      int tag);
+  void allreduce_hierarchical(const float* sendbuf, float* recvbuf, std::size_t n,
+                              ReduceOp op, int tag);
+  /// Ring reduce-scatter over `members` (this rank at `members[pos]`): after
+  /// N-1 steps the member at position s owns the fully reduced shard s of
+  /// the device accumulator `acc` (n floats).
+  void ring_reduce_scatter_members(const std::vector<int>& members, int pos, float* acc,
+                                   std::size_t n, ReduceOp op, int tag, CollStats& st);
+  /// Ring allgather of the reduced shards (wire forms forwarded, decode
+  /// overlapped): on return every member's `acc` holds the full vector.
+  void ring_allgather_members(const std::vector<int>& members, int pos, float* acc,
+                              std::size_t n, int tag, CollStats& st);
+  void record_collective(const char* op, core::CollectiveAlgorithm algorithm,
+                         std::uint64_t bytes, sim::Time started, const CollStats& st);
 
   World& world_;
   int rank_;

@@ -31,6 +31,10 @@ struct ClusterSpec {
   [[nodiscard]] int ranks() const { return nodes * gpus_per_node; }
   [[nodiscard]] int node_of(int rank) const { return rank / gpus_per_node; }
   [[nodiscard]] bool same_node(int a, int b) const { return node_of(a) == node_of(b); }
+  /// Lowest rank on `rank`'s node: the node's representative in the
+  /// hierarchical collectives' inter-node leader ring.
+  [[nodiscard]] int node_leader(int rank) const { return node_of(rank) * gpus_per_node; }
+  [[nodiscard]] bool is_node_leader(int rank) const { return rank == node_leader(rank); }
 };
 
 /// TACC Longhorn: V100, NVLink intra-node, IB EDR inter-node.

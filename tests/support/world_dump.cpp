@@ -61,6 +61,8 @@ std::string run_world_dump(const WorldScenario& s) {
   opts.pipeline.min_bytes = s.pipeline_min_bytes;
   opts.pipeline.chunk_bytes = s.pipeline_chunk_bytes;
   opts.pipeline.max_in_flight = s.pipeline_max_in_flight;
+  opts.collectives.algorithm =
+      static_cast<core::CollectiveAlgorithm>(s.collective_algorithm);
   std::optional<fault::FaultInjector> injector;
   if (s.fault_seed != 0) {
     fault::FaultPlan plan;
@@ -122,6 +124,19 @@ std::string run_world_dump(const WorldScenario& s) {
       os << "coll rank=" << me << " round=" << round << " t_ns=" << R.now().count_ns()
          << " sum=" << sum << " fnv_all=" << fnv1a(all.data(), all.size() * 4)
          << " fnv_bcast=" << fnv1a(bc.data(), bc.size() * 4);
+      if (s.engine_allreduce_values > 0) {
+        // Engine-sized allreduce: device-resident contributions so the ring
+        // hops compress; the result checksum pins bit-exact reproducibility.
+        const std::size_t n = s.engine_allreduce_values;
+        const auto mine = make_floats(PayloadKind::SmoothField, n,
+                                      s.seed * 1000 + static_cast<std::uint64_t>(me));
+        auto* dev = static_cast<float*>(R.gpu_malloc(n * 4 + 4));
+        std::memcpy(dev, mine.data(), n * 4);
+        std::vector<float> ar(n);
+        R.allreduce(dev, ar.data(), n, mpi::ReduceOp::Sum);
+        R.gpu_free(dev);
+        os << " fnv_ar=" << fnv1a(ar.data(), n * 4);
+      }
       log.push_back(os.str());
       R.barrier();
     }
@@ -162,6 +177,12 @@ std::string run_world_dump(const WorldScenario& s) {
   if (!telemetry.pipelines().empty()) {
     dump << "pipeline_transfers=" << telemetry.pipelines().size() << "\n";
     telemetry.write_pipeline_csv(dump);
+  }
+  if (!telemetry.collectives().empty()) {
+    // Only present when the engine (ring/hierarchical) ran; legacy linear
+    // scenarios keep their pre-engine dump bytes.
+    dump << "collective_records=" << telemetry.collectives().size() << "\n";
+    telemetry.write_collective_csv(dump);
   }
   if (injector.has_value()) {
     // Only emitted when something actually fired, so an idle plan's dump

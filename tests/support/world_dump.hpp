@@ -40,6 +40,15 @@ struct WorldScenario {
   std::uint64_t pipeline_min_bytes = 1ull << 20;
   std::uint64_t pipeline_chunk_bytes = 0;  // 0 = cost-model auto-tune
   int pipeline_max_in_flight = 4;
+
+  // Collective algorithm engine. A nonzero engine_allreduce_values adds one
+  // engine-sized allreduce (device-resident, that many floats) per
+  // collective round, logged with its result checksum; collective_algorithm
+  // pins WorldOptions::collectives.algorithm (0 = Auto). The dump only
+  // grows collective-record lines when the engine actually ran, so legacy
+  // scenario dumps stay byte-identical.
+  std::size_t engine_allreduce_values = 0;
+  int collective_algorithm = 0;  // core::CollectiveAlgorithm numeric value
 };
 
 [[nodiscard]] std::string run_world_dump(const WorldScenario& s);

@@ -1,0 +1,381 @@
+// Exhaustive collective conformance matrix: allreduce/reduce_scatter swept
+// over op x message size x rank count x codec x pipeline x algorithm,
+// validated against the host-side canonical-order oracle
+// (core::allreduce_oracle). Lossless codecs (raw, MPC) must reproduce the
+// oracle BIT-exactly; ZFP is lossy per hop, so ring results are compared
+// within a P-scaled tolerance of the oracle on smooth payloads.
+//
+// The FPC codec is double-precision and has no manager-level wire
+// algorithm, so its fused-reduce conformance lives at the codec level in
+// tests/test_fuzz_reduce.cpp.
+//
+// The full cross product would be ~1800 worlds; this suite runs a curated
+// ~90-world cover: every dimension is swept fully against a fixed setting
+// of the others, plus the interesting interactions (multi-chunk pipeline,
+// Auto selection crossover). Labeled `collectives` in ctest (see
+// tests/CMakeLists.txt); CI runs `ctest -L collectives` as its own step.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/collective.hpp"
+#include "core/dynamic.hpp"
+#include "gpu/cost_model.hpp"
+#include "mpi/world.hpp"
+#include "support/payloads.hpp"
+
+namespace {
+
+using namespace gcmpi;
+using core::CollectiveAlgorithm;
+using gcmpi::testing::make_floats;
+using gcmpi::testing::PayloadKind;
+using mpi::Rank;
+using mpi::ReduceOp;
+using mpi::World;
+
+enum class Codec { Raw, Mpc, Zfp };
+
+struct MatrixCase {
+  int nodes = 2;
+  int gpus_per_node = 1;
+  std::size_t n = 1024;         // floats per rank
+  ReduceOp op = ReduceOp::Sum;
+  Codec codec = Codec::Raw;
+  CollectiveAlgorithm algorithm = CollectiveAlgorithm::Ring;
+  bool pipeline = false;
+};
+
+std::string describe(const MatrixCase& c) {
+  std::string s = "P=" + std::to_string(c.nodes * c.gpus_per_node) + "(" +
+                  std::to_string(c.nodes) + "x" + std::to_string(c.gpus_per_node) +
+                  ") n=" + std::to_string(c.n) + " op=" + core::reduce_op_name(c.op) +
+                  " codec=";
+  s += c.codec == Codec::Raw ? "raw" : c.codec == Codec::Mpc ? "mpc" : "zfp";
+  s += std::string(" algo=") + core::collective_algorithm_name(c.algorithm);
+  if (c.pipeline) s += " pipeline";
+  return s;
+}
+
+core::CompressionConfig config_for(const MatrixCase& c) {
+  core::CompressionConfig cfg;
+  switch (c.codec) {
+    case Codec::Raw: cfg = core::CompressionConfig::off(); break;
+    case Codec::Mpc: cfg = core::CompressionConfig::mpc_opt(); break;
+    case Codec::Zfp: cfg = core::CompressionConfig::zfp_opt(16); break;
+  }
+  // Ring shards are n/P-sized: lower the threshold so moderate matrix
+  // sizes actually exercise the compressed hop path.
+  cfg.threshold_bytes = 4 * 1024;
+  return cfg;
+}
+
+/// Per-rank contribution: deterministic in (rank, size). SmoothField keeps
+/// ZFP's per-hop error small and makes float summation association-
+/// sensitive, so any non-canonical fold order diverges bit-wise.
+std::vector<float> contribution(int rank, std::size_t n) {
+  return make_floats(PayloadKind::SmoothField, n,
+                     0x5EEDu + static_cast<std::uint64_t>(rank));
+}
+
+struct RunResult {
+  std::vector<std::vector<float>> outputs;  // per-rank allreduce result
+  bool used_engine = false;                 // any CollectiveRecord emitted?
+};
+
+RunResult run_allreduce(const MatrixCase& c) {
+  sim::Engine engine;
+  core::Telemetry telemetry;
+  mpi::WorldOptions opts;
+  opts.telemetry = &telemetry;
+  opts.collectives.algorithm = c.algorithm;
+  opts.pipeline.enabled = c.pipeline;
+  opts.pipeline.min_bytes = 256 * 1024;
+  World world(engine, net::longhorn(c.nodes, c.gpus_per_node), config_for(c), opts);
+  const int P = world.size();
+
+  RunResult res;
+  res.outputs.assign(static_cast<std::size_t>(P), {});
+  world.run([&](Rank& R) {
+    const auto mine = contribution(R.rank(), c.n);
+    auto* dev = static_cast<float*>(R.gpu_malloc(c.n * 4 + 4));
+    std::memcpy(dev, mine.data(), c.n * 4);
+    std::vector<float>& out = res.outputs[static_cast<std::size_t>(R.rank())];
+    out.resize(c.n);
+    R.allreduce(dev, out.data(), c.n, c.op);
+    R.gpu_free(dev);
+  });
+  res.used_engine = !telemetry.collectives().empty();
+  return res;
+}
+
+class CollectiveMatrix : public ::testing::Test {
+ protected:
+  void check(const MatrixCase& c) {
+    const int P = c.nodes * c.gpus_per_node;
+    const auto res = run_allreduce(c);
+
+    // Resolve what the world actually ran (Auto goes through the same
+    // policy function the dispatcher uses).
+    core::CollectiveTuning tuning;
+    tuning.algorithm = c.algorithm;
+    const auto resolved = core::resolve_allreduce_algorithm(
+        tuning, c.n * 4, P, c.nodes, c.gpus_per_node);
+
+    std::vector<std::vector<float>> contribs;
+    for (int r = 0; r < P; ++r) contribs.push_back(contribution(r, c.n));
+    const auto oracle =
+        core::allreduce_oracle(contribs, c.op, resolved, c.gpus_per_node);
+
+    for (int r = 0; r < P; ++r) {
+      const auto& got = res.outputs[static_cast<std::size_t>(r)];
+      ASSERT_EQ(got.size(), oracle.size()) << describe(c);
+      if (c.codec != Codec::Zfp) {
+        ASSERT_EQ(std::memcmp(got.data(), oracle.data(), c.n * 4), 0)
+            << describe(c) << " rank " << r << ": engine diverged from the oracle";
+      } else {
+        // ZFP is lossy per hop; errors accumulate over O(P) hops. Smooth
+        // payloads at rate 16 stay well within this envelope.
+        for (std::size_t i = 0; i < c.n; ++i) {
+          ASSERT_NEAR(got[i], oracle[i], 0.05 * static_cast<double>(P))
+              << describe(c) << " rank " << r << " index " << i;
+        }
+      }
+    }
+
+    // With lossless codecs every rank must agree bit-wise with rank 0: the
+    // allgather phase forwards one wire form per shard. ZFP is exempt — the
+    // shard owner keeps its exact reduced values while the other ranks hold
+    // the lossy decode of the forwarded wire form.
+    for (int r = 1; c.codec != Codec::Zfp && r < P; ++r) {
+      ASSERT_EQ(std::memcmp(res.outputs[0].data(),
+                            res.outputs[static_cast<std::size_t>(r)].data(), c.n * 4),
+                0)
+          << describe(c) << ": ranks 0 and " << r << " disagree";
+    }
+
+    // Telemetry cross-check: engine algorithms emit CollectiveRecords, the
+    // legacy linear path stays silent (dump compatibility).
+    if (P > 1 && c.n > 0) {
+      EXPECT_EQ(res.used_engine, resolved != CollectiveAlgorithm::Linear)
+          << describe(c);
+    }
+  }
+};
+
+// --- dimension sweeps (each against a fixed default of the others) ---
+
+TEST_F(CollectiveMatrix, OpsSweep) {
+  for (ReduceOp op : {ReduceOp::Sum, ReduceOp::Max, ReduceOp::Min}) {
+    for (auto algo : {CollectiveAlgorithm::Linear, CollectiveAlgorithm::Ring,
+                      CollectiveAlgorithm::Hierarchical}) {
+      MatrixCase c;
+      c.nodes = 4;
+      c.gpus_per_node = 2;
+      c.n = 16411;  // odd, 64KiB-unaligned
+      c.op = op;
+      c.codec = Codec::Mpc;
+      c.algorithm = algo;
+      check(c);
+    }
+  }
+}
+
+TEST_F(CollectiveMatrix, SizeAndRankSweep) {
+  const std::size_t sizes[] = {0, 1, 7, 16411};
+  const std::pair<int, int> topos[] = {{1, 1}, {2, 1}, {3, 1}, {4, 2}, {3, 2}};
+  for (std::size_t n : sizes) {
+    for (auto [nodes, gpn] : topos) {
+      for (auto algo : {CollectiveAlgorithm::Linear, CollectiveAlgorithm::Ring,
+                        CollectiveAlgorithm::Hierarchical}) {
+        MatrixCase c;
+        c.nodes = nodes;
+        c.gpus_per_node = gpn;
+        c.n = n;
+        c.codec = Codec::Mpc;
+        c.algorithm = algo;
+        check(c);
+      }
+    }
+  }
+}
+
+TEST_F(CollectiveMatrix, CodecSweep) {
+  for (Codec codec : {Codec::Raw, Codec::Mpc, Codec::Zfp}) {
+    for (auto algo : {CollectiveAlgorithm::Linear, CollectiveAlgorithm::Ring,
+                      CollectiveAlgorithm::Hierarchical}) {
+      MatrixCase c;
+      c.nodes = 4;
+      c.gpus_per_node = 2;
+      c.n = 16411;
+      c.codec = codec;
+      c.algorithm = algo;
+      if (codec == Codec::Zfp && algo == CollectiveAlgorithm::Linear) {
+        // The linear path moves host accumulators (never compressed), so
+        // ZFP-vs-oracle equality is trivially exact there.
+        continue;
+      }
+      check(c);
+    }
+  }
+}
+
+TEST_F(CollectiveMatrix, PipelineOnMultiChunk) {
+  // Multi-chunk sizes with the PR-4 pipeline enabled: the ring engine's
+  // wire hops coexist with pipelined point-to-point traffic inside the
+  // same world options.
+  for (auto algo : {CollectiveAlgorithm::Linear, CollectiveAlgorithm::Ring,
+                    CollectiveAlgorithm::Hierarchical}) {
+    MatrixCase c;
+    c.nodes = 2;
+    c.gpus_per_node = 2;
+    c.n = 300000;  // ~1.2 MB: multiple pipeline chunks on the linear path
+    c.codec = Codec::Mpc;
+    c.algorithm = algo;
+    c.pipeline = true;
+    check(c);
+  }
+}
+
+TEST_F(CollectiveMatrix, AutoSelectionCrossover) {
+  // Auto must route small vectors to Linear and large ones (>= the 4 MiB
+  // ring floor: the last size is 2^21 floats = 8 MiB) to the engine;
+  // conformance holds on both sides of the threshold.
+  for (std::size_t n : {std::size_t{1}, std::size_t{16411}, std::size_t{1} << 21}) {
+    MatrixCase c;
+    c.nodes = 4;
+    c.gpus_per_node = 2;
+    c.n = n;
+    c.codec = Codec::Mpc;
+    c.algorithm = CollectiveAlgorithm::Auto;
+    check(c);
+  }
+}
+
+// --- reduce_scatter conformance ---
+
+TEST(ReduceScatterMatrix, RingMatchesOracleShards) {
+  const std::pair<int, int> topos[] = {{4, 2}, {3, 1}};
+  const std::size_t counts[] = {0, 1, 521};
+  for (auto [nodes, gpn] : topos) {
+    for (std::size_t recvcount : counts) {
+      for (ReduceOp op : {ReduceOp::Sum, ReduceOp::Max}) {
+        const int P = nodes * gpn;
+        const std::size_t n = recvcount * static_cast<std::size_t>(P);
+        sim::Engine engine;
+        mpi::WorldOptions opts;
+        opts.collectives.algorithm = CollectiveAlgorithm::Ring;
+        World world(engine, net::longhorn(nodes, gpn),
+                    core::CompressionConfig::mpc_opt(), opts);
+
+        std::vector<std::vector<float>> outputs(static_cast<std::size_t>(P));
+        world.run([&](Rank& R) {
+          const auto mine = contribution(R.rank(), n);
+          auto& out = outputs[static_cast<std::size_t>(R.rank())];
+          out.assign(recvcount, -1.0f);
+          R.reduce_scatter(mine.data(), out.data(), recvcount, op);
+        });
+
+        std::vector<std::vector<float>> contribs;
+        for (int r = 0; r < P; ++r) contribs.push_back(contribution(r, n));
+        // A ring allreduce's shard r IS the reduce-scatter result at rank
+        // r: the allgather phase only copies shards around.
+        const auto oracle =
+            core::allreduce_oracle(contribs, op, CollectiveAlgorithm::Ring, gpn);
+        for (int r = 0; r < P; ++r) {
+          const auto [lo, hi] = core::shard_range(n, P, r);
+          ASSERT_EQ(hi - lo, recvcount);
+          ASSERT_EQ(std::memcmp(outputs[static_cast<std::size_t>(r)].data(),
+                                oracle.data() + lo, recvcount * 4),
+                    0)
+              << "P=" << P << " recvcount=" << recvcount << " rank " << r;
+        }
+      }
+    }
+  }
+}
+
+TEST(ReduceScatterMatrix, LinearFallbackMatchesCommutativeOracle) {
+  // Small vectors resolve to the reduce+scatter composition; integer-valued
+  // payloads make any fold order exact, so compare against the naive sum.
+  const int nodes = 3, gpn = 1, P = 3;
+  const std::size_t recvcount = 8;
+  const std::size_t n = recvcount * P;
+  sim::Engine engine;
+  World world(engine, net::longhorn(nodes, gpn), core::CompressionConfig::off());
+  std::vector<std::vector<float>> outputs(static_cast<std::size_t>(P));
+  world.run([&](Rank& R) {
+    std::vector<float> mine(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      mine[i] = static_cast<float>((R.rank() + 1) * static_cast<int>(i + 1));
+    }
+    auto& out = outputs[static_cast<std::size_t>(R.rank())];
+    out.assign(recvcount, -1.0f);
+    R.reduce_scatter(mine.data(), out.data(), recvcount, ReduceOp::Sum);
+  });
+  for (int r = 0; r < P; ++r) {
+    for (std::size_t i = 0; i < recvcount; ++i) {
+      const std::size_t idx = static_cast<std::size_t>(r) * recvcount + i;
+      const float expect = static_cast<float>((1 + 2 + 3) * static_cast<int>(idx + 1));
+      ASSERT_EQ(outputs[static_cast<std::size_t>(r)][i], expect)
+          << "rank " << r << " index " << i;
+    }
+  }
+}
+
+// --- oracle self-checks ---
+
+TEST(OracleSanity, RingOracleMatchesNaiveSumOnIntegers) {
+  // Integer-valued floats make summation order-insensitive, so every
+  // canonical order must equal the naive left fold.
+  const int P = 5;
+  const std::size_t n = 97;
+  std::vector<std::vector<float>> contribs;
+  for (int r = 0; r < P; ++r) {
+    std::vector<float> v(n);
+    for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<float>((r + 1) * ((i % 13) + 1));
+    contribs.push_back(std::move(v));
+  }
+  std::vector<float> naive = contribs[0];
+  for (int r = 1; r < P; ++r) {
+    comp::reduce_inplace(naive.data(), contribs[static_cast<std::size_t>(r)].data(), n,
+                         ReduceOp::Sum);
+  }
+  for (auto algo : {CollectiveAlgorithm::Linear, CollectiveAlgorithm::Ring,
+                    CollectiveAlgorithm::Hierarchical}) {
+    const auto got = core::allreduce_oracle(contribs, ReduceOp::Sum, algo, 2);
+    ASSERT_EQ(std::memcmp(got.data(), naive.data(), n * 4), 0)
+        << core::collective_algorithm_name(algo);
+  }
+}
+
+TEST(OracleSanity, ResolvePolicyHonorsFloors) {
+  core::CollectiveTuning t;  // defaults: 4 MiB, 4 ranks
+  EXPECT_EQ(core::resolve_allreduce_algorithm(t, 16u << 20, 2, 2, 1),
+            CollectiveAlgorithm::Linear);
+  EXPECT_EQ(core::resolve_allreduce_algorithm(t, 1 << 20, 8, 8, 1),
+            CollectiveAlgorithm::Linear);
+  EXPECT_EQ(core::resolve_allreduce_algorithm(t, 16u << 20, 8, 8, 1),
+            CollectiveAlgorithm::Ring);
+  EXPECT_EQ(core::resolve_allreduce_algorithm(t, 16u << 20, 8, 4, 2),
+            CollectiveAlgorithm::Hierarchical);
+  t.allow_hierarchical = false;
+  EXPECT_EQ(core::resolve_allreduce_algorithm(t, 16u << 20, 8, 4, 2),
+            CollectiveAlgorithm::Ring);
+  t.algorithm = CollectiveAlgorithm::Linear;
+  EXPECT_EQ(core::resolve_allreduce_algorithm(t, 16u << 20, 8, 4, 2),
+            CollectiveAlgorithm::Linear);
+}
+
+TEST(OracleSanity, DynamicSelectorPrefersRingForLargeCompressibleVectors) {
+  const core::DynamicSelector sel(gpu::v100_spec(), 12.5);
+  EXPECT_EQ(sel.choose_allreduce_algorithm(8u << 20, 8, 8, 1, 4.0),
+            CollectiveAlgorithm::Ring);
+  EXPECT_EQ(sel.choose_allreduce_algorithm(4 * 1024, 2, 2, 1, 1.0),
+            CollectiveAlgorithm::Linear);
+}
+
+}  // namespace

@@ -1,0 +1,258 @@
+// Shrinking property tests for the fused decompress+reduce path that the
+// collective engine rides (core::CompressionManager::decompress_reduce and
+// reduce_device), plus codec-level reduce conformance for FPC doubles.
+//
+// Core property: for any payload `a` and accumulator `b`,
+//     decompress_reduce(compress(a), acc = b)
+// must equal the host-side
+//     reduce_inplace(b, decode(compress(a)))
+// BIT-exactly — the fused kernel is the same canonical accumulator-first
+// fold, just run against freshly decoded values. For lossless MPC,
+// decode(compress(a)) == a, so the reference collapses to reduce_inplace(b,
+// a) including NaN/Inf payload bits; for fixed-rate ZFP the reference uses
+// the actually-decoded (lossy) values, so equality stays exact.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "compress/fpc.hpp"
+#include "compress/reduce.hpp"
+#include "core/manager.hpp"
+#include "fault/injector.hpp"
+#include "sim/timeline.hpp"
+#include "support/payloads.hpp"
+#include "support/property.hpp"
+
+namespace {
+
+using namespace gcmpi::core;
+using gcmpi::comp::FpcCodec;
+using gcmpi::comp::reduce_inplace;
+using gcmpi::comp::ReduceOp;
+using gcmpi::gpu::Gpu;
+using gcmpi::gpu::v100_spec;
+using gcmpi::sim::Time;
+using gcmpi::sim::Timeline;
+using gcmpi::testing::check_property;
+using gcmpi::testing::make_doubles;
+using gcmpi::testing::make_floats;
+using gcmpi::testing::PayloadCase;
+using gcmpi::testing::PayloadKind;
+using gcmpi::testing::Property;
+using gcmpi::testing::test_seed;
+
+const ReduceOp kOps[] = {ReduceOp::Sum, ReduceOp::Max, ReduceOp::Min};
+
+/// Deterministic accumulator derived from the payload length so shrinking
+/// stays reproducible: a different smooth field, same size.
+std::vector<float> accumulator_for(std::size_t n) {
+  return make_floats(PayloadKind::SmoothField, n, 0xACCu + n);
+}
+
+std::optional<std::string> bit_mismatch(const std::vector<float>& expect,
+                                        const float* got, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint32_t eb = 0, gb = 0;
+    std::memcpy(&eb, &expect[i], 4);
+    std::memcpy(&gb, &got[i], 4);
+    if (eb != gb) {
+      std::ostringstream os;
+      os << "index " << i << ": expected bits 0x" << std::hex << eb << " got 0x" << gb
+         << std::dec << " (" << expect[i] << " vs " << got[i] << ")";
+      return os.str();
+    }
+  }
+  return std::nullopt;
+}
+
+/// Run one fused-reduce round trip through the manager for every op and
+/// compare against decode-then-host-reduce. nullopt == property holds.
+std::optional<std::string> fused_matches_host(const CompressionConfig& cfg,
+                                              std::span<const float> payload) {
+  const std::size_t n = payload.size();
+  Gpu gpu{v100_spec()};
+  CompressionManager mgr(gpu, cfg);
+  auto* dev = static_cast<float*>(gpu.malloc_device_untimed(n * 4 + 4));
+  std::memcpy(dev, payload.data(), n * 4);
+  Timeline tl(Time::zero());
+
+  auto wire = mgr.compress_for_send(tl, dev, n * 4);
+  std::vector<std::uint8_t> staged(static_cast<const std::uint8_t*>(wire.data),
+                                   static_cast<const std::uint8_t*>(wire.data) + wire.bytes);
+  const CompressionHeader header = wire.header;
+  mgr.release_send(tl, wire);
+
+  // Reference: whatever the plain decompress path yields, folded on host.
+  std::vector<float> decoded(n, -1.0f);
+  if (header.compressed) {
+    auto staging = mgr.prepare_receive(tl, header);
+    std::memcpy(staging.data, staged.data(), staged.size());
+    mgr.decompress_received(tl, header, staging, decoded.data(), n * 4);
+    mgr.release_receive(tl, staging);
+  } else {
+    std::memcpy(decoded.data(), staged.data(), staged.size());
+  }
+
+  for (ReduceOp op : kOps) {
+    std::vector<float> expect = accumulator_for(n);
+    reduce_inplace(expect.data(), decoded.data(), n, op);
+
+    std::vector<float> acc = accumulator_for(n);
+    if (header.compressed) {
+      auto staging = mgr.prepare_receive(tl, header);
+      std::memcpy(staging.data, staged.data(), staged.size());
+      mgr.decompress_reduce(tl, header, staging, acc.data(), n * 4, op);
+      mgr.release_receive(tl, staging);
+    } else {
+      std::memcpy(decoded.data(), staged.data(), staged.size());
+      mgr.reduce_device(tl, decoded.data(), acc.data(), n, op);
+    }
+    if (auto err = bit_mismatch(expect, acc.data(), n)) {
+      return std::string("op=") + gcmpi::comp::reduce_op_name(op) + " " + *err +
+             (header.compressed ? " (compressed path)" : " (raw path)");
+    }
+  }
+  gpu.free_device_untimed(dev);
+  return std::nullopt;
+}
+
+CompressionConfig forced(CompressionConfig cfg) {
+  cfg.threshold_bytes = 64;  // compress even the tiny shrunken payloads
+  return cfg;
+}
+
+TEST(FuzzReduce, FusedMpcMatchesHostReduceIncludingSpecials) {
+  // finite_only=false: SpecialValues/HighEntropy payloads carry NaN payload
+  // bits and infinities; MPC is lossless so the fold must still bit-match.
+  const auto gen = [](const PayloadCase& c) { return make_floats(c.kind, c.n, c.seed); };
+  const Property<float> prop = [](std::span<const float> v) {
+    return fused_matches_host(forced(CompressionConfig::mpc_opt()), v);
+  };
+  auto report = check_property<float>("fused-reduce/mpc", 60, test_seed(), 1 << 14,
+                                      /*finite_only=*/false, gen, prop);
+  EXPECT_FALSE(report.has_value()) << *report;
+}
+
+TEST(FuzzReduce, FusedZfpMatchesDecodeThenReduce) {
+  const auto gen = [](const PayloadCase& c) { return make_floats(c.kind, c.n, c.seed); };
+  const Property<float> prop = [](std::span<const float> v) {
+    return fused_matches_host(forced(CompressionConfig::zfp_opt(16)), v);
+  };
+  // finite_only=true: fixed-rate ZFP's contract only covers finite fields.
+  auto report = check_property<float>("fused-reduce/zfp", 40, test_seed() + 1, 1 << 14,
+                                      /*finite_only=*/true, gen, prop);
+  EXPECT_FALSE(report.has_value()) << *report;
+}
+
+TEST(FuzzReduce, AllZeroPayloadReducesExactly) {
+  for (std::size_t n : {std::size_t{1}, std::size_t{257}, std::size_t{4096}}) {
+    const std::vector<float> zeros(n, 0.0f);
+    auto err = fused_matches_host(forced(CompressionConfig::mpc_opt()),
+                                  std::span<const float>(zeros));
+    EXPECT_FALSE(err.has_value()) << "n=" << n << ": " << *err;
+  }
+}
+
+TEST(FuzzReduce, ReduceDeviceMatchesHostFold) {
+  const auto gen = [](const PayloadCase& c) { return make_floats(c.kind, c.n, c.seed); };
+  const Property<float> prop = [](std::span<const float> v) -> std::optional<std::string> {
+    Gpu gpu{v100_spec()};
+    CompressionManager mgr(gpu, CompressionConfig::off());
+    Timeline tl(Time::zero());
+    for (ReduceOp op : kOps) {
+      std::vector<float> expect = accumulator_for(v.size());
+      reduce_inplace(expect.data(), v.data(), v.size(), op);
+      std::vector<float> acc = accumulator_for(v.size());
+      mgr.reduce_device(tl, v.data(), acc.data(), v.size(), op);
+      if (auto err = bit_mismatch(expect, acc.data(), v.size())) {
+        return std::string("op=") + gcmpi::comp::reduce_op_name(op) + " " + *err;
+      }
+    }
+    return std::nullopt;
+  };
+  auto report = check_property<float>("reduce-device", 40, test_seed() + 2, 1 << 14,
+                                      /*finite_only=*/false, gen, prop);
+  EXPECT_FALSE(report.has_value()) << *report;
+}
+
+TEST(FuzzReduce, FpcDoubleRoundTripThenReduceIsLossless) {
+  // The wire algorithms are float-only; FPC covers the double-precision
+  // reduce story at the codec level: compress/decompress must round-trip
+  // bit-exactly, so reduce_inplace over decoded doubles == over originals.
+  const FpcCodec codec;
+  const auto gen = [](const PayloadCase& c) { return make_doubles(c.kind, c.n, c.seed); };
+  const Property<double> prop = [&](std::span<const double> v) -> std::optional<std::string> {
+    std::vector<std::uint8_t> wire(codec.max_compressed_bytes(v.size()));
+    const std::size_t used = codec.compress(v, wire);
+    std::vector<double> decoded(v.size(), -1.0);
+    codec.decompress(std::span<const std::uint8_t>(wire.data(), used), decoded);
+    for (ReduceOp op : kOps) {
+      std::vector<double> expect(v.size()), acc(v.size());
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        expect[i] = acc[i] = 1.0 / (1.0 + static_cast<double>(i));
+      }
+      reduce_inplace(expect.data(), v.data(), v.size(), op);
+      reduce_inplace(acc.data(), decoded.data(), v.size(), op);
+      if (std::memcmp(expect.data(), acc.data(), v.size() * 8) != 0) {
+        return std::string("op=") + gcmpi::comp::reduce_op_name(op) +
+               ": decoded-fold diverged from original-fold";
+      }
+    }
+    return std::nullopt;
+  };
+  auto report = check_property<double>("fpc-reduce", 40, test_seed() + 3, 1 << 13,
+                                       /*finite_only=*/false, gen, prop);
+  EXPECT_FALSE(report.has_value()) << *report;
+}
+
+TEST(FuzzReduce, FusedFaultRetryLeavesAccumulatorIntact) {
+  // A decompression fault must be raised BEFORE the accumulator is touched
+  // so a kernel relaunch reduces exactly once (retry safety of the ring's
+  // per-hop recovery). decompress_reduce_with_retry hides the fault; the
+  // result must match the fault-free fold.
+  const std::size_t n = 2048;
+  const auto payload = make_floats(PayloadKind::SmoothField, n, 7);
+  auto plan = gcmpi::fault::FaultPlan::lossy(42, 0.0, 0.0);
+  plan.decompress_fail_probability = 0.5;
+  gcmpi::fault::FaultInjector faults(plan);
+
+  auto cfg = forced(CompressionConfig::mpc_opt());
+  Gpu gpu{v100_spec()};
+  CompressionManager mgr(gpu, cfg);
+  mgr.attach_fault_injector(&faults);
+  auto* dev = static_cast<float*>(gpu.malloc_device_untimed(n * 4));
+  std::memcpy(dev, payload.data(), n * 4);
+  Timeline tl(Time::zero());
+
+  auto wire = mgr.compress_for_send(tl, dev, n * 4);
+  ASSERT_TRUE(wire.header.compressed);
+  std::vector<std::uint8_t> staged(static_cast<const std::uint8_t*>(wire.data),
+                                   static_cast<const std::uint8_t*>(wire.data) + wire.bytes);
+  const CompressionHeader header = wire.header;
+  mgr.release_send(tl, wire);
+
+  std::vector<float> expect = accumulator_for(n);
+  reduce_inplace(expect.data(), payload.data(), n, ReduceOp::Sum);
+
+  int faulted_runs = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<float> acc = accumulator_for(n);
+    auto staging = mgr.prepare_receive(tl, header);
+    std::memcpy(staging.data, staged.data(), staged.size());
+    const auto before = mgr.stats().codec_faults;
+    mgr.decompress_reduce_with_retry(tl, header, staging, acc.data(), n * 4,
+                                     ReduceOp::Sum);
+    mgr.release_receive(tl, staging);
+    if (mgr.stats().codec_faults > before) ++faulted_runs;
+    ASSERT_EQ(std::memcmp(expect.data(), acc.data(), n * 4), 0)
+        << "trial " << trial << " (faults so far: " << mgr.stats().codec_faults << ")";
+  }
+  EXPECT_GT(faulted_runs, 0) << "fault plan never fired; the retry path went untested";
+  gpu.free_device_untimed(dev);
+}
+
+}  // namespace
