@@ -73,12 +73,17 @@ DaskReport run_transpose_sum(Rank& R, const DaskConfig& config) {
       reqs.push_back(R.irecv(c.peer, chunk_bytes, owner(c.j, c.i), tag_of(c.j, c.i)));
     }
   }
+  // The shuffle's outgoing chunks are independent per-destination blocks:
+  // compress them all in one batched launch (isend_batched falls back to
+  // plain isends when fewer than two chunks qualify).
+  std::vector<mpi::Rank::WireBlock> outgoing;
   for (auto& c : owned) {
     const int need_by = owner(c.j, c.i);
     if (need_by != R.rank()) {
-      reqs.push_back(R.isend(c.x, chunk_bytes, need_by, tag_of(c.i, c.j)));
+      outgoing.push_back({c.x, chunk_bytes, need_by, tag_of(c.i, c.j)});
     }
   }
+  for (auto& r : R.isend_batched(outgoing)) reqs.push_back(std::move(r));
   R.waitall(reqs);
 
   // y(i,j) = x(i,j) + x(j,i)^T — real arithmetic, plus a GPU-time charge

@@ -12,6 +12,7 @@ const char* collective_algorithm_name(CollectiveAlgorithm a) {
     case CollectiveAlgorithm::Linear: return "linear";
     case CollectiveAlgorithm::Ring: return "ring";
     case CollectiveAlgorithm::Hierarchical: return "hierarchical";
+    case CollectiveAlgorithm::BatchedPairwise: return "batched";
   }
   return "?";
 }
@@ -27,6 +28,19 @@ CollectiveAlgorithm resolve_allreduce_algorithm(const CollectiveTuning& tuning,
     return CollectiveAlgorithm::Hierarchical;
   }
   return CollectiveAlgorithm::Ring;
+}
+
+CollectiveAlgorithm resolve_alltoall_algorithm(const CollectiveTuning& tuning,
+                                               std::uint64_t block_bytes, int ranks) {
+  if (tuning.alltoall_algorithm != CollectiveAlgorithm::Auto) {
+    return tuning.alltoall_algorithm == CollectiveAlgorithm::BatchedPairwise
+               ? CollectiveAlgorithm::BatchedPairwise
+               : CollectiveAlgorithm::Linear;
+  }
+  if (ranks < tuning.alltoall_min_ranks || block_bytes < tuning.alltoall_min_block_bytes) {
+    return CollectiveAlgorithm::Linear;
+  }
+  return CollectiveAlgorithm::BatchedPairwise;
 }
 
 namespace {
@@ -148,7 +162,8 @@ std::vector<float> allreduce_oracle(const std::vector<std::vector<float>>& contr
       return ring_oracle(parts, n, op);
     }
     case CollectiveAlgorithm::Auto:
-      assert(false && "allreduce_oracle needs a concrete algorithm");
+    case CollectiveAlgorithm::BatchedPairwise:
+      assert(false && "allreduce_oracle needs a concrete allreduce algorithm");
       break;
   }
   return contributions[0];

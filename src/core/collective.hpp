@@ -30,7 +30,16 @@ namespace gcmpi::core {
 using comp::ReduceOp;
 using comp::reduce_op_name;
 
-enum class CollectiveAlgorithm : std::uint8_t { Auto, Linear, Ring, Hierarchical };
+enum class CollectiveAlgorithm : std::uint8_t {
+  Auto,
+  Linear,
+  Ring,
+  Hierarchical,
+  // Alltoall only: compress all P-1 outgoing blocks in ONE batched kernel
+  // launch, then exchange slab slices over the scattered pairwise schedule
+  // (see src/mpi/alltoall_engine.cpp).
+  BatchedPairwise,
+};
 
 [[nodiscard]] const char* collective_algorithm_name(CollectiveAlgorithm a);
 
@@ -47,6 +56,17 @@ struct CollectiveTuning {
   std::uint64_t ring_min_bytes = 4ull << 20;
   int ring_min_ranks = 4;
   bool allow_hierarchical = true;  // use the leader ring when nodes > 1
+
+  // Alltoall: naive pairwise sendrecv (one compression launch per
+  // destination) vs the batched engine (one launch for all P-1 blocks).
+  // Auto policy: batching only pays once the per-destination blocks are
+  // big enough that their compression kernels — not the launch overhead
+  // being amortized — dominate; below the floors the eager/serial path's
+  // lower per-message cost wins. The byte floor matches the measured
+  // crossover in bench/ext_alltoall.cpp on Longhorn at 8 ranks.
+  CollectiveAlgorithm alltoall_algorithm = CollectiveAlgorithm::Auto;
+  std::uint64_t alltoall_min_block_bytes = 1ull << 20;
+  int alltoall_min_ranks = 4;
 };
 
 /// Resolve `Auto` into a concrete algorithm for a `bytes`-sized allreduce
@@ -56,6 +76,14 @@ struct CollectiveTuning {
 [[nodiscard]] CollectiveAlgorithm resolve_allreduce_algorithm(
     const CollectiveTuning& tuning, std::uint64_t bytes, int ranks, int nodes,
     int gpus_per_node);
+
+/// Resolve the alltoall schedule for `block_bytes` per-destination blocks
+/// over `ranks` ranks: BatchedPairwise (one-launch batch compression) or
+/// Linear (the legacy naive pairwise sendrecv loop). A non-Auto
+/// tuning.alltoall_algorithm is honored: BatchedPairwise forces the batch
+/// engine, anything else forces the naive loop.
+[[nodiscard]] CollectiveAlgorithm resolve_alltoall_algorithm(
+    const CollectiveTuning& tuning, std::uint64_t block_bytes, int ranks);
 
 /// Contiguous shard of an n-element vector split across P ranks:
 /// [first, second) for shard s, balanced to within one element.

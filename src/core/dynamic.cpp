@@ -128,4 +128,45 @@ CollectiveAlgorithm DynamicSelector::choose_allreduce_algorithm(
   return ring < linear ? CollectiveAlgorithm::Ring : CollectiveAlgorithm::Linear;
 }
 
+CollectiveAlgorithm DynamicSelector::choose_alltoall_algorithm(std::uint64_t block_bytes,
+                                                               int ranks,
+                                                               double mpc_cr) const {
+  // Below the compression engagement floor (CompressionConfig's default
+  // threshold) neither schedule launches kernels, so batching has nothing
+  // to amortize; same when the sample says the blocks are incompressible.
+  constexpr std::uint64_t kCompressFloorBytes = 256ull << 10;
+  if (ranks <= 2 || block_bytes == 0) return CollectiveAlgorithm::Linear;
+  if (block_bytes < kCompressFloorBytes || mpc_cr <= 1.0) {
+    return CollectiveAlgorithm::Linear;
+  }
+
+  const double wire_bps = network_gbs_ * 1e9;
+  const double cr = std::max(1.0, mpc_cr);
+  const double S = static_cast<double>(block_bytes);
+  const auto wire_b = static_cast<std::uint64_t>(S / cr);
+  const int n_blocks = ranks - 1;
+  const auto secs = [](Time t) { return static_cast<double>(t.count_ns()) * 1e-9; };
+
+  // Naive pairwise: every step pays its own full-SM compress launch+sync,
+  // the wire, and a full-SM decompress — all serialized across P-1 steps.
+  const int full = std::max(1, gpu_.sm_count);
+  const double per_step = secs(model_.mpc_compress(block_bytes, wire_b, full, gpu_)) +
+                          S / (cr * wire_bps) +
+                          secs(model_.mpc_decompress(wire_b, block_bytes, full, gpu_));
+  const double naive = static_cast<double>(n_blocks) * per_step;
+
+  // Batched: ONE launch round with sm/(P-1) thread blocks per destination
+  // block (the kernels run concurrently, so the elapsed compression time is
+  // one divided-SM kernel), then the same P-1 serialized transfers with the
+  // decodes enqueued as slices arrive — only the last decode is exposed.
+  const int divided = std::max(1, gpu_.sm_count / n_blocks);
+  const double batched =
+      secs(model_.mpc_compress(block_bytes, wire_b, divided, gpu_)) +
+      static_cast<double>(n_blocks) * (S / (cr * wire_bps)) +
+      secs(model_.mpc_decompress(wire_b, block_bytes, full, gpu_));
+
+  return batched < naive ? CollectiveAlgorithm::BatchedPairwise
+                         : CollectiveAlgorithm::Linear;
+}
+
 }  // namespace gcmpi::core

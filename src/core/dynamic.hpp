@@ -66,6 +66,18 @@ class DynamicSelector {
       std::uint64_t message_bytes, int ranks, int nodes, int gpus_per_node,
       double mpc_cr) const;
 
+  /// Cost-model companion to core::resolve_alltoall_algorithm: price the
+  /// naive pairwise alltoall (P-1 serialized full-SM compress launches,
+  /// one per destination block) against the batched engine (one launch
+  /// round with the SMs divided across the P-1 blocks, decodes overlapped
+  /// with the remaining transfers) from the kernel-cost batch terms, and
+  /// return Linear (naive) or BatchedPairwise. Below the compression floor
+  /// — or when the sampled ratio says the data is incompressible — there
+  /// are no kernels to batch and the naive path wins by default.
+  [[nodiscard]] CollectiveAlgorithm choose_alltoall_algorithm(std::uint64_t block_bytes,
+                                                              int ranks,
+                                                              double mpc_cr) const;
+
  private:
   gpu::GpuSpec gpu_;
   double network_gbs_;

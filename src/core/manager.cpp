@@ -301,6 +301,221 @@ std::uint64_t CompressionManager::run_zfp_compress(Timeline& tl, const float* va
   return written;
 }
 
+CompressionManager::BatchWire CompressionManager::compress_batch(
+    Timeline& tl, const std::vector<BatchInput>& blocks) {
+  const Time started = tl.now();
+  BatchWire batch;
+  batch.blocks.resize(blocks.size());
+
+  // Default every block to a raw view of the caller's buffer; the batched
+  // kernels below upgrade the eligible ones to slab slices.
+  std::uint64_t original_total = 0;
+  std::vector<std::size_t> eligible;
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    auto& b = batch.blocks[i];
+    b.data = blocks[i].buf;
+    b.bytes = blocks[i].bytes;
+    b.header.original_bytes = blocks[i].bytes;
+    b.header.compressed_bytes = blocks[i].bytes;
+    ++stats_.messages_considered;
+    original_total += blocks[i].bytes;
+    if (should_compress(blocks[i].buf, blocks[i].bytes)) eligible.push_back(i);
+  }
+
+  const auto count_raw_bytes = [&] {
+    for (const auto& in : blocks) {
+      stats_.original_bytes += in.bytes;
+      stats_.wire_bytes += in.bytes;
+    }
+  };
+  const auto record_event = [&](EventKind kind, Algorithm algo, std::uint64_t wire_total) {
+    if (telemetry_ != nullptr) {
+      telemetry_->record({started, rank_id_, kind, algo, original_total, wire_total,
+                          tl.now() - started});
+    }
+  };
+
+  if (eligible.empty()) {
+    count_raw_bytes();
+    record_event(EventKind::RawBypass, Algorithm::None, original_total);
+    return batch;
+  }
+
+  // One batched launch means one fault consultation covering every block:
+  // a hard launch failure degrades the whole batch to raw sends.
+  fault::CodecFault injected;
+  if (fault_ != nullptr) injected = fault_->on_compress(rank_id_);
+  if (injected.fail) {
+    tl.advance(gpu_.costs().kernel_launch);
+    stats_.messages_fallback_raw += eligible.size();
+    ++stats_.codec_faults;
+    count_raw_bytes();
+    record_event(EventKind::CodecFault, config_.algorithm, original_total);
+    return batch;
+  }
+
+  Breakdown* bd = &sender_bd_;
+  const int n_batch = static_cast<int>(eligible.size());
+  std::vector<std::uint64_t> psize(eligible.size(), 0);
+  std::vector<std::size_t> offset(eligible.size(), 0);
+  std::vector<std::size_t> cap(eligible.size(), 0);
+  std::uint8_t* slab = nullptr;
+
+  if (config_.algorithm == Algorithm::MPC) {
+    const comp::MpcCodec codec(config_.mpc_dimensionality, config_.mpc_chunk_values);
+    std::size_t slab_capacity = 0;
+    std::size_t d_off_bytes = 0;
+    for (std::size_t k = 0; k < eligible.size(); ++k) {
+      const std::size_t n = blocks[eligible[k]].bytes / 4;
+      cap[k] = codec.max_compressed_bytes(n) + 16;
+      slab_capacity += cap[k];
+      d_off_bytes += codec.chunk_count(n) * 4;
+    }
+    acquire_staging(tl, slab_capacity, bd, batch.lease, batch.naive_buffer, batch.used_pool);
+    slab = static_cast<std::uint8_t*>(batch.used_pool ? batch.lease.data : batch.naive_buffer);
+
+    // ONE d_off scratch allocation + memset for the whole batch, where the
+    // naive per-destination scheme pays one per message.
+    if (!config_.use_buffer_pool) {
+      charge(tl, gpu_.costs().cuda_malloc(d_off_bytes), bd, Phase::MemoryAllocation);
+    }
+    charge(tl, gpu_.costs().cuda_memset_launch, bd, Phase::MemoryAllocation);
+
+    // Divide the SMs across the batch (MPC-OPT's partitioned launch applied
+    // across destinations): every block's kernel runs concurrently on its
+    // stream and the launch+sync round is paid once.
+    const int blocks_per_kernel = std::max(1, gpu_.spec().sm_count / n_batch);
+    std::size_t out_off = 0;
+    std::vector<int> used_streams;
+    for (std::size_t k = 0; k < eligible.size(); ++k) {
+      const auto& in = blocks[eligible[k]];
+      const std::size_t n = in.bytes / 4;
+      if (out_off + cap[k] > slab_capacity) throw std::runtime_error("batch slab overflow");
+      psize[k] = codec.compress({static_cast<const float*>(in.buf), n},
+                                {slab + out_off, cap[k]});
+      offset[k] = out_off;
+      const int sid = static_cast<int>(k) % gpu_.num_streams();
+      used_streams.push_back(sid);
+      gpu_.stream(sid).launch(
+          tl, cost_model_.mpc_compress(in.bytes, psize[k], blocks_per_kernel, gpu_.spec()),
+          bd, Phase::CompressionKernel);
+      out_off += psize[k];
+    }
+    for (int sid : used_streams) {
+      gpu_.stream(sid).synchronize(tl, bd, Phase::CompressionKernel);
+    }
+
+    // The per-block size control words live contiguously in the batch's
+    // offset/length table, so ONE small readback covers all of them where
+    // the naive scheme pays one round-trip per destination.
+    std::vector<std::uint32_t> size_table(eligible.size());
+    for (std::size_t k = 0; k < eligible.size(); ++k) {
+      size_table[k] = static_cast<std::uint32_t>(psize[k]);
+    }
+    std::vector<std::uint32_t> host_table(eligible.size());
+    if (config_.use_gdrcopy) {
+      gpu_.gdrcopy_small(tl, host_table.data(), size_table.data(),
+                         host_table.size() * 4, bd);
+    } else {
+      gpu_.memcpy_d2h_small(tl, host_table.data(), size_table.data(),
+                            host_table.size() * 4, bd);
+    }
+    if (!config_.use_buffer_pool) {
+      charge(tl, gpu_.costs().cuda_free, bd, Phase::MemoryAllocation);  // d_off
+    }
+  } else {  // ZFP
+    const comp::ZfpCodec codec(config_.zfp_rate);
+    // One stream/field creation and one grid-dim query cover the batch.
+    charge(tl, kZfpStreamFieldCreation, bd, Phase::StreamFieldCreation);
+    if (config_.cache_device_attributes) {
+      (void)gpu_.query_max_grid_dim_cached(tl, bd);
+    } else {
+      (void)gpu_.query_max_grid_dim_via_properties(tl, bd);
+    }
+
+    std::size_t slab_capacity = 0;
+    for (std::size_t k = 0; k < eligible.size(); ++k) {
+      const std::size_t n = blocks[eligible[k]].bytes / 4;
+      cap[k] = codec.compressed_bytes(comp::ZfpField::d1(n));
+      slab_capacity += cap[k];
+    }
+    acquire_staging(tl, slab_capacity, bd, batch.lease, batch.naive_buffer, batch.used_pool);
+    slab = static_cast<std::uint8_t*>(batch.used_pool ? batch.lease.data : batch.naive_buffer);
+
+    std::size_t out_off = 0;
+    std::vector<int> used_streams;
+    for (std::size_t k = 0; k < eligible.size(); ++k) {
+      const auto& in = blocks[eligible[k]];
+      const std::size_t n = in.bytes / 4;
+      psize[k] = codec.compress({static_cast<const float*>(in.buf), n},
+                                comp::ZfpField::d1(n), {slab + out_off, cap[k]});
+      offset[k] = out_off;
+      const int sid = static_cast<int>(k) % gpu_.num_streams();
+      used_streams.push_back(sid);
+      gpu_.stream(sid).launch(
+          tl, cost_model_.zfp_compress(in.bytes, config_.zfp_rate, gpu_.spec()), bd,
+          Phase::CompressionKernel);
+      out_off += psize[k];
+    }
+    for (int sid : used_streams) {
+      gpu_.stream(sid).synchronize(tl, bd, Phase::CompressionKernel);
+    }
+  }
+
+  // Finalize headers block by block; an injected truncate fault (caught by
+  // the size validation on readback) degrades the whole batch to raw.
+  std::size_t n_compressed = 0;
+  for (std::size_t k = 0; k < eligible.size(); ++k) {
+    auto& b = batch.blocks[eligible[k]];
+    const auto& in = blocks[eligible[k]];
+    if (injected.truncate || psize[k] >= in.bytes) {
+      ++stats_.messages_fallback_raw;  // raw view is already in place
+      continue;
+    }
+    b.data = slab + offset[k];
+    b.bytes = psize[k];
+    b.header.compressed = true;
+    b.header.algorithm = config_.algorithm;
+    b.header.compressed_bytes = psize[k];
+    if (config_.algorithm == Algorithm::MPC) {
+      b.header.mpc_dimensionality = static_cast<std::uint16_t>(config_.mpc_dimensionality);
+      b.header.mpc_chunk_values = static_cast<std::uint32_t>(config_.mpc_chunk_values);
+      b.header.partition_bytes = {static_cast<std::uint32_t>(psize[k])};
+    } else {
+      b.header.zfp_rate = static_cast<std::uint16_t>(config_.zfp_rate);
+    }
+    ++stats_.messages_compressed;
+    ++n_compressed;
+  }
+  if (injected.truncate) ++stats_.codec_faults;
+
+  std::uint64_t wire_total = 0;
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    stats_.original_bytes += blocks[i].bytes;
+    stats_.wire_bytes += batch.blocks[i].bytes;
+    wire_total += batch.blocks[i].bytes;
+  }
+  if (injected.truncate) {
+    record_event(EventKind::CodecFault, config_.algorithm, wire_total);
+  } else if (n_compressed > 0) {
+    record_event(EventKind::Compress, config_.algorithm, wire_total);
+  } else {
+    record_event(EventKind::FallbackRaw, config_.algorithm, wire_total);
+  }
+  return batch;
+}
+
+void CompressionManager::release_batch(Timeline& tl, BatchWire& batch) {
+  if (batch.used_pool) {
+    pool_->release(batch.lease);
+    batch.lease = {};
+    batch.used_pool = false;
+  } else if (batch.naive_buffer != nullptr) {
+    gpu_.free_device(tl, batch.naive_buffer, &sender_bd_);
+    batch.naive_buffer = nullptr;
+  }
+}
+
 void CompressionManager::release_send(Timeline& tl, WireData& wire) {
   if (wire.used_pool) {
     pool_->release(wire.lease);
@@ -325,7 +540,8 @@ CompressionManager::RecvStaging CompressionManager::prepare_receive(
 
 void CompressionManager::decompress_received(Timeline& tl, const CompressionHeader& header,
                                              const RecvStaging& staging, void* user_buf,
-                                             std::uint64_t user_bytes, bool synchronize) {
+                                             std::uint64_t user_bytes, bool synchronize,
+                                             int stream_hint) {
   if (!header.compressed) return;
   if (header.original_bytes > user_bytes) {
     throw std::runtime_error("CompressionManager: user buffer too small");
@@ -349,9 +565,9 @@ void CompressionManager::decompress_received(Timeline& tl, const CompressionHead
     throw CodecFaultError{};
   }
   if (header.algorithm == Algorithm::MPC) {
-    run_mpc_decompress(tl, header, in, out, n, bd, synchronize);
+    run_mpc_decompress(tl, header, in, out, n, bd, synchronize, stream_hint);
   } else if (header.algorithm == Algorithm::ZFP) {
-    run_zfp_decompress(tl, header, in, out, n, bd, synchronize);
+    run_zfp_decompress(tl, header, in, out, n, bd, synchronize, stream_hint);
   } else {
     throw std::runtime_error("CompressionManager: compressed payload with no algorithm");
   }
@@ -364,10 +580,11 @@ void CompressionManager::decompress_received(Timeline& tl, const CompressionHead
 void CompressionManager::decompress_with_retry(Timeline& tl, const CompressionHeader& header,
                                                const RecvStaging& staging, void* user_buf,
                                                std::uint64_t user_bytes, bool synchronize,
-                                               int max_retries) {
+                                               int max_retries, int stream_hint) {
   for (int attempt = 0;; ++attempt) {
     try {
-      decompress_received(tl, header, staging, user_buf, user_bytes, synchronize);
+      decompress_received(tl, header, staging, user_buf, user_bytes, synchronize,
+                          stream_hint);
       return;
     } catch (const CodecFaultError&) {
       if (attempt >= max_retries) throw;
@@ -455,7 +672,8 @@ Time CompressionManager::reduce_device(Timeline& tl, const float* in, float* acc
 
 void CompressionManager::run_mpc_decompress(Timeline& tl, const CompressionHeader& header,
                                             const std::uint8_t* in, float* out,
-                                            std::size_t n, Breakdown* bd, bool synchronize) {
+                                            std::size_t n, Breakdown* bd, bool synchronize,
+                                            int stream_hint) {
   const comp::MpcCodec codec(header.mpc_dimensionality,
                              header.mpc_chunk_values);
   const int n_parts = header.partitions();
@@ -483,7 +701,7 @@ void CompressionManager::run_mpc_decompress(Timeline& tl, const CompressionHeade
     if (val_off + pvalues > n) throw std::runtime_error("MPC partition overflow");
     codec.decompress(pin, {out + val_off, pvalues});
 
-    const int sid = p % gpu_.num_streams();
+    const int sid = (stream_hint + p) % gpu_.num_streams();
     used_streams.push_back(sid);
     gpu_.stream(sid).launch(
         tl, cost_model_.mpc_decompress(psize, pvalues * 4, blocks_per_kernel, gpu_.spec()),
@@ -504,7 +722,8 @@ void CompressionManager::run_mpc_decompress(Timeline& tl, const CompressionHeade
 
 void CompressionManager::run_zfp_decompress(Timeline& tl, const CompressionHeader& header,
                                             const std::uint8_t* in, float* out,
-                                            std::size_t n, Breakdown* bd, bool synchronize) {
+                                            std::size_t n, Breakdown* bd, bool synchronize,
+                                            int stream_hint) {
   charge(tl, kZfpStreamFieldCreation, bd, Phase::StreamFieldCreation);
   if (config_.cache_device_attributes) {
     (void)gpu_.query_max_grid_dim_cached(tl, bd);
@@ -516,9 +735,10 @@ void CompressionManager::run_zfp_decompress(Timeline& tl, const CompressionHeade
   const comp::ZfpField field = comp::ZfpField::d1(n);
   codec.decompress({in, header.compressed_bytes}, field, {out, n});
 
-  gpu_.stream(0).launch(tl, cost_model_.zfp_decompress(n * 4, header.zfp_rate, gpu_.spec()),
-                        bd, Phase::DecompressionKernel);
-  if (synchronize) gpu_.stream(0).synchronize(tl, bd, Phase::DecompressionKernel);
+  const int sid = stream_hint % gpu_.num_streams();
+  gpu_.stream(sid).launch(tl, cost_model_.zfp_decompress(n * 4, header.zfp_rate, gpu_.spec()),
+                          bd, Phase::DecompressionKernel);
+  if (synchronize) gpu_.stream(sid).synchronize(tl, bd, Phase::DecompressionKernel);
 }
 
 // ---------------------------------------------------------------------------

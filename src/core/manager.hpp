@@ -106,6 +106,44 @@ class CompressionManager {
   /// Release sender staging once the payload left the node (send complete).
   void release_send(Timeline& tl, WireData& wire);
 
+  // --- batched one-shot compression (alltoall/shuffle engine) ---
+  //
+  // compress_batch packs N independent outgoing blocks into ONE wire slab:
+  // the launch/sync overhead of the N compression kernels is paid once —
+  // the SMs are divided across the blocks (MPC-OPT's partitioned launch
+  // applied across destinations instead of within one message), all kernels
+  // are enqueued round-robin over the streams, and a single sync round plus
+  // a single d_off memset/readback pass covers the whole batch. Each block
+  // keeps its own CompressionHeader (and its own incompressible-raw
+  // fallback), so every slab slice is a self-contained wire message.
+  // Exactly ONE telemetry event is recorded per batch.
+
+  struct BatchInput {
+    const void* buf = nullptr;
+    std::uint64_t bytes = 0;
+  };
+
+  struct BatchWire {
+    struct Block {
+      const void* data = nullptr;  // wire bytes: a slab slice, or the raw buf
+      std::uint64_t bytes = 0;
+      CompressionHeader header;
+    };
+    std::vector<Block> blocks;  // aligned with the compress_batch input
+    // ownership of the shared slab (all compressed blocks live in it)
+    gpu::BufferPool::Lease lease;
+    void* naive_buffer = nullptr;
+    bool used_pool = false;
+  };
+
+  /// Compress every eligible block of the batch in one batched launch;
+  /// ineligible or incompressible blocks come back as raw views of the
+  /// caller's buffers. Blocks must stay alive until release_batch.
+  BatchWire compress_batch(Timeline& tl, const std::vector<BatchInput>& blocks);
+
+  /// Release the batch slab once every slice left the node.
+  void release_batch(Timeline& tl, BatchWire& batch);
+
   /// Receiver side, on RTS match (Algorithm 2, steps before CTS).
   RecvStaging prepare_receive(Timeline& tl, const CompressionHeader& header);
 
@@ -114,10 +152,14 @@ class CompressionManager {
   /// enqueued on the GPU streams (the compression-aware collectives overlap
   /// them with subsequent transfers); the caller must device_synchronize()
   /// before touching `user_buf`'s results or releasing the staging.
+  /// `stream_hint` rotates the decode kernels' stream assignment so that
+  /// independent messages (e.g. the slices of a batched alltoall) do not
+  /// serialize behind each other on stream 0.
   /// Throws CodecFaultError when an injected decompression fault fires.
   void decompress_received(Timeline& tl, const CompressionHeader& header,
                            const RecvStaging& staging, void* user_buf,
-                           std::uint64_t user_bytes, bool synchronize = true);
+                           std::uint64_t user_bytes, bool synchronize = true,
+                           int stream_hint = 0);
 
   /// decompress_received with local kernel-relaunch recovery: an injected
   /// transient decompression fault is retried (a fresh launch, a fresh
@@ -126,7 +168,7 @@ class CompressionManager {
   void decompress_with_retry(Timeline& tl, const CompressionHeader& header,
                              const RecvStaging& staging, void* user_buf,
                              std::uint64_t user_bytes, bool synchronize = true,
-                             int max_retries = 8);
+                             int max_retries = 8, int stream_hint = 0);
 
   /// Fused decompress+reduce (the collective engine's hop primitive):
   /// decode the staged payload and fold it into the device accumulator,
@@ -252,14 +294,14 @@ class CompressionManager {
                              Breakdown* bd);
   void run_mpc_decompress(Timeline& tl, const CompressionHeader& header,
                           const std::uint8_t* in, float* out, std::size_t n,
-                          Breakdown* bd, bool synchronize);
+                          Breakdown* bd, bool synchronize, int stream_hint = 0);
 
   std::uint64_t run_zfp_compress(Timeline& tl, const float* values, std::size_t n,
                                  std::uint8_t* out, std::size_t out_capacity,
                                  Breakdown* bd);
   void run_zfp_decompress(Timeline& tl, const CompressionHeader& header,
                           const std::uint8_t* in, float* out, std::size_t n,
-                          Breakdown* bd, bool synchronize);
+                          Breakdown* bd, bool synchronize, int stream_hint = 0);
 
   /// Acquire a staging device buffer: pooled (OPT) or cudaMalloc'ed (naive).
   void acquire_staging(Timeline& tl, std::size_t bytes, Breakdown* bd,

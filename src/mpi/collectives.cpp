@@ -324,6 +324,13 @@ void Rank::alltoall(const void* sendbuf, std::uint64_t block_bytes, void* recvbu
   auto* out = static_cast<std::uint8_t*>(recvbuf);
   std::memcpy(out + static_cast<std::uint64_t>(rank_) * block_bytes,
               in + static_cast<std::uint64_t>(rank_) * block_bytes, block_bytes);
+  if (P > 1 && block_bytes > 0 &&
+      select_alltoall(block_bytes) == core::CollectiveAlgorithm::BatchedPairwise) {
+    // One batched compression launch for all P-1 outgoing blocks; see
+    // alltoall_engine.cpp.
+    alltoall_batched(in, block_bytes, out, tag);
+    return;
+  }
   for (int step = 1; step < P; ++step) {
     const int dst = (rank_ + step) % P;
     const int src = (rank_ - step + P) % P;
@@ -338,10 +345,17 @@ void Rank::gather(const void* sendbuf, std::uint64_t block_bytes, void* recvbuf,
   if (rank_ == root) {
     auto* out = static_cast<std::uint8_t*>(recvbuf);
     std::memcpy(out + static_cast<std::uint64_t>(root) * block_bytes, sendbuf, block_bytes);
+    // Post every irecv up front so arrivals complete in whatever order the
+    // senders finish — a blocking recv in rank order would serialize the
+    // root on the slowest early sender (head-of-line blocking).
+    std::vector<Request> reqs;
+    reqs.reserve(static_cast<std::size_t>(P - 1));
     for (int r = 0; r < P; ++r) {
       if (r == root) continue;
-      (void)recv(out + static_cast<std::uint64_t>(r) * block_bytes, block_bytes, r, tag);
+      reqs.push_back(irecv(out + static_cast<std::uint64_t>(r) * block_bytes, block_bytes,
+                           r, tag));
     }
+    waitall(reqs);
   } else {
     send(sendbuf, block_bytes, root, tag);
   }
@@ -353,10 +367,17 @@ void Rank::scatter(const void* sendbuf, std::uint64_t block_bytes, void* recvbuf
   if (rank_ == root) {
     const auto* in = static_cast<const std::uint8_t*>(sendbuf);
     std::memcpy(recvbuf, in + static_cast<std::uint64_t>(root) * block_bytes, block_bytes);
+    // The root's P-1 outgoing blocks are a natural batch: compress them in
+    // one launch and keep every send in flight at once.
+    std::vector<WireBlock> blocks;
+    blocks.reserve(static_cast<std::size_t>(P - 1));
     for (int r = 0; r < P; ++r) {
       if (r == root) continue;
-      send(in + static_cast<std::uint64_t>(r) * block_bytes, block_bytes, r, tag);
+      blocks.push_back({in + static_cast<std::uint64_t>(r) * block_bytes, block_bytes, r,
+                        tag});
     }
+    auto reqs = isend_batched(blocks);
+    waitall(reqs);
   } else {
     (void)recv(recvbuf, block_bytes, root, tag);
   }

@@ -156,6 +156,51 @@ WireMessage World::do_make_wire(sim::ActorContext& ctx, int rank, const void* bu
   return msg;
 }
 
+std::vector<WireMessage> World::do_make_wire_batch(sim::ActorContext& ctx, int rank,
+                                                   const std::vector<Rank::WireBlock>& blocks) {
+  auto& state = ranks_[static_cast<std::size_t>(rank)];
+  Timeline tl(ctx.now());
+  std::vector<WireMessage> out(blocks.size());
+
+  // Blocks to intra-node peers may be exempt from compression (mirroring
+  // do_isend); they skip the batch and go raw.
+  std::vector<core::CompressionManager::BatchInput> inputs;
+  std::vector<std::size_t> index;
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    const auto& b = blocks[i];
+    const bool allow =
+        compression_.compress_intra_node || !cluster_.same_node(rank, b.peer);
+    if (allow) {
+      inputs.push_back({b.buf, b.bytes});
+      index.push_back(i);
+    } else {
+      out[i] = make_raw_wire(b.buf, b.bytes);
+    }
+  }
+
+  if (!inputs.empty()) {
+    auto batch = state.mgr->compress_batch(tl, inputs);
+    for (std::size_t k = 0; k < index.size(); ++k) {
+      const auto& b = batch.blocks[k];
+      auto payload = std::make_shared<std::vector<std::uint8_t>>(
+          static_cast<const std::uint8_t*>(b.data),
+          static_cast<const std::uint8_t*>(b.data) + b.bytes);
+      WireMessage msg{b.header, std::move(payload)};
+      if (reliability_) msg.header.payload_crc32c = payload_crc(*msg.payload);
+      out[index[k]] = std::move(msg);
+    }
+    state.mgr->release_batch(tl, batch);
+  }
+  ctx.advance_to(tl.now());
+  return out;
+}
+
+bool World::batch_compress_eligible(int src, int dst, const void* buf,
+                                    std::uint64_t bytes) const {
+  if (!compression_.compress_intra_node && cluster_.same_node(src, dst)) return false;
+  return ranks_[static_cast<std::size_t>(src)].mgr->should_compress(buf, bytes);
+}
+
 Request World::do_isend_wire(sim::ActorContext& ctx, int src, const WireMessage& msg,
                              int dst, int tag) {
   if (dst < 0 || dst >= cluster_.ranks()) throw std::invalid_argument("isend_wire: bad destination");
@@ -833,6 +878,10 @@ Request Rank::irecv(void* buf, std::uint64_t capacity, int src, int tag) {
 
 WireMessage Rank::make_wire(const void* buf, std::uint64_t bytes) {
   return world_.do_make_wire(ctx_, rank_, buf, bytes);
+}
+
+std::vector<WireMessage> Rank::make_wire_batch(const std::vector<WireBlock>& blocks) {
+  return world_.do_make_wire_batch(ctx_, rank_, blocks);
 }
 
 Request Rank::isend_wire(const WireMessage& msg, int dst, int tag) {

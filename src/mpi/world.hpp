@@ -165,6 +165,23 @@ class Rank {
   Request irecv_wire(WireMessage* out, int src, int tag);
   /// Decompress a wire message into `buf` (charges receiver-side costs).
   void decompress_wire(const WireMessage& msg, void* buf, std::uint64_t capacity);
+  /// One outgoing block of a batched multi-destination send.
+  struct WireBlock {
+    const void* buf = nullptr;
+    std::uint64_t bytes = 0;
+    int peer = -1;
+    int tag = 0;
+  };
+  /// Compress every eligible block of the batch in ONE batched kernel
+  /// launch (CompressionManager::compress_batch): the launch+sync overhead
+  /// is paid once for the whole batch instead of once per destination.
+  /// Returns one wire message per block, aligned with the input.
+  [[nodiscard]] std::vector<WireMessage> make_wire_batch(const std::vector<WireBlock>& blocks);
+  /// Multi-destination send (shuffles, scatter roots): blocks that qualify
+  /// for batched compression (>= 2 of them) go through make_wire_batch +
+  /// isend_wire; the rest take the normal isend path. Returns one request
+  /// per block, aligned with the input.
+  [[nodiscard]] std::vector<Request> isend_batched(const std::vector<WireBlock>& blocks);
   void send(const void* buf, std::uint64_t bytes, int dst, int tag);
   Status recv(void* buf, std::uint64_t capacity, int src, int tag);
   /// Block until a matching message is available without receiving it
@@ -222,6 +239,15 @@ class Rank {
                               std::size_t n, int tag, CollStats& st);
   void record_collective(const char* op, core::CollectiveAlgorithm algorithm,
                          std::uint64_t bytes, sim::Time started, const CollStats& st);
+
+  // --- alltoall engine (alltoall_engine.cpp) ---
+  [[nodiscard]] core::CollectiveAlgorithm select_alltoall(std::uint64_t block_bytes) const;
+  /// Batched alltoall: ONE compression launch for the P-1 outgoing blocks,
+  /// slab slices exchanged over the scattered pairwise schedule, decodes
+  /// enqueued per arriving slice and synced once at the end. The caller
+  /// already placed the rank's own block in `recvbuf`.
+  void alltoall_batched(const std::uint8_t* sendbuf, std::uint64_t block_bytes,
+                        std::uint8_t* recvbuf, int tag);
 
   World& world_;
   int rank_;
@@ -381,6 +407,12 @@ class World {
                    int src, int tag, WireMessage* wire_out = nullptr);
   WireMessage do_make_wire(sim::ActorContext& ctx, int rank, const void* buf,
                            std::uint64_t bytes);
+  std::vector<WireMessage> do_make_wire_batch(sim::ActorContext& ctx, int rank,
+                                              const std::vector<Rank::WireBlock>& blocks);
+  /// Would the normal isend path compress this block? (eligibility gate for
+  /// routing a block through the batched compress path)
+  [[nodiscard]] bool batch_compress_eligible(int src, int dst, const void* buf,
+                                             std::uint64_t bytes) const;
   WireMessage make_raw_wire(const void* buf, std::uint64_t bytes) const;
   Request do_isend_wire(sim::ActorContext& ctx, int src, const WireMessage& msg, int dst,
                         int tag);

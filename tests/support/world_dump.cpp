@@ -63,6 +63,8 @@ std::string run_world_dump(const WorldScenario& s) {
   opts.pipeline.max_in_flight = s.pipeline_max_in_flight;
   opts.collectives.algorithm =
       static_cast<core::CollectiveAlgorithm>(s.collective_algorithm);
+  opts.collectives.alltoall_algorithm =
+      static_cast<core::CollectiveAlgorithm>(s.alltoall_algorithm);
   std::optional<fault::FaultInjector> injector;
   if (s.fault_seed != 0) {
     fault::FaultPlan plan;
@@ -136,6 +138,25 @@ std::string run_world_dump(const WorldScenario& s) {
         R.allreduce(dev, ar.data(), n, mpi::ReduceOp::Sum);
         R.gpu_free(dev);
         os << " fnv_ar=" << fnv1a(ar.data(), n * 4);
+      }
+      if (s.alltoall_block_values > 0) {
+        // Engine-sized alltoall: device-resident per-destination blocks so
+        // the batched wire slab compresses; the receive-buffer checksum
+        // pins the whole scattered exchange bit-exactly.
+        const std::size_t bn = s.alltoall_block_values;
+        auto* send = static_cast<float*>(
+            R.gpu_malloc(bn * 4 * static_cast<std::size_t>(P)));
+        for (int d = 0; d < P; ++d) {
+          const auto blk = make_floats(
+              PayloadKind::SmoothField, bn,
+              s.seed * 2000 + static_cast<std::uint64_t>(me) * 131 +
+                  static_cast<std::uint64_t>(d) + static_cast<std::uint64_t>(round));
+          std::memcpy(send + static_cast<std::size_t>(d) * bn, blk.data(), bn * 4);
+        }
+        std::vector<float> a2a(bn * static_cast<std::size_t>(P));
+        R.alltoall(send, bn * 4, a2a.data());
+        R.gpu_free(send);
+        os << " fnv_a2a=" << fnv1a(a2a.data(), a2a.size() * 4);
       }
       log.push_back(os.str());
       R.barrier();

@@ -49,6 +49,15 @@ struct WorldScenario {
   // scenario dumps stay byte-identical.
   std::size_t engine_allreduce_values = 0;
   int collective_algorithm = 0;  // core::CollectiveAlgorithm numeric value
+
+  // Batched alltoall engine. A nonzero alltoall_block_values adds one
+  // device-resident alltoall (that many floats per destination block) per
+  // collective round, logged with its receive-buffer checksum;
+  // alltoall_algorithm pins WorldOptions::collectives.alltoall_algorithm
+  // (0 = Auto). Inert by default, so legacy scenario dumps stay
+  // byte-identical.
+  std::size_t alltoall_block_values = 0;
+  int alltoall_algorithm = 0;  // core::CollectiveAlgorithm numeric value
 };
 
 [[nodiscard]] std::string run_world_dump(const WorldScenario& s);

@@ -207,6 +207,44 @@ TEST(Determinism, RingWorldDumpMatchesPinnedDigest) {
             "c1213e83bb81756e9493d4d9fde6a748688a3962410e4a022cdc4ef3a097daf2");
 }
 
+WorldScenario alltoall_scenario() {
+  // Batched-alltoall regime: a forced-BatchedPairwise world with a
+  // device-resident 64 KiB-class alltoall per round, so every round runs
+  // one batched compression launch per rank and the scattered pairwise
+  // wire schedule.
+  WorldScenario s;
+  s.nodes = 2;
+  s.gpus_per_node = 2;
+  s.messages_per_rank = 6;
+  s.collective_rounds = 2;
+  s.alltoall_block_values = 16411;
+  s.alltoall_algorithm = static_cast<int>(core::CollectiveAlgorithm::BatchedPairwise);
+  s.seed = 0xA22A;
+  return s;
+}
+
+TEST(Determinism, BatchedAlltoallWorldIsByteIdentical) {
+  const WorldScenario s = alltoall_scenario();
+  expect_identical_runs(s);
+  // The batched engine must actually have run: "alltoall" collective
+  // records only print when the BatchedPairwise path completed.
+  const auto dump = run_world_dump(s);
+  EXPECT_NE(dump.find("collective_records="), std::string::npos);
+  EXPECT_NE(dump.find("alltoall,batched"), std::string::npos);
+}
+
+TEST(Determinism, BatchedAlltoallWorldDumpMatchesPinnedDigest) {
+  // Golden for the alltoall engine: the full observable dump of the
+  // forced-batched scenario is pinned, so any change to compress_batch's
+  // cost charges, the scattered wire schedule, the per-slice decode
+  // streams, or the telemetry rows shows up as a digest mismatch. Update
+  // deliberately, never casually.
+  const std::string dump = run_world_dump(alltoall_scenario());
+  EXPECT_EQ(gcmpi::testing::sha256_hex(
+                {reinterpret_cast<const std::uint8_t*>(dump.data()), dump.size()}),
+            "bd22615693184ee41457b8ff8a0632a382aa90fc6effb7a63b7c76c62b808da3");
+}
+
 TEST(Determinism, AllreduceIsDeliveryOrderInvariant) {
   // Ranks enter the collective with two very different stagger patterns
   // (ascending vs descending pre-compute delays), skewing message arrival

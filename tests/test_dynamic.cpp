@@ -145,4 +145,56 @@ TEST(DynamicSelector, ChooseEndToEnd) {
   EXPECT_NE(choice.algorithm, Algorithm::None);
 }
 
+// --- alltoall algorithm choice (batched one-shot vs naive pairwise) ---
+
+TEST(DynamicSelector, AlltoallPicksNaiveBelowTheCompressionFloor) {
+  const DynamicSelector sel(gpu::v100_spec(), 12.5);
+  // Below 256 KiB blocks the launch amortization can't pay for itself;
+  // measured crossover on the V100 model.
+  EXPECT_EQ(sel.choose_alltoall_algorithm(128u << 10, 8, 8.0),
+            core::CollectiveAlgorithm::Linear);
+  // Incompressible data and trivial worlds also stay naive.
+  EXPECT_EQ(sel.choose_alltoall_algorithm(8u << 20, 8, 1.0),
+            core::CollectiveAlgorithm::Linear);
+  EXPECT_EQ(sel.choose_alltoall_algorithm(8u << 20, 2, 8.0),
+            core::CollectiveAlgorithm::Linear);
+}
+
+TEST(DynamicSelector, AlltoallCrossoverMonotoneInBlockSize) {
+  // Once the cost model prefers the batched engine at some block size, it
+  // must keep preferring it for every larger block (the per-launch savings
+  // only grow): exactly one Linear -> BatchedPairwise transition.
+  const DynamicSelector sel(gpu::v100_spec(), 12.5);
+  bool batched_seen = false;
+  bool crossed_back = false;
+  for (std::uint64_t bytes = 64u << 10; bytes <= (64ull << 20); bytes *= 2) {
+    const auto got = sel.choose_alltoall_algorithm(bytes, 8, 4.0);
+    if (got == core::CollectiveAlgorithm::BatchedPairwise) {
+      batched_seen = true;
+    } else if (batched_seen) {
+      crossed_back = true;
+    }
+  }
+  EXPECT_TRUE(batched_seen) << "batched never chosen up to 64 MiB blocks";
+  EXPECT_FALSE(crossed_back) << "choice flipped back to naive at a larger block";
+}
+
+TEST(DynamicSelector, AlltoallCrossoverMonotoneInRanks) {
+  // More destinations means more serialized launches saved: once batched
+  // wins at some P it must keep winning for every larger P.
+  const DynamicSelector sel(gpu::v100_spec(), 12.5);
+  bool batched_seen = false;
+  bool crossed_back = false;
+  for (int ranks = 2; ranks <= 64; ++ranks) {
+    const auto got = sel.choose_alltoall_algorithm(4u << 20, ranks, 4.0);
+    if (got == core::CollectiveAlgorithm::BatchedPairwise) {
+      batched_seen = true;
+    } else if (batched_seen) {
+      crossed_back = true;
+    }
+  }
+  EXPECT_TRUE(batched_seen) << "batched never chosen up to 64 ranks";
+  EXPECT_FALSE(crossed_back) << "choice flipped back to naive at a larger P";
+}
+
 }  // namespace
