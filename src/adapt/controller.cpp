@@ -1,0 +1,264 @@
+#include "adapt/controller.hpp"
+
+#include <algorithm>
+#include <iterator>
+
+#include "sim/rng.hpp"
+
+namespace gcmpi::adapt {
+
+AdaptiveController::AdaptiveController(const gpu::GpuSpec& gpu, double network_gbs,
+                                       AdaptiveOptions opts)
+    : gpu_(gpu),
+      network_gbs_(network_gbs),
+      opts_(std::move(opts)),
+      prior_(gpu, network_gbs, opts_.lossy_allowed, opts_.min_zfp_rate),
+      history_(opts_.ewma_alpha) {}
+
+void AdaptiveController::bind(core::Telemetry& telemetry) {
+  telemetry_ = &telemetry;
+  telemetry.set_observer(this);
+}
+
+double AdaptiveController::wire_us(double bytes) const {
+  return bytes * 1e6 / (network_gbs_ * 1e9);
+}
+
+AdaptiveController::Channel& AdaptiveController::channel(const char* scope,
+                                                         std::uint64_t bytes) {
+  return channels_[{scope_id(scope), size_bucket(bytes)}];
+}
+
+void AdaptiveController::update_quarantine(Channel& ch, const char* scope,
+                                           std::uint64_t bytes) {
+  const std::uint64_t k = ch.rounds;
+  // Re-admit families whose backoff elapsed (their streak was reset on
+  // entry, so a still-broken codec re-quarantines after quarantine_after
+  // more bad events — periodic, bounded re-probing of a faulty kernel).
+  for (auto it = ch.quarantined_until.begin(); it != ch.quarantined_until.end();) {
+    it = it->second <= k ? ch.quarantined_until.erase(it) : std::next(it);
+  }
+  for (core::Algorithm family : {core::Algorithm::MPC, core::Algorithm::ZFP}) {
+    const int f = static_cast<int>(family);
+    if (ch.quarantined_until.count(f) != 0) continue;
+    if (history_.bad_streak(scope, bytes, family) >= opts_.quarantine_after) {
+      ch.quarantined_until[f] = k + opts_.quarantine_backoff;
+      history_.reset_streak(scope, bytes, family);
+    }
+  }
+}
+
+std::vector<AdaptiveController::Candidate> AdaptiveController::evaluate(
+    const Channel& ch, const char* scope, std::uint64_t bytes) const {
+  const double mb = static_cast<double>(bytes) / (1024.0 * 1024.0);
+  // Per-term substitution: the exact channel's measured EWMA when sampled,
+  // else the bucket's scope-agnostic aggregate (decodes land on the
+  // receiver under a different scope), else the static prior.
+  const auto pick_term = [&](double exact, std::uint64_t exact_n, double any,
+                             std::uint64_t any_n, double prior) {
+    if (exact_n >= opts_.min_samples) return exact;
+    if (any_n >= opts_.min_samples) return any;
+    return prior;
+  };
+  const auto quarantined = [&](core::Algorithm family) {
+    return ch.quarantined_until.count(static_cast<int>(family)) != 0;
+  };
+
+  std::vector<Candidate> out;
+  out.push_back({candidate_id(core::Algorithm::None, 0), core::Algorithm::None, 0,
+                 wire_us(static_cast<double>(bytes)), false});
+
+  {  // MPC: measured ratio/throughputs over the eq. 2 prior.
+    const int cand = candidate_id(core::Algorithm::MPC, 0);
+    const CodecStats& ex = history_.codec(scope, bytes, cand);
+    const CodecStats& any = history_.codec_any_scope(bytes, cand);
+    const double cr = std::max(
+        1.0, pick_term(ex.ratio, ex.ratio_samples, any.ratio, any.ratio_samples,
+                       opts_.prior_mpc_ratio));
+    const auto comp_b = static_cast<std::uint64_t>(static_cast<double>(bytes) / cr);
+    const int blocks = std::max(1, gpu_.sm_count / 4);
+    const double prior_comp =
+        model_.mpc_compress(bytes / 4, comp_b / 4, blocks, gpu_).to_us();
+    const double prior_dec =
+        model_.mpc_decompress(comp_b / 4, bytes / 4, blocks, gpu_).to_us();
+    const double comp =
+        pick_term(ex.compress_us_per_mb * mb, ex.compress_samples,
+                  any.compress_us_per_mb * mb, any.compress_samples, prior_comp);
+    const double dec =
+        pick_term(ex.decompress_us_per_mb * mb, ex.decompress_samples,
+                  any.decompress_us_per_mb * mb, any.decompress_samples, prior_dec);
+    out.push_back({cand, core::Algorithm::MPC, 0,
+                   comp + wire_us(static_cast<double>(bytes) / cr) + dec,
+                   quarantined(core::Algorithm::MPC)});
+  }
+
+  if (opts_.lossy_allowed) {
+    for (int rate : opts_.zfp_rates) {
+      if (rate < opts_.min_zfp_rate) continue;
+      const int cand = candidate_id(core::Algorithm::ZFP, rate);
+      const CodecStats& ex = history_.codec(scope, bytes, cand);
+      const CodecStats& any = history_.codec_any_scope(bytes, cand);
+      const double cr =
+          std::max(1.0, pick_term(ex.ratio, ex.ratio_samples, any.ratio,
+                                  any.ratio_samples, 32.0 / rate));
+      const double prior_comp = model_.zfp_compress(bytes, rate, gpu_).to_us();
+      const double prior_dec = model_.zfp_decompress(bytes, rate, gpu_).to_us();
+      const double comp =
+          pick_term(ex.compress_us_per_mb * mb, ex.compress_samples,
+                    any.compress_us_per_mb * mb, any.compress_samples, prior_comp);
+      const double dec =
+          pick_term(ex.decompress_us_per_mb * mb, ex.decompress_samples,
+                    any.decompress_us_per_mb * mb, any.decompress_samples, prior_dec);
+      out.push_back({cand, core::Algorithm::ZFP, rate,
+                     comp + wire_us(static_cast<double>(bytes) / cr) + dec,
+                     quarantined(core::Algorithm::ZFP)});
+    }
+  }
+
+  // Best-first; ties broken by candidate id so the order (and with it the
+  // whole decision sequence) is deterministic.
+  std::sort(out.begin(), out.end(), [](const Candidate& a, const Candidate& b) {
+    if (a.predicted_us != b.predicted_us) return a.predicted_us < b.predicted_us;
+    return a.id < b.id;
+  });
+  return out;
+}
+
+void AdaptiveController::record(sim::Time now, int rank, const char* scope,
+                                std::uint64_t bytes, const char* choice, bool probe,
+                                bool quarantined, double predicted_us) {
+  if (telemetry_ == nullptr) return;
+  core::DecisionRecord d;
+  d.at = now;
+  d.rank = rank;
+  d.scope = scope;
+  d.bytes = bytes;
+  d.choice = choice;
+  d.probe = probe;
+  d.quarantined = quarantined;
+  d.predicted_us = predicted_us;
+  telemetry_->record_decision(d);
+}
+
+core::CompressChoice AdaptiveController::choose_codec(sim::Time now, int rank,
+                                                      const char* scope,
+                                                      std::uint64_t bytes) {
+  Channel& ch = channel(scope, bytes);
+  update_quarantine(ch, scope, bytes);
+  const std::uint64_t k = ch.rounds++;
+  const std::vector<Candidate> cands = evaluate(ch, scope, bytes);
+  const bool any_quarantined = !ch.quarantined_until.empty();
+
+  // Raw is never quarantined, so an allowed best always exists.
+  const Candidate* best = nullptr;
+  for (const auto& c : cands) {
+    if (!c.quarantined) {
+      best = &c;
+      break;
+    }
+  }
+  const auto find_cand = [&](int id) -> const Candidate* {
+    for (const auto& c : cands) {
+      if (c.id == id) return &c;
+    }
+    return nullptr;
+  };
+
+  const Candidate* inc = ch.incumbent >= 0 ? find_cand(ch.incumbent) : nullptr;
+  if (inc == nullptr || inc->quarantined) {
+    ch.incumbent = best->id;  // first decision, or the incumbent fell ill
+    inc = best;
+  } else if (best->id != inc->id &&
+             best->predicted_us < inc->predicted_us * (1.0 - opts_.hysteresis)) {
+    ch.incumbent = best->id;  // challenger cleared the hysteresis band
+    inc = best;
+  }
+
+  const Candidate* pick = inc;
+  bool probe = false;
+  if (opts_.probe_period > 0) {
+    const Candidate* runner = nullptr;
+    for (const auto& c : cands) {
+      if (!c.quarantined && c.id != ch.incumbent) {
+        runner = &c;
+        break;
+      }
+    }
+    if (runner != nullptr) {
+      // Counter-based exploration: the draw depends only on (seed,
+      // channel, round), so reruns replay the identical probe schedule.
+      sim::Rng rng(opts_.seed ^ (static_cast<std::uint64_t>(scope_id(scope)) << 48) ^
+                   (static_cast<std::uint64_t>(size_bucket(bytes)) << 40) ^ k);
+      if (rng.next_below(opts_.probe_period) == 0) {
+        pick = runner;
+        probe = true;
+      }
+    }
+  }
+
+  record(now, rank, scope, bytes, candidate_name(pick->id), probe, any_quarantined,
+         pick->predicted_us);
+  core::CompressChoice choice;
+  choice.use_compression = pick->algorithm != core::Algorithm::None;
+  choice.algorithm = pick->algorithm;
+  choice.zfp_rate = pick->zfp_rate;
+  return choice;
+}
+
+core::CollectiveAlgorithm AdaptiveController::refine_collective(
+    const char* op, core::CollectiveAlgorithm prior_choice, std::uint64_t bytes,
+    std::initializer_list<core::CollectiveAlgorithm> candidates) const {
+  // The prior stays in charge until ITS schedule has been measured; from
+  // then on, a measured alternative displaces it only past the hysteresis
+  // band (same anti-oscillation rule as the codec loop).
+  const CollectiveStats& inc = history_.collective(op, prior_choice, bytes);
+  if (inc.samples < opts_.min_samples) return prior_choice;
+  core::CollectiveAlgorithm best = prior_choice;
+  double best_us = inc.span_us;
+  for (core::CollectiveAlgorithm a : candidates) {
+    if (a == prior_choice) continue;
+    const CollectiveStats& m = history_.collective(op, a, bytes);
+    if (m.samples >= opts_.min_samples && m.span_us < best_us * (1.0 - opts_.hysteresis)) {
+      best = a;
+      best_us = m.span_us;
+    }
+  }
+  return best;
+}
+
+core::CollectiveAlgorithm AdaptiveController::choose_allreduce(sim::Time now, int rank,
+                                                               std::uint64_t bytes,
+                                                               int ranks, int nodes,
+                                                               int gpus_per_node) {
+  const std::size_t k = allreduce_.cursor[rank]++;
+  if (k < allreduce_.seq.size()) return allreduce_.seq[k];  // replay round k
+  const double cr = history_.global_mpc_ratio(opts_.prior_mpc_ratio);
+  core::CollectiveAlgorithm alg =
+      prior_.choose_allreduce_algorithm(bytes, ranks, nodes, gpus_per_node, cr);
+  alg = refine_collective("allreduce", alg, bytes,
+                          {core::CollectiveAlgorithm::Linear, core::CollectiveAlgorithm::Ring,
+                           core::CollectiveAlgorithm::Hierarchical});
+  allreduce_.seq.push_back(alg);
+  record(now, rank, core::kScopeAllreduce, bytes, core::collective_algorithm_name(alg),
+         false, false, history_.collective("allreduce", alg, bytes).span_us);
+  return alg;
+}
+
+core::CollectiveAlgorithm AdaptiveController::choose_alltoall(sim::Time now, int rank,
+                                                              std::uint64_t block_bytes,
+                                                              int ranks) {
+  const std::size_t k = alltoall_.cursor[rank]++;
+  if (k < alltoall_.seq.size()) return alltoall_.seq[k];
+  const double cr = history_.global_mpc_ratio(opts_.prior_mpc_ratio);
+  core::CollectiveAlgorithm alg = prior_.choose_alltoall_algorithm(block_bytes, ranks, cr);
+  alg = refine_collective("alltoall", alg, block_bytes,
+                          {core::CollectiveAlgorithm::Linear,
+                           core::CollectiveAlgorithm::BatchedPairwise});
+  alltoall_.seq.push_back(alg);
+  record(now, rank, core::kScopeAlltoall, block_bytes,
+         core::collective_algorithm_name(alg), false, false,
+         history_.collective("alltoall", alg, block_bytes).span_us);
+  return alg;
+}
+
+}  // namespace gcmpi::adapt

@@ -1,0 +1,130 @@
+// AdaptiveController: the closed loop between the telemetry streams and
+// the codec / collective-algorithm decisions (the paper's Sec. IX "dynamic
+// design" driven by a real-time monitor).
+//
+// The controller starts from DynamicSelector's static cost model as its
+// prior and substitutes measured per-channel terms (History's EWMAs) as
+// samples arrive. Three mechanisms keep the loop stable and deterministic:
+//
+//  * Hysteresis — the per-channel incumbent codec is only displaced when a
+//    challenger's prediction beats it by a configurable margin, so noisy
+//    EWMAs cannot make decisions oscillate.
+//  * Probing — a deterministic, counter-based draw (sim::Rng seeded from
+//    (seed, channel, round); never the wall clock) routes ~1/probe_period
+//    messages to the best non-incumbent candidate so a displaced codec's
+//    statistics stay fresh. Probes never move the incumbent.
+//  * Quarantine — a codec family with quarantine_after consecutive
+//    fallbacks/faults on a channel is excluded for quarantine_backoff
+//    decisions (graceful degradation to raw under a fault storm, riding
+//    the fault-injection subsystem), then re-admitted so a drifting
+//    workload can recover it.
+//
+// Collective algorithm choices must agree across ranks: ranks issue their
+// collectives in identical program order, so the controller keeps ONE
+// shared decision sequence per collective op and a per-rank cursor into
+// it — the first rank to reach round k computes decision k, the others
+// replay it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "adapt/history.hpp"
+#include "compress/kernel_cost.hpp"
+#include "core/adapt.hpp"
+#include "core/dynamic.hpp"
+#include "core/telemetry.hpp"
+#include "gpu/cost_model.hpp"
+
+namespace gcmpi::adapt {
+
+struct AdaptiveOptions {
+  std::uint64_t seed = 0xAD4F7;   // probe-draw stream (no wall clock anywhere)
+  double ewma_alpha = 0.3;        // History smoothing
+  double hysteresis = 0.15;       // challenger must beat incumbent by 15%
+  std::uint32_t probe_period = 16;       // ~1 in N decisions probes the runner-up
+  std::uint32_t min_samples = 2;         // measured terms below this use the prior
+  std::uint32_t quarantine_after = 3;    // consecutive fallbacks/faults
+  std::uint32_t quarantine_backoff = 32; // decisions excluded before re-entry
+  double prior_mpc_ratio = 2.0;   // assumed CR until the first measurement
+  bool lossy_allowed = true;      // admit ZFP candidates (fixed-rate loss)
+  int min_zfp_rate = 8;
+  std::vector<int> zfp_rates = {16, 8};
+};
+
+class AdaptiveController final : public core::AdaptivePolicy,
+                                 public core::TelemetryObserver {
+ public:
+  AdaptiveController(const gpu::GpuSpec& gpu, double network_gbs,
+                     AdaptiveOptions opts = {});
+
+  /// Subscribe to `telemetry`'s streams (the feedback path) and use it as
+  /// the DecisionRecord sink. Pass the same Telemetry the World uses.
+  void bind(core::Telemetry& telemetry);
+
+  // --- core::AdaptivePolicy ---
+  core::CompressChoice choose_codec(sim::Time now, int rank, const char* scope,
+                                    std::uint64_t bytes) override;
+  core::CollectiveAlgorithm choose_allreduce(sim::Time now, int rank, std::uint64_t bytes,
+                                             int ranks, int nodes,
+                                             int gpus_per_node) override;
+  core::CollectiveAlgorithm choose_alltoall(sim::Time now, int rank,
+                                            std::uint64_t block_bytes, int ranks) override;
+
+  // --- core::TelemetryObserver (the feedback path) ---
+  void on_event(const core::TelemetryEvent& ev) override { history_.observe(ev); }
+  void on_pipeline(const core::PipelineRecord& rec) override { history_.observe(rec); }
+  void on_collective(const core::CollectiveRecord& rec) override { history_.observe(rec); }
+
+  [[nodiscard]] const History& history() const { return history_; }
+  [[nodiscard]] const AdaptiveOptions& options() const { return opts_; }
+
+ private:
+  struct Candidate {
+    int id = 0;
+    core::Algorithm algorithm = core::Algorithm::None;
+    int zfp_rate = 0;
+    double predicted_us = 0.0;
+    bool quarantined = false;
+  };
+
+  struct Channel {
+    std::uint64_t rounds = 0;
+    int incumbent = -1;  // candidate id; -1 until the first decision
+    // codec family (int Algorithm) -> round at which it re-enters
+    std::map<int, std::uint64_t> quarantined_until;
+  };
+
+  /// One shared decision sequence + per-rank replay cursors (see header
+  /// comment: all ranks of one collective must get the same answer).
+  struct CollectiveSequence {
+    std::vector<core::CollectiveAlgorithm> seq;
+    std::map<int, std::size_t> cursor;  // rank -> next round index
+  };
+
+  Channel& channel(const char* scope, std::uint64_t bytes);
+  void update_quarantine(Channel& ch, const char* scope, std::uint64_t bytes);
+  [[nodiscard]] std::vector<Candidate> evaluate(const Channel& ch, const char* scope,
+                                                std::uint64_t bytes) const;
+  [[nodiscard]] double wire_us(double bytes) const;
+  void record(sim::Time now, int rank, const char* scope, std::uint64_t bytes,
+              const char* choice, bool probe, bool quarantined, double predicted_us);
+  [[nodiscard]] core::CollectiveAlgorithm refine_collective(
+      const char* op, core::CollectiveAlgorithm prior_choice, std::uint64_t bytes,
+      std::initializer_list<core::CollectiveAlgorithm> candidates) const;
+
+  gpu::GpuSpec gpu_;
+  double network_gbs_;
+  AdaptiveOptions opts_;
+  comp::KernelCostModel model_;
+  core::DynamicSelector prior_;
+  History history_;
+  core::Telemetry* telemetry_ = nullptr;
+  std::map<std::pair<int, int>, Channel> channels_;  // (scope, bucket)
+  CollectiveSequence allreduce_;
+  CollectiveSequence alltoall_;
+};
+
+}  // namespace gcmpi::adapt

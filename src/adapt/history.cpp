@@ -1,0 +1,220 @@
+#include "adapt/history.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "core/adapt.hpp"
+
+namespace gcmpi::adapt {
+
+namespace {
+
+constexpr int kAnyScope = -1;
+
+const CodecStats kEmptyCodec{};
+const CollectiveStats kEmptyCollective{};
+
+/// ZFP's rate is not part of the telemetry event; recover it from the
+/// achieved ratio (a fixed-rate stream is rate/32 of the input plus small
+/// block headers). Only meaningful for successful compressions.
+int infer_zfp_rate(const core::TelemetryEvent& ev) {
+  if (ev.original_bytes == 0 || ev.wire_bytes == 0) return 32;
+  const double rate = 32.0 * static_cast<double>(ev.wire_bytes) /
+                      static_cast<double>(ev.original_bytes);
+  return std::clamp(static_cast<int>(std::lround(rate)), 1, 32);
+}
+
+double mib(std::uint64_t bytes) {
+  return std::max(1e-6, static_cast<double>(bytes) / (1024.0 * 1024.0));
+}
+
+int op_id(const char* op) {
+  if (std::strcmp(op, "allreduce") == 0) return 0;
+  if (std::strcmp(op, "reduce_scatter") == 0) return 1;
+  if (std::strcmp(op, "alltoall") == 0) return 2;
+  return 3;
+}
+
+}  // namespace
+
+int candidate_id(core::Algorithm algorithm, int zfp_rate) {
+  switch (algorithm) {
+    case core::Algorithm::None: return 0;
+    case core::Algorithm::MPC: return 1;
+    case core::Algorithm::ZFP: return 100 + zfp_rate;
+  }
+  return 0;
+}
+
+const char* candidate_name(int candidate) {
+  switch (candidate) {
+    case 0: return "raw";
+    case 1: return "mpc";
+    case 104: return "zfp4";
+    case 108: return "zfp8";
+    case 116: return "zfp16";
+    case 132: return "zfp32";
+    default: return candidate >= 100 ? "zfp" : "?";
+  }
+}
+
+int size_bucket(std::uint64_t bytes) {
+  int b = 0;
+  while (bytes > 1 && b < 40) {
+    bytes >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+int scope_id(const char* scope) {
+  if (scope == nullptr) return 5;
+  if (std::strcmp(scope, core::kScopeP2P) == 0) return 0;
+  if (std::strcmp(scope, core::kScopeBatch) == 0) return 1;
+  if (std::strcmp(scope, core::kScopeChunk) == 0) return 2;
+  if (std::strcmp(scope, core::kScopeAllreduce) == 0) return 3;
+  if (std::strcmp(scope, core::kScopeAlltoall) == 0) return 4;
+  return 5;
+}
+
+void History::ewma(double& value, std::uint64_t& samples, double sample) {
+  value = samples == 0 ? sample : alpha_ * sample + (1.0 - alpha_) * value;
+  ++samples;
+}
+
+CodecStats& History::cell(int scope, int bucket, int candidate) {
+  return codec_[{scope, bucket, candidate}];
+}
+
+void History::observe(const core::TelemetryEvent& ev) {
+  if (ev.kind == core::EventKind::RawBypass || ev.kind == core::EventKind::Retransmit ||
+      ev.kind == core::EventKind::CorruptionDetected) {
+    return;
+  }
+  const int scope = scope_id(ev.channel);
+  const int bucket = size_bucket(ev.original_bytes);
+  const int streak_family = static_cast<int>(ev.algorithm);
+
+  switch (ev.kind) {
+    case core::EventKind::Compress: {
+      const int cand = ev.algorithm == core::Algorithm::ZFP
+                           ? candidate_id(ev.algorithm, infer_zfp_rate(ev))
+                           : candidate_id(ev.algorithm, 0);
+      const double ratio = ev.wire_bytes == 0
+                               ? 1.0
+                               : static_cast<double>(ev.original_bytes) /
+                                     static_cast<double>(ev.wire_bytes);
+      for (int s : {scope, kAnyScope}) {
+        CodecStats& c = cell(s, bucket, cand);
+        ewma(c.ratio, c.ratio_samples, ratio);
+        ewma(c.compress_us_per_mb, c.compress_samples,
+             ev.duration.to_us() / mib(ev.original_bytes));
+      }
+      if (ev.algorithm == core::Algorithm::MPC) {
+        ewma(global_mpc_ratio_, global_mpc_samples_, ratio);
+      }
+      streak_[{scope, bucket, streak_family}] = 0;
+      break;
+    }
+    case core::EventKind::Decompress: {
+      const int cand = ev.algorithm == core::Algorithm::ZFP
+                           ? candidate_id(ev.algorithm, infer_zfp_rate(ev))
+                           : candidate_id(ev.algorithm, 0);
+      for (int s : {scope, kAnyScope}) {
+        CodecStats& c = cell(s, bucket, cand);
+        ewma(c.decompress_us_per_mb, c.decompress_samples,
+             ev.duration.to_us() / mib(ev.original_bytes));
+      }
+      break;
+    }
+    case core::EventKind::FallbackRaw: {
+      // The kernel ran, paid off nothing: feed ratio 1.0 so the cost model
+      // learns this channel is incompressible, and advance the bad streak.
+      const int cand = candidate_id(ev.algorithm, 32);
+      for (int s : {scope, kAnyScope}) {
+        CodecStats& c = cell(s, bucket, cand);
+        ewma(c.ratio, c.ratio_samples, 1.0);
+        ++c.fallbacks;
+      }
+      if (ev.algorithm == core::Algorithm::MPC) {
+        ewma(global_mpc_ratio_, global_mpc_samples_, 1.0);
+      }
+      ++streak_[{scope, bucket, streak_family}];
+      break;
+    }
+    case core::EventKind::CodecFault: {
+      const int cand = candidate_id(ev.algorithm, 32);
+      for (int s : {scope, kAnyScope}) ++cell(s, bucket, cand).faults;
+      ++streak_[{scope, bucket, streak_family}];
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void History::observe(const core::PipelineRecord& rec) {
+  // A pipelined transfer is a train of chunk events that already landed
+  // individually under the chunk scope; the whole-transfer record refines
+  // the chunk channel's ratio with the end-to-end original/wire (which
+  // includes retransmission overhead the per-chunk events cannot see).
+  if (rec.algorithm == core::Algorithm::None || rec.wire_bytes == 0) return;
+  const int scope = scope_id(core::kScopeChunk);
+  const int bucket = size_bucket(rec.original_bytes);
+  const int cand = candidate_id(rec.algorithm, 0);
+  if (cand >= 100) return;  // per-chunk ZFP events carry the rate; skip
+  const double ratio =
+      static_cast<double>(rec.original_bytes) / static_cast<double>(rec.wire_bytes);
+  for (int s : {scope, kAnyScope}) {
+    CodecStats& c = cell(s, bucket, cand);
+    ewma(c.ratio, c.ratio_samples, ratio);
+  }
+}
+
+void History::observe(const core::CollectiveRecord& rec) {
+  core::CollectiveAlgorithm alg = core::CollectiveAlgorithm::Auto;
+  for (core::CollectiveAlgorithm a :
+       {core::CollectiveAlgorithm::Linear, core::CollectiveAlgorithm::Ring,
+        core::CollectiveAlgorithm::Hierarchical, core::CollectiveAlgorithm::BatchedPairwise}) {
+    if (std::strcmp(rec.algorithm, core::collective_algorithm_name(a)) == 0) alg = a;
+  }
+  if (alg == core::CollectiveAlgorithm::Auto) return;
+  CollectiveStats& c = coll_[{op_id(rec.op), static_cast<int>(alg), size_bucket(rec.bytes)}];
+  ewma(c.span_us, c.samples, rec.span.to_us());
+}
+
+const CodecStats& History::codec(const char* scope, std::uint64_t bytes,
+                                 int candidate) const {
+  const auto it = codec_.find({scope_id(scope), size_bucket(bytes), candidate});
+  return it == codec_.end() ? kEmptyCodec : it->second;
+}
+
+const CodecStats& History::codec_any_scope(std::uint64_t bytes, int candidate) const {
+  const auto it = codec_.find({kAnyScope, size_bucket(bytes), candidate});
+  return it == codec_.end() ? kEmptyCodec : it->second;
+}
+
+std::uint64_t History::bad_streak(const char* scope, std::uint64_t bytes,
+                                  core::Algorithm family) const {
+  const auto it =
+      streak_.find({scope_id(scope), size_bucket(bytes), static_cast<int>(family)});
+  return it == streak_.end() ? 0 : it->second;
+}
+
+void History::reset_streak(const char* scope, std::uint64_t bytes, core::Algorithm family) {
+  streak_[{scope_id(scope), size_bucket(bytes), static_cast<int>(family)}] = 0;
+}
+
+const CollectiveStats& History::collective(const char* op,
+                                           core::CollectiveAlgorithm algorithm,
+                                           std::uint64_t bytes) const {
+  const auto it = coll_.find({op_id(op), static_cast<int>(algorithm), size_bucket(bytes)});
+  return it == coll_.end() ? kEmptyCollective : it->second;
+}
+
+double History::global_mpc_ratio(double fallback) const {
+  return global_mpc_samples_ == 0 ? fallback : std::max(1.0, global_mpc_ratio_);
+}
+
+}  // namespace gcmpi::adapt

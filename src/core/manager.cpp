@@ -58,6 +58,32 @@ bool CompressionManager::should_compress(const void* buf, std::uint64_t bytes) c
          gpu_.owns(buf);
 }
 
+CompressionManager::AdaptiveGuard::AdaptiveGuard(CompressionManager& mgr, Timeline& tl,
+                                                 const char* scope, std::uint64_t bytes,
+                                                 bool eligible)
+    : mgr_(mgr),
+      saved_algorithm_(mgr.config_.algorithm),
+      saved_zfp_rate_(mgr.config_.zfp_rate) {
+  if (mgr.adapt_ == nullptr || !eligible) return;
+  const CompressChoice choice = mgr.adapt_->choose_codec(tl.now(), mgr.rank_id_, scope, bytes);
+  active_ = true;
+  if (!choice.use_compression) {
+    // The policy degrades this message to the ordinary raw-bypass path.
+    mgr.config_.algorithm = Algorithm::None;
+    return;
+  }
+  mgr.config_.algorithm = choice.algorithm;
+  if (choice.algorithm == Algorithm::ZFP && choice.zfp_rate > 0) {
+    mgr.config_.zfp_rate = choice.zfp_rate;
+  }
+}
+
+CompressionManager::AdaptiveGuard::~AdaptiveGuard() {
+  if (!active_) return;
+  mgr_.config_.algorithm = saved_algorithm_;
+  mgr_.config_.zfp_rate = saved_zfp_rate_;
+}
+
 void CompressionManager::acquire_staging(Timeline& tl, std::size_t bytes, Breakdown* bd,
                                          gpu::BufferPool::Lease& lease,
                                          void*& naive_buffer, bool& used_pool) {
@@ -77,6 +103,10 @@ CompressionManager::WireData CompressionManager::compress_for_send(
   WireData wire;
   wire.header.original_bytes = bytes;
   ++stats_.messages_considered;
+
+  // Consult the closed-loop policy for statically qualified messages; its
+  // codec (or raw-degrade) choice overrides config_ for this call only.
+  AdaptiveGuard adapt_guard(*this, tl, kScopeP2P, bytes, should_compress(buf, bytes));
 
   if (!should_compress(buf, bytes)) {
     wire.data = buf;
@@ -307,6 +337,16 @@ CompressionManager::BatchWire CompressionManager::compress_batch(
   BatchWire batch;
   batch.blocks.resize(blocks.size());
 
+  // One policy consultation covers the whole batch (it is one launch and
+  // one fault domain); the choice applies to every eligible block.
+  std::uint64_t adapt_bytes = 0;
+  if (adapt_ != nullptr) {
+    for (const auto& in : blocks) {
+      if (should_compress(in.buf, in.bytes)) adapt_bytes += in.bytes;
+    }
+  }
+  AdaptiveGuard adapt_guard(*this, tl, kScopeBatch, adapt_bytes, adapt_bytes > 0);
+
   // Default every block to a raw view of the caller's buffer; the batched
   // kernels below upgrade the eligible ones to slab slices.
   std::uint64_t original_total = 0;
@@ -331,7 +371,7 @@ CompressionManager::BatchWire CompressionManager::compress_batch(
   const auto record_event = [&](EventKind kind, Algorithm algo, std::uint64_t wire_total) {
     if (telemetry_ != nullptr) {
       telemetry_->record({started, rank_id_, kind, algo, original_total, wire_total,
-                          tl.now() - started});
+                          tl.now() - started, kScopeBatch});
     }
   };
 
@@ -750,6 +790,12 @@ CompressionManager::ChunkWire CompressionManager::compress_chunk(
   ChunkWire ck;
   ck.wire.header.original_bytes = bytes;
 
+  // Per-chunk policy consultation: each chunk carries its own header, so
+  // the codec may change mid-message as the controller learns.
+  AdaptiveGuard adapt_guard(*this, tl, kScopeChunk, bytes,
+                            config_.enabled && config_.algorithm != Algorithm::None &&
+                                bytes % 4 == 0 && bytes >= 16);
+
   const bool eligible = config_.enabled && config_.algorithm != Algorithm::None &&
                         bytes % 4 == 0 && bytes >= 16;
   fault::CodecFault injected;
@@ -761,7 +807,7 @@ CompressionManager::ChunkWire CompressionManager::compress_chunk(
       ++stats_.codec_faults;
       if (telemetry_ != nullptr) {
         telemetry_->record({tl.now(), rank_id_, EventKind::CodecFault, config_.algorithm,
-                            bytes, bytes, Time::zero()});
+                            bytes, bytes, Time::zero(), kScopeChunk});
       }
     }
     ck.wire.data = buf;
@@ -843,6 +889,9 @@ void CompressionManager::finish_chunk(Timeline& tl, ChunkWire& ck, const void* b
   if (ck.finished) return;
   Breakdown* bd = &sender_bd_;
   const Time started = tl.now();
+  // The codec that actually ran (the adaptive policy may have overridden
+  // config_ for this chunk's compress_chunk call, since restored).
+  const Algorithm used = ck.wire.header.algorithm;
 
   if (ck.wire.header.algorithm == Algorithm::MPC) {
     // Size readback of the chunk's single control word.
@@ -877,7 +926,7 @@ void CompressionManager::finish_chunk(Timeline& tl, ChunkWire& ck, const void* b
     if (telemetry_ != nullptr) {
       telemetry_->record({started, rank_id_,
                           ck.pending_truncate ? EventKind::CodecFault : EventKind::FallbackRaw,
-                          config_.algorithm, bytes, bytes, tl.now() - started});
+                          used, bytes, bytes, tl.now() - started, kScopeChunk});
     }
     ck.finished = true;
     return;
@@ -887,8 +936,8 @@ void CompressionManager::finish_chunk(Timeline& tl, ChunkWire& ck, const void* b
   stats_.original_bytes += bytes;
   stats_.wire_bytes += ck.wire.bytes;
   if (telemetry_ != nullptr) {
-    telemetry_->record({started, rank_id_, EventKind::Compress, config_.algorithm, bytes,
-                        ck.wire.bytes, ck.kernel_time});
+    telemetry_->record({started, rank_id_, EventKind::Compress, used, bytes,
+                        ck.wire.bytes, ck.kernel_time, kScopeChunk});
   }
   ck.finished = true;
 }
@@ -932,7 +981,8 @@ Time CompressionManager::decompress_chunk(Timeline& tl, const CompressionHeader&
     ++stats_.codec_faults;
     if (telemetry_ != nullptr) {
       telemetry_->record({started, rank_id_, EventKind::CodecFault, header.algorithm,
-                          header.original_bytes, header.compressed_bytes, tl.now() - started});
+                          header.original_bytes, header.compressed_bytes, tl.now() - started,
+                          kScopeChunk});
     }
     throw CodecFaultError{};
   }
@@ -978,7 +1028,7 @@ Time CompressionManager::decompress_chunk(Timeline& tl, const CompressionHeader&
   if (kernel_time != nullptr) *kernel_time = cost;
   if (telemetry_ != nullptr) {
     telemetry_->record({started, rank_id_, EventKind::Decompress, header.algorithm,
-                        header.original_bytes, header.compressed_bytes, cost});
+                        header.original_bytes, header.compressed_bytes, cost, kScopeChunk});
   }
   return done;
 }

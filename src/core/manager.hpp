@@ -20,6 +20,7 @@
 #include "compress/mpc.hpp"
 #include "compress/reduce.hpp"
 #include "compress/zfp.hpp"
+#include "core/adapt.hpp"
 #include "core/config.hpp"
 #include "core/header.hpp"
 #include "core/telemetry.hpp"
@@ -271,6 +272,11 @@ class CompressionManager {
   /// operations then consult it for kernel faults (chaos testing).
   void attach_fault_injector(fault::FaultInjector* injector) { fault_ = injector; }
 
+  /// Attach the closed-loop codec selection policy; compress_for_send /
+  /// compress_batch / compress_chunk then consult it for every statically
+  /// qualified message. Null (the default) keeps the static config.
+  void attach_adaptive(AdaptivePolicy* policy) { adapt_ = policy; }
+
   [[nodiscard]] const CompressionStats& stats() const { return stats_; }
   [[nodiscard]] Breakdown& sender_breakdown() { return sender_bd_; }
   [[nodiscard]] Breakdown& receiver_breakdown() { return receiver_bd_; }
@@ -315,8 +321,27 @@ class CompressionManager {
   CompressionStats stats_;
   Breakdown sender_bd_;
   Breakdown receiver_bd_;
+  /// Apply the adaptive policy's choice for `scope` to config_ for the
+  /// duration of one compression call; restores on destruction. No-op when
+  /// no policy is attached.
+  class AdaptiveGuard {
+   public:
+    AdaptiveGuard(CompressionManager& mgr, Timeline& tl, const char* scope,
+                  std::uint64_t bytes, bool eligible);
+    ~AdaptiveGuard();
+    AdaptiveGuard(const AdaptiveGuard&) = delete;
+    AdaptiveGuard& operator=(const AdaptiveGuard&) = delete;
+
+   private:
+    CompressionManager& mgr_;
+    Algorithm saved_algorithm_;
+    int saved_zfp_rate_;
+    bool active_ = false;
+  };
+
   Telemetry* telemetry_ = nullptr;
   fault::FaultInjector* fault_ = nullptr;
+  AdaptivePolicy* adapt_ = nullptr;
   int rank_id_ = -1;
 };
 

@@ -48,6 +48,31 @@ Telemetry::Summary Telemetry::summarize(int rank) const {
         break;
     }
   }
+  for (const auto& p : pipelines_) {
+    if (rank >= 0 && p.src != rank && p.dst != rank) continue;
+    ++s.pipelined_transfers;
+    s.pipeline_chunks += p.chunks;
+    s.pipeline_retransmits += p.retransmits;
+    s.pipeline_span += p.span;
+    s.pipeline_compress_busy += p.compress_busy;
+    s.pipeline_transfer_busy += p.transfer_busy;
+    s.pipeline_decompress_busy += p.decompress_busy;
+  }
+  for (const auto& c : collectives_) {
+    if (rank >= 0 && c.rank != rank) continue;
+    ++s.collectives;
+    s.collective_hops += c.hops;
+    s.collective_reduces += c.reduces;
+    s.collective_span += c.span;
+    s.collective_compress_busy += c.compress_busy;
+    s.collective_transfer_busy += c.transfer_busy;
+    s.collective_reduce_busy += c.reduce_busy;
+  }
+  for (const auto& d : decisions_) {
+    if (rank >= 0 && d.rank != rank) continue;
+    ++s.decisions;
+    if (d.probe) ++s.probes;
+  }
   return s;
 }
 
@@ -81,6 +106,61 @@ void Telemetry::write_collective_csv(std::ostream& os) const {
        << c.compress_busy.to_us() << ',' << c.transfer_busy.to_us() << ','
        << c.reduce_busy.to_us() << '\n';
   }
+}
+
+void Telemetry::write_decision_csv(std::ostream& os) const {
+  os << "time_us,rank,scope,bytes,choice,probe,quarantined,predicted_us\n";
+  for (const auto& d : decisions_) {
+    os << d.at.to_us() << ',' << d.rank << ',' << d.scope << ',' << d.bytes << ','
+       << d.choice << ',' << (d.probe ? 1 : 0) << ',' << (d.quarantined ? 1 : 0) << ','
+       << d.predicted_us << '\n';
+  }
+}
+
+namespace {
+
+// Emit one Trace Event Format object. ph "X" = complete (needs dur),
+// "i" = instant. pid carries the rank; tid the stream/track name.
+void trace_event(std::ostream& os, bool& first, const char* name, char ph,
+                 double ts_us, double dur_us, int pid, const char* tid,
+                 std::uint64_t original_bytes, std::uint64_t wire_bytes) {
+  if (!first) os << ",\n";
+  first = false;
+  os << R"({"name":")" << name << R"(","ph":")" << ph << R"(","ts":)" << ts_us
+     << R"(,"pid":)" << pid << R"(,"tid":")" << tid << '"';
+  if (ph == 'X') os << R"(,"dur":)" << dur_us;
+  if (ph == 'i') os << R"(,"s":"t")";
+  os << R"(,"args":{"original_bytes":)" << original_bytes << R"(,"wire_bytes":)"
+     << wire_bytes << "}}";
+}
+
+}  // namespace
+
+void Telemetry::write_chrome_trace(std::ostream& os) const {
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const auto& ev : events_) {
+    const bool has_span = ev.duration.count_ns() > 0;
+    trace_event(os, first, event_kind_name(ev.kind), has_span ? 'X' : 'i',
+                ev.at.to_us(), ev.duration.to_us(), ev.rank, "codec", ev.original_bytes,
+                ev.wire_bytes);
+  }
+  for (const auto& p : pipelines_) {
+    // The transfer span appears on both endpoints' timelines; the stage
+    // busy totals ride in args of the sender's span.
+    trace_event(os, first, "pipeline_send", 'X', p.at.to_us(), p.span.to_us(), p.src,
+                "pipeline", p.original_bytes, p.wire_bytes);
+    trace_event(os, first, "pipeline_recv", 'X', p.at.to_us(), p.span.to_us(), p.dst,
+                "pipeline", p.original_bytes, p.wire_bytes);
+  }
+  for (const auto& c : collectives_) {
+    trace_event(os, first, c.op, 'X', c.at.to_us(), c.span.to_us(), c.rank, "collective",
+                c.bytes, 0);
+  }
+  for (const auto& d : decisions_) {
+    trace_event(os, first, d.choice, 'i', d.at.to_us(), 0.0, d.rank, "adapt", d.bytes, 0);
+  }
+  os << "\n]}\n";
 }
 
 }  // namespace gcmpi::core

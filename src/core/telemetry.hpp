@@ -39,6 +39,11 @@ struct TelemetryEvent {
   std::uint64_t original_bytes = 0;
   std::uint64_t wire_bytes = 0;
   sim::Time duration;           // virtual time spent in the operation
+  /// Channel the operation belongs to (core/adapt.hpp scope names): the
+  /// serial p2p path, a batched alltoall launch, or a pipeline chunk.
+  /// Not part of the CSV export (the legacy column set is pinned by the
+  /// determinism dumps); consumed by the adaptive control plane.
+  const char* channel = "p2p";
 };
 
 /// One completed chunked pipelined rendezvous transfer: per-stage busy
@@ -79,21 +84,62 @@ struct CollectiveRecord {
   sim::Time reduce_busy;          // fused decompress+reduce (and final decode)
 };
 
+/// One adaptive-control-plane decision: which codec (or collective
+/// schedule) the controller picked for one message/batch/chunk/collective
+/// round, whether it was an exploratory probe of the runner-up, and
+/// whether a quarantined candidate was excluded from the choice.
+struct DecisionRecord {
+  sim::Time at;
+  int rank = -1;
+  const char* scope = "p2p";   // channel (core/adapt.hpp scope names)
+  std::uint64_t bytes = 0;
+  const char* choice = "raw";  // "raw"|"mpc"|"zfp8"|... or a schedule name
+  bool probe = false;          // counter-based exploration of the runner-up
+  bool quarantined = false;    // some candidate was quarantined at decision time
+  double predicted_us = 0.0;   // the chosen candidate's predicted latency
+};
+
+/// Live subscriber to the telemetry streams: every record() call is
+/// forwarded as it happens, so a policy (adapt::AdaptiveController) can
+/// close the loop without polling the stored vectors.
+class TelemetryObserver {
+ public:
+  virtual ~TelemetryObserver() = default;
+  virtual void on_event(const TelemetryEvent&) {}
+  virtual void on_pipeline(const PipelineRecord&) {}
+  virtual void on_collective(const CollectiveRecord&) {}
+};
+
 class Telemetry {
  public:
-  void record(const TelemetryEvent& ev) { events_.push_back(ev); }
-  void record_pipeline(const PipelineRecord& rec) { pipelines_.push_back(rec); }
-  void record_collective(const CollectiveRecord& rec) { collectives_.push_back(rec); }
+  void record(const TelemetryEvent& ev) {
+    events_.push_back(ev);
+    if (observer_ != nullptr) observer_->on_event(ev);
+  }
+  void record_pipeline(const PipelineRecord& rec) {
+    pipelines_.push_back(rec);
+    if (observer_ != nullptr) observer_->on_pipeline(rec);
+  }
+  void record_collective(const CollectiveRecord& rec) {
+    collectives_.push_back(rec);
+    if (observer_ != nullptr) observer_->on_collective(rec);
+  }
+  void record_decision(const DecisionRecord& rec) { decisions_.push_back(rec); }
+
+  /// Install (or clear, with nullptr) the live stream subscriber.
+  void set_observer(TelemetryObserver* observer) { observer_ = observer; }
 
   [[nodiscard]] const std::vector<TelemetryEvent>& events() const { return events_; }
   [[nodiscard]] const std::vector<PipelineRecord>& pipelines() const { return pipelines_; }
   [[nodiscard]] const std::vector<CollectiveRecord>& collectives() const {
     return collectives_;
   }
+  [[nodiscard]] const std::vector<DecisionRecord>& decisions() const { return decisions_; }
   void clear() {
     events_.clear();
     pipelines_.clear();
     collectives_.clear();
+    decisions_.clear();
   }
 
   struct Summary {
@@ -109,6 +155,29 @@ class Telemetry {
     sim::Time compression_time;
     sim::Time decompression_time;
 
+    // Chunked pipelined rendezvous (PipelineRecord stream). For per-rank
+    // summaries a transfer counts toward both its src and its dst rank.
+    std::uint64_t pipelined_transfers = 0;
+    std::uint64_t pipeline_chunks = 0;
+    std::uint64_t pipeline_retransmits = 0;
+    sim::Time pipeline_span;             // sum of transfer spans
+    sim::Time pipeline_compress_busy;    // per-stage busy totals (overlap
+    sim::Time pipeline_transfer_busy;    // included: sums may exceed span)
+    sim::Time pipeline_decompress_busy;
+
+    // Engine-executed collectives (CollectiveRecord stream).
+    std::uint64_t collectives = 0;
+    std::uint64_t collective_hops = 0;
+    std::uint64_t collective_reduces = 0;
+    sim::Time collective_span;
+    sim::Time collective_compress_busy;
+    sim::Time collective_transfer_busy;
+    sim::Time collective_reduce_busy;
+
+    // Adaptive control plane (DecisionRecord stream).
+    std::uint64_t decisions = 0;
+    std::uint64_t probes = 0;
+
     [[nodiscard]] double achieved_ratio() const {
       return wire_bytes == 0 ? 1.0
                              : static_cast<double>(original_bytes) /
@@ -119,7 +188,7 @@ class Telemetry {
     }
   };
 
-  /// Aggregate over all events; `rank` = -1 for the whole job.
+  /// Aggregate over all four record streams; `rank` = -1 for the whole job.
   [[nodiscard]] Summary summarize(int rank = -1) const;
 
   /// One CSV row per event: time_us,rank,kind,algorithm,original,wire,duration_us
@@ -131,10 +200,20 @@ class Telemetry {
   /// One CSV row per engine-executed collective with per-stage busy times.
   void write_collective_csv(std::ostream& os) const;
 
+  /// One CSV row per adaptive control-plane decision.
+  void write_decision_csv(std::ostream& os) const;
+
+  /// All streams as a Chrome/Perfetto trace (chrome://tracing "Trace Event
+  /// Format" JSON): one process per rank; events, pipeline spans,
+  /// collective spans, and decisions on separate tracks.
+  void write_chrome_trace(std::ostream& os) const;
+
  private:
   std::vector<TelemetryEvent> events_;
   std::vector<PipelineRecord> pipelines_;
   std::vector<CollectiveRecord> collectives_;
+  std::vector<DecisionRecord> decisions_;
+  TelemetryObserver* observer_ = nullptr;
 };
 
 }  // namespace gcmpi::core

@@ -25,6 +25,14 @@ namespace gcmpi::mpi {
 
 core::CollectiveAlgorithm Rank::select_allreduce(std::uint64_t bytes) const {
   const auto& cl = world_.cluster();
+  // The adaptive control plane only refines Auto: a forced algorithm stays
+  // forced. Every rank of one collective receives the same answer (the
+  // controller keys a shared decision sequence by per-rank round index).
+  if (world_.options().adaptive != nullptr &&
+      world_.options().collectives.algorithm == core::CollectiveAlgorithm::Auto) {
+    return world_.options().adaptive->choose_allreduce(ctx_.now(), rank_, bytes, cl.ranks(),
+                                                       cl.nodes, cl.gpus_per_node);
+  }
   return core::resolve_allreduce_algorithm(world_.options().collectives, bytes,
                                            cl.ranks(), cl.nodes, cl.gpus_per_node);
 }

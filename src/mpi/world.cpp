@@ -41,6 +41,9 @@ World::World(sim::Engine& engine, net::ClusterSpec cluster,
     if (options_.fault != nullptr) {
       r.mgr->attach_fault_injector(options_.fault);
     }
+    if (options_.adaptive != nullptr) {
+      r.mgr->attach_adaptive(options_.adaptive);
+    }
     ++rank_id;
   }
 }

@@ -40,6 +40,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/adapt.hpp"
 #include "core/collective.hpp"
 #include "core/manager.hpp"
 #include "fault/injector.hpp"
@@ -126,6 +127,12 @@ struct WorldOptions {
   /// p2p composition vs compression-aware ring vs hierarchical leader
   /// ring). Auto keeps small/low-rank jobs on the legacy linear schedule.
   core::CollectiveTuning collectives;
+
+  /// Closed-loop codec/algorithm selection (src/adapt). When installed it
+  /// is consulted by every rank's CompressionManager before each compress
+  /// and by the collective engines' Auto algorithm resolution; telemetry
+  /// feeds it back (bind it to `telemetry` above). Null = static tuning.
+  core::AdaptivePolicy* adaptive = nullptr;
 };
 
 class World;

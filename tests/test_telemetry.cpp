@@ -2,6 +2,7 @@
 // MPI exchange, per-rank and global summaries, CSV export.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <sstream>
 
@@ -110,9 +111,175 @@ TEST(Telemetry, ClearResets) {
   Telemetry t;
   t.record({sim::Time::zero(), 0, EventKind::Compress, core::Algorithm::MPC, 1, 1,
             sim::Time::zero()});
+  t.record_decision({sim::Time::zero(), 0, "p2p", 1, "raw", false, false, 0.0});
   t.clear();
   EXPECT_TRUE(t.events().empty());
+  EXPECT_TRUE(t.decisions().empty());
   EXPECT_EQ(t.summarize().compressions, 0u);
+  EXPECT_EQ(t.summarize().decisions, 0u);
+}
+
+// Build one record of each newer stream with easy-to-check numbers.
+core::PipelineRecord sample_pipeline() {
+  core::PipelineRecord p;
+  p.at = sim::Time::us(100);
+  p.src = 0;
+  p.dst = 1;
+  p.algorithm = core::Algorithm::MPC;
+  p.original_bytes = 4096;
+  p.wire_bytes = 2048;
+  p.chunks = 4;
+  p.retransmits = 1;
+  p.span = sim::Time::us(50);
+  p.compress_busy = sim::Time::us(20);
+  p.transfer_busy = sim::Time::us(30);
+  p.decompress_busy = sim::Time::us(25);
+  return p;
+}
+
+core::CollectiveRecord sample_collective(int rank) {
+  core::CollectiveRecord c;
+  c.at = sim::Time::us(200);
+  c.rank = rank;
+  c.op = "allreduce";
+  c.algorithm = "ring";
+  c.bytes = 8192;
+  c.hops = 6;
+  c.reduces = 3;
+  c.span = sim::Time::us(80);
+  c.compress_busy = sim::Time::us(10);
+  c.transfer_busy = sim::Time::us(40);
+  c.reduce_busy = sim::Time::us(15);
+  return c;
+}
+
+TEST(Telemetry, SummaryAggregatesAllStreams) {
+  Telemetry t;
+  t.record_pipeline(sample_pipeline());
+  t.record_collective(sample_collective(0));
+  t.record_collective(sample_collective(1));
+  t.record_decision({sim::Time::us(5), 0, "p2p", 4096, "mpc", false, false, 12.0});
+  t.record_decision({sim::Time::us(6), 1, "p2p", 4096, "raw", true, false, 20.0});
+
+  const auto all = t.summarize();
+  EXPECT_EQ(all.pipelined_transfers, 1u);
+  EXPECT_EQ(all.pipeline_chunks, 4u);
+  EXPECT_EQ(all.pipeline_retransmits, 1u);
+  EXPECT_EQ(all.pipeline_span, sim::Time::us(50));
+  EXPECT_EQ(all.pipeline_compress_busy, sim::Time::us(20));
+  EXPECT_EQ(all.pipeline_transfer_busy, sim::Time::us(30));
+  EXPECT_EQ(all.pipeline_decompress_busy, sim::Time::us(25));
+  EXPECT_EQ(all.collectives, 2u);
+  EXPECT_EQ(all.collective_hops, 12u);
+  EXPECT_EQ(all.collective_reduces, 6u);
+  EXPECT_EQ(all.collective_span, sim::Time::us(160));
+  EXPECT_EQ(all.decisions, 2u);
+  EXPECT_EQ(all.probes, 1u);
+}
+
+TEST(Telemetry, PerRankSummaryFiltersAllStreams) {
+  Telemetry t;
+  t.record_pipeline(sample_pipeline());  // src 0 -> dst 1
+  t.record_collective(sample_collective(0));
+  t.record_collective(sample_collective(1));
+  t.record_decision({sim::Time::us(5), 0, "p2p", 4096, "mpc", false, false, 12.0});
+  t.record_decision({sim::Time::us(6), 1, "p2p", 4096, "raw", true, false, 20.0});
+
+  // A pipelined transfer counts toward both endpoints' summaries.
+  for (int r : {0, 1}) {
+    const auto s = t.summarize(r);
+    EXPECT_EQ(s.pipelined_transfers, 1u) << "rank " << r;
+    EXPECT_EQ(s.collectives, 1u) << "rank " << r;
+    EXPECT_EQ(s.decisions, 1u) << "rank " << r;
+  }
+  const auto s2 = t.summarize(2);
+  EXPECT_EQ(s2.pipelined_transfers, 0u);
+  EXPECT_EQ(s2.collectives, 0u);
+  EXPECT_EQ(s2.decisions, 0u);
+  EXPECT_EQ(t.summarize(0).probes, 0u);
+  EXPECT_EQ(t.summarize(1).probes, 1u);
+}
+
+TEST(Telemetry, PipelineCsvGolden) {
+  Telemetry t;
+  t.record_pipeline(sample_pipeline());
+  std::ostringstream os;
+  t.write_pipeline_csv(os);
+  EXPECT_EQ(os.str(),
+            "time_us,src,dst,algorithm,original_bytes,wire_bytes,chunks,retransmits,"
+            "span_us,compress_busy_us,transfer_busy_us,decompress_busy_us\n"
+            "100,0,1,MPC,4096,2048,4,1,50,20,30,25\n");
+}
+
+TEST(Telemetry, CollectiveCsvGolden) {
+  Telemetry t;
+  t.record_collective(sample_collective(2));
+  std::ostringstream os;
+  t.write_collective_csv(os);
+  EXPECT_EQ(os.str(),
+            "time_us,rank,op,algorithm,bytes,hops,reduces,span_us,compress_busy_us,"
+            "transfer_busy_us,reduce_busy_us\n"
+            "200,2,allreduce,ring,8192,6,3,80,10,40,15\n");
+}
+
+TEST(Telemetry, DecisionCsvGolden) {
+  Telemetry t;
+  t.record_decision({sim::Time::us(7), 1, "batch", 1048576, "zfp16", true, false, 123.5});
+  t.record_decision({sim::Time::us(9), 0, "p2p", 4096, "raw", false, true, 2.25});
+  std::ostringstream os;
+  t.write_decision_csv(os);
+  EXPECT_EQ(os.str(),
+            "time_us,rank,scope,bytes,choice,probe,quarantined,predicted_us\n"
+            "7,1,batch,1048576,zfp16,1,0,123.5\n"
+            "9,0,p2p,4096,raw,0,1,2.25\n");
+}
+
+TEST(Telemetry, ChromeTraceSmoke) {
+  Telemetry t;
+  t.record({sim::Time::us(1), 0, EventKind::Compress, core::Algorithm::MPC, 1000, 400,
+            sim::Time::us(5)});
+  t.record({sim::Time::us(2), 0, EventKind::RawBypass, core::Algorithm::None, 64, 64,
+            sim::Time::zero()});
+  t.record_pipeline(sample_pipeline());
+  t.record_collective(sample_collective(0));
+  t.record_decision({sim::Time::us(5), 0, "p2p", 4096, "mpc", false, false, 12.0});
+  std::ostringstream os;
+  t.write_chrome_trace(os);
+  const std::string json = os.str();
+  EXPECT_EQ(json.find("{\"traceEvents\":["), 0u);
+  EXPECT_NE(json.find("\"name\":\"compress\",\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"raw\",\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"pipeline_send\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"pipeline_recv\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"allreduce\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"mpc\",\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":\"adapt\""), std::string::npos);
+  // Balanced braces => plausibly well-formed JSON (no parser in the image).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(Telemetry, ObserverSeesEveryStream) {
+  struct Counter final : core::TelemetryObserver {
+    int events = 0, pipelines = 0, collectives = 0;
+    void on_event(const core::TelemetryEvent&) override { ++events; }
+    void on_pipeline(const core::PipelineRecord&) override { ++pipelines; }
+    void on_collective(const core::CollectiveRecord&) override { ++collectives; }
+  } counter;
+  Telemetry t;
+  t.set_observer(&counter);
+  t.record({sim::Time::zero(), 0, EventKind::Compress, core::Algorithm::MPC, 8, 4,
+            sim::Time::zero()});
+  t.record_pipeline(sample_pipeline());
+  t.record_collective(sample_collective(0));
+  EXPECT_EQ(counter.events, 1);
+  EXPECT_EQ(counter.pipelines, 1);
+  EXPECT_EQ(counter.collectives, 1);
+  t.set_observer(nullptr);
+  t.record_pipeline(sample_pipeline());
+  EXPECT_EQ(counter.pipelines, 1);
 }
 
 }  // namespace

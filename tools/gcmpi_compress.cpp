@@ -6,6 +6,7 @@
 //   gcmpi_compress c <codec> <input> <output> [param]
 //   gcmpi_compress d <codec> <input> <output> [param]
 //   gcmpi_compress crc <input> [...]
+//   gcmpi_compress trace [output.json] [dataset]
 //
 // codecs (param):
 //   mpc [dimensionality]      float32, lossless
@@ -18,6 +19,11 @@
 // `crc` prints the CRC32C (Castagnoli) of each file — the same checksum
 // the reliability layer stamps on every wire payload, so a transferred
 // file can be checked against the value recorded in telemetry or a dump.
+//
+// `trace` runs a canned adaptive workload (compressible then incompressible
+// phases plus a couple of allreduces) and dumps every telemetry stream as a
+// Chrome/Perfetto trace — open the JSON in chrome://tracing or ui.perfetto.dev
+// to see codec, pipeline, collective, and adapt decision tracks per rank.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -27,11 +33,16 @@
 #include <string>
 #include <vector>
 
+#include "adapt/controller.hpp"
 #include "compress/fpc.hpp"
 #include "compress/gfc.hpp"
 #include "compress/mpc.hpp"
 #include "compress/sz.hpp"
 #include "compress/zfp.hpp"
+#include "core/telemetry.hpp"
+#include "data/datasets.hpp"
+#include "mpi/world.hpp"
+#include "net/cluster.hpp"
 #include "util/crc32c.hpp"
 
 namespace {
@@ -63,8 +74,61 @@ std::vector<T> as_values(const std::vector<std::uint8_t>& bytes) {
 int usage() {
   std::fprintf(stderr,
                "usage: gcmpi_compress c|d mpc|zfp|zfp-acc|sz|fpc|gfc <in> <out> [param]\n"
-               "       gcmpi_compress crc <in> [...]\n");
+               "       gcmpi_compress crc <in> [...]\n"
+               "       gcmpi_compress trace [out.json] [dataset]\n");
   return 2;
+}
+
+/// `trace` subcommand: a deterministic two-rank adaptive run whose full
+/// telemetry (events, pipeline, collectives, decisions) is exported as
+/// Chrome trace JSON.
+int run_trace(const std::string& out_path, const std::string& dataset) {
+  namespace g = gcmpi;
+  g::core::Telemetry telemetry;
+  g::adapt::AdaptiveController controller(g::gpu::v100_spec(), 12.5);
+  controller.bind(telemetry);
+  g::mpi::WorldOptions opts;
+  opts.telemetry = &telemetry;
+  opts.adaptive = &controller;
+  opts.pipeline.enabled = true;  // chunked rendezvous => pipeline track
+  g::sim::Engine engine;
+  g::mpi::World world(engine, g::net::longhorn(2, 2),
+                      g::core::CompressionConfig::mpc_opt(), opts);
+  const int last = world.cluster().ranks() - 1;  // rank 0's inter-node peer
+
+  const std::size_t n = (4u << 20) / 4;
+  const auto compressible = g::data::generate(dataset, n);
+  const auto noisy = g::data::quantized_noise(n, 4096, 7);
+  world.run([&](g::mpi::Rank& R) {
+    auto* dev = static_cast<float*>(R.gpu_malloc(n * 4));
+    int tag = 0;
+    for (const auto* phase : {&compressible, &noisy}) {
+      if (R.rank() == 0) std::memcpy(dev, phase->data(), n * 4);
+      for (int i = 0; i < 6; ++i, ++tag) {
+        if (R.rank() == 0) {
+          R.send(dev, n * 4, last, tag);
+        } else if (R.rank() == last) {
+          R.recv(dev, n * 4, 0, tag);
+        }
+      }
+    }
+    std::vector<float> sum(n);
+    for (int round = 0; round < 2; ++round) {
+      R.allreduce(compressible.data(), sum.data(), n, g::mpi::ReduceOp::Sum);
+    }
+    R.gpu_free(dev);
+  });
+
+  std::ofstream f(out_path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot create " + out_path);
+  telemetry.write_chrome_trace(f);
+  const auto s = telemetry.summarize();
+  std::printf("wrote %s: %zu events, %zu pipeline records, %zu collectives, "
+              "%zu decisions (%llu probes) — open in chrome://tracing\n",
+              out_path.c_str(), telemetry.events().size(), telemetry.pipelines().size(),
+              telemetry.collectives().size(), telemetry.decisions().size(),
+              static_cast<unsigned long long>(s.probes));
+  return 0;
 }
 
 // The zfp container needs the value count for decompression; prepend a
@@ -86,6 +150,15 @@ int main(int argc, char** argv) {
         std::printf("%08x  %s\n", gcmpi::util::crc32c(bytes.data(), bytes.size()), argv[i]);
       }
       return 0;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
+  if (argc >= 2 && std::string(argv[1]) == "trace") {
+    try {
+      return run_trace(argc > 2 ? argv[2] : "trace.json",
+                       argc > 3 ? argv[3] : "msg_sppm");
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return 1;
