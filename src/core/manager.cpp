@@ -87,6 +87,7 @@ CompressionManager::AdaptiveGuard::~AdaptiveGuard() {
 void CompressionManager::acquire_staging(Timeline& tl, std::size_t bytes, Breakdown* bd,
                                          gpu::BufferPool::Lease& lease,
                                          void*& naive_buffer, bool& used_pool) {
+  ++staging_acquisitions_;
   if (config_.use_buffer_pool) {
     lease = pool_->acquire(tl, bytes, bd);
     naive_buffer = nullptr;
@@ -95,6 +96,62 @@ void CompressionManager::acquire_staging(Timeline& tl, std::size_t bytes, Breakd
     naive_buffer = gpu_.malloc_device(tl, bytes, bd);
     used_pool = false;
   }
+}
+
+PlanEntry* CompressionManager::plan_entry(PlanKind kind, Algorithm algo, std::uint64_t bytes,
+                                          int param) {
+  if (!plan_cache_enabled_) return nullptr;
+  const PlanKey key{kind, algo, bytes, param};
+  auto [it, inserted] = plans_.try_emplace(key);
+  if (inserted) it->second.key = key;
+  return &it->second;
+}
+
+int CompressionManager::plan_slot_acquire(Timeline& tl, PlanEntry* plan, std::size_t capacity,
+                                          Breakdown* bd, gpu::BufferPool::Lease& lease,
+                                          void*& naive_buffer, bool& used_pool) {
+  if (plan == nullptr) {
+    acquire_staging(tl, capacity, bd, lease, naive_buffer, used_pool);
+    return -1;
+  }
+  if (plan->capacity < capacity) plan->capacity = capacity;
+  for (std::size_t i = 0; i < plan->slots.size(); ++i) {
+    PlanSlot& slot = plan->slots[i];
+    if (slot.in_use) continue;
+    slot.in_use = true;
+    lease = slot.lease;
+    naive_buffer = slot.naive_buffer;
+    used_pool = slot.used_pool;
+    ++plan->hits;
+    ++plan_stats_.hits;
+    return static_cast<int>(i);
+  }
+  // No free slot: grow the plan by one (a real acquisition). Steady-state
+  // iterations find every slot free and never reach here.
+  PlanSlot slot;
+  acquire_staging(tl, plan->capacity, bd, slot.lease, slot.naive_buffer, slot.used_pool);
+  slot.in_use = true;
+  lease = slot.lease;
+  naive_buffer = slot.naive_buffer;
+  used_pool = slot.used_pool;
+  plan->slots.push_back(slot);
+  ++plan->misses;
+  ++plan_stats_.misses;
+  return static_cast<int>(plan->slots.size() - 1);
+}
+
+void CompressionManager::plan_slot_release(PlanEntry* plan, int slot) {
+  if (plan == nullptr || slot < 0) return;
+  plan->slots[static_cast<std::size_t>(slot)].in_use = false;
+}
+
+void CompressionManager::plan_mark_ready(Timeline& tl, PlanEntry* plan, Breakdown* bd) {
+  if (plan == nullptr || plan->graph_ready) return;
+  // One-time capture + cudaGraphInstantiate of the launch sequence that
+  // just ran; every later message replays it with a single graph_launch.
+  charge(tl, gpu_.costs().graph_instantiate, bd, Phase::Other);
+  plan->graph_ready = true;
+  ++plan_stats_.graphs_instantiated;
 }
 
 CompressionManager::WireData CompressionManager::compress_for_send(
@@ -154,10 +211,15 @@ CompressionManager::WireData CompressionManager::compress_for_send(
     const comp::MpcCodec codec(config_.mpc_dimensionality, config_.mpc_chunk_values);
     const std::size_t capacity = codec.max_compressed_bytes(n) +
                                  16 * static_cast<std::size_t>(config_.partitions_for(bytes));
-    acquire_staging(tl, capacity, bd, wire.lease, wire.naive_buffer, wire.used_pool);
+    wire.plan = plan_entry(PlanKind::SendP2P, Algorithm::MPC, bytes,
+                           config_.partitions_for(bytes));
+    const bool plan_mode = wire.plan != nullptr && wire.plan->graph_ready;
+    wire.plan_slot = plan_slot_acquire(tl, wire.plan, capacity, bd, wire.lease,
+                                       wire.naive_buffer, wire.used_pool);
     auto* out = static_cast<std::uint8_t*>(wire.used_pool ? wire.lease.data : wire.naive_buffer);
 
-    const MpcOutput result = run_mpc_compress(tl, values, n, out, capacity, bd);
+    const MpcOutput result = run_mpc_compress(tl, values, n, out, capacity, bd, plan_mode);
+    plan_mark_ready(tl, wire.plan, bd);
 
     wire.header.algorithm = Algorithm::MPC;
     wire.header.mpc_dimensionality = static_cast<std::uint16_t>(config_.mpc_dimensionality);
@@ -191,10 +253,14 @@ CompressionManager::WireData CompressionManager::compress_for_send(
     const comp::ZfpCodec codec(config_.zfp_rate);
     const comp::ZfpField field = comp::ZfpField::d1(n);
     const std::size_t out_bytes = codec.compressed_bytes(field);
-    acquire_staging(tl, out_bytes, bd, wire.lease, wire.naive_buffer, wire.used_pool);
+    wire.plan = plan_entry(PlanKind::SendP2P, Algorithm::ZFP, bytes, config_.zfp_rate);
+    const bool plan_mode = wire.plan != nullptr && wire.plan->graph_ready;
+    wire.plan_slot = plan_slot_acquire(tl, wire.plan, out_bytes, bd, wire.lease,
+                                       wire.naive_buffer, wire.used_pool);
     auto* out = static_cast<std::uint8_t*>(wire.used_pool ? wire.lease.data : wire.naive_buffer);
 
-    const std::uint64_t written = run_zfp_compress(tl, values, n, out, out_bytes, bd);
+    const std::uint64_t written = run_zfp_compress(tl, values, n, out, out_bytes, bd, plan_mode);
+    plan_mark_ready(tl, wire.plan, bd);
 
     wire.header.algorithm = Algorithm::ZFP;
     wire.header.zfp_rate = static_cast<std::uint16_t>(config_.zfp_rate);
@@ -238,7 +304,7 @@ CompressionManager::WireData CompressionManager::compress_for_send(
 
 CompressionManager::MpcOutput CompressionManager::run_mpc_compress(
     Timeline& tl, const float* values, std::size_t n, std::uint8_t* out,
-    std::size_t out_capacity, Breakdown* bd) {
+    std::size_t out_capacity, Breakdown* bd, bool plan_mode) {
   const comp::MpcCodec codec(config_.mpc_dimensionality, config_.mpc_chunk_values);
   const auto parts = make_partitions(n, config_.partitions_for(n * 4), config_.mpc_chunk_values);
   const int n_parts = static_cast<int>(parts.size());
@@ -248,14 +314,19 @@ CompressionManager::MpcOutput CompressionManager::run_mpc_compress(
           : gpu_.spec().sm_count;  // original MPC always uses every SM
 
   // d_off scratch: cudaMalloc'ed per message in the naive scheme, pooled in
-  // MPC-OPT; either way it is memset to -1 before the kernels run.
+  // MPC-OPT; either way it is memset to -1 before the kernels run. A cached
+  // plan owns a persistent d_off and replays the memset as a graph node.
   const std::size_t d_off_bytes = codec.chunk_count(n) * 4;
-  if (!config_.use_buffer_pool) {
-    charge(tl, gpu_.costs().cuda_malloc(d_off_bytes), bd, Phase::MemoryAllocation);
+  if (!plan_mode) {
+    if (!config_.use_buffer_pool) {
+      charge(tl, gpu_.costs().cuda_malloc(d_off_bytes), bd, Phase::MemoryAllocation);
+    }
+    charge(tl, gpu_.costs().cuda_memset_launch, bd, Phase::MemoryAllocation);
   }
-  charge(tl, gpu_.costs().cuda_memset_launch, bd, Phase::MemoryAllocation);
 
   // Launch one compression kernel per partition, round-robin over streams.
+  // Plan mode submits the whole round as one captured graph: a single
+  // graph_launch on the first stream, the remaining nodes cost no host time.
   MpcOutput result;
   std::size_t out_off = 0;
   std::vector<int> used_streams;
@@ -267,9 +338,15 @@ CompressionManager::MpcOutput CompressionManager::run_mpc_compress(
                                              {out + out_off, cap});
     const int sid = p % gpu_.num_streams();
     used_streams.push_back(sid);
-    gpu_.stream(sid).launch(
-        tl, cost_model_.mpc_compress(part.count * 4, psize, blocks_per_kernel, gpu_.spec()),
-        bd, Phase::CompressionKernel);
+    const Time cost = cost_model_.mpc_compress(part.count * 4, psize, blocks_per_kernel,
+                                               gpu_.spec());
+    if (!plan_mode) {
+      gpu_.stream(sid).launch(tl, cost, bd, Phase::CompressionKernel);
+    } else if (p == 0) {
+      gpu_.stream(sid).launch_graph(tl, cost, bd, Phase::CompressionKernel);
+    } else {
+      gpu_.stream(sid).enqueue_graphed(tl, cost);
+    }
     result.partition_bytes.push_back(static_cast<std::uint32_t>(psize));
     out_off += psize;
   }
@@ -281,11 +358,16 @@ CompressionManager::MpcOutput CompressionManager::run_mpc_compress(
   }
 
   // Combine the partitions into one contiguous buffer in fixed order
-  // (Fig. 7). One D2D copy per partition on the copy stream.
+  // (Fig. 7). One D2D copy per partition on the copy stream (graph nodes
+  // under a cached plan).
   if (n_parts > 1) {
     gpu::Stream& copy_stream = gpu_.stream(0);
     for (std::uint32_t psize : result.partition_bytes) {
-      copy_stream.launch(tl, gpu_.costs().d2d_copy(psize), bd, Phase::CombinePartitions);
+      if (!plan_mode) {
+        copy_stream.launch(tl, gpu_.costs().d2d_copy(psize), bd, Phase::CombinePartitions);
+      } else {
+        copy_stream.enqueue_graphed(tl, gpu_.costs().d2d_copy(psize));
+      }
     }
     copy_stream.synchronize(tl, bd, Phase::CombinePartitions);
   }
@@ -302,7 +384,7 @@ CompressionManager::MpcOutput CompressionManager::run_mpc_compress(
     }
   }
 
-  if (!config_.use_buffer_pool) {
+  if (!plan_mode && !config_.use_buffer_pool) {
     charge(tl, gpu_.costs().cuda_free, bd, Phase::MemoryAllocation);  // d_off
   }
   return result;
@@ -311,22 +393,29 @@ CompressionManager::MpcOutput CompressionManager::run_mpc_compress(
 std::uint64_t CompressionManager::run_zfp_compress(Timeline& tl, const float* values,
                                                    std::size_t n, std::uint8_t* out,
                                                    std::size_t out_capacity,
-                                                   Breakdown* bd) {
-  // zfp_stream / zfp_field construction on the CPU (cheap, Sec. V-A).
-  charge(tl, kZfpStreamFieldCreation, bd, Phase::StreamFieldCreation);
-  // get_max_grid_dims: the dominant naive overhead vs the ZFP-OPT cache.
-  if (config_.cache_device_attributes) {
-    (void)gpu_.query_max_grid_dim_cached(tl, bd);
-  } else {
-    (void)gpu_.query_max_grid_dim_via_properties(tl, bd);
+                                                   Breakdown* bd, bool plan_mode) {
+  if (!plan_mode) {
+    // zfp_stream / zfp_field construction on the CPU (cheap, Sec. V-A);
+    // cached plans hold the objects and skip the rebuild.
+    charge(tl, kZfpStreamFieldCreation, bd, Phase::StreamFieldCreation);
+    // get_max_grid_dims: the dominant naive overhead vs the ZFP-OPT cache.
+    if (config_.cache_device_attributes) {
+      (void)gpu_.query_max_grid_dim_cached(tl, bd);
+    } else {
+      (void)gpu_.query_max_grid_dim_via_properties(tl, bd);
+    }
   }
 
   const comp::ZfpCodec codec(config_.zfp_rate);
   const comp::ZfpField field = comp::ZfpField::d1(n);
   const std::size_t written = codec.compress({values, n}, field, {out, out_capacity});
 
-  gpu_.stream(0).launch(tl, cost_model_.zfp_compress(n * 4, config_.zfp_rate, gpu_.spec()),
-                        bd, Phase::CompressionKernel);
+  const Time cost = cost_model_.zfp_compress(n * 4, config_.zfp_rate, gpu_.spec());
+  if (plan_mode) {
+    gpu_.stream(0).launch_graph(tl, cost, bd, Phase::CompressionKernel);
+  } else {
+    gpu_.stream(0).launch(tl, cost, bd, Phase::CompressionKernel);
+  }
   gpu_.stream(0).synchronize(tl, bd, Phase::CompressionKernel);
   return written;
 }
@@ -396,6 +485,8 @@ CompressionManager::BatchWire CompressionManager::compress_batch(
 
   Breakdown* bd = &sender_bd_;
   const int n_batch = static_cast<int>(eligible.size());
+  std::uint64_t eligible_total = 0;
+  for (std::size_t idx : eligible) eligible_total += blocks[idx].bytes;
   std::vector<std::uint64_t> psize(eligible.size(), 0);
   std::vector<std::size_t> offset(eligible.size(), 0);
   std::vector<std::size_t> cap(eligible.size(), 0);
@@ -411,15 +502,23 @@ CompressionManager::BatchWire CompressionManager::compress_batch(
       slab_capacity += cap[k];
       d_off_bytes += codec.chunk_count(n) * 4;
     }
-    acquire_staging(tl, slab_capacity, bd, batch.lease, batch.naive_buffer, batch.used_pool);
+    // The per-block capacity offsets (the batch's offset-table slab) are a
+    // pure function of the shape, so a cached plan re-serves the same slab
+    // slot with the table precomputed.
+    batch.plan = plan_entry(PlanKind::Batch, Algorithm::MPC, eligible_total, n_batch);
+    const bool plan_mode = batch.plan != nullptr && batch.plan->graph_ready;
+    batch.plan_slot = plan_slot_acquire(tl, batch.plan, slab_capacity, bd, batch.lease,
+                                        batch.naive_buffer, batch.used_pool);
     slab = static_cast<std::uint8_t*>(batch.used_pool ? batch.lease.data : batch.naive_buffer);
 
     // ONE d_off scratch allocation + memset for the whole batch, where the
     // naive per-destination scheme pays one per message.
-    if (!config_.use_buffer_pool) {
-      charge(tl, gpu_.costs().cuda_malloc(d_off_bytes), bd, Phase::MemoryAllocation);
+    if (!plan_mode) {
+      if (!config_.use_buffer_pool) {
+        charge(tl, gpu_.costs().cuda_malloc(d_off_bytes), bd, Phase::MemoryAllocation);
+      }
+      charge(tl, gpu_.costs().cuda_memset_launch, bd, Phase::MemoryAllocation);
     }
-    charge(tl, gpu_.costs().cuda_memset_launch, bd, Phase::MemoryAllocation);
 
     // Divide the SMs across the batch (MPC-OPT's partitioned launch applied
     // across destinations): every block's kernel runs concurrently on its
@@ -436,9 +535,15 @@ CompressionManager::BatchWire CompressionManager::compress_batch(
       offset[k] = out_off;
       const int sid = static_cast<int>(k) % gpu_.num_streams();
       used_streams.push_back(sid);
-      gpu_.stream(sid).launch(
-          tl, cost_model_.mpc_compress(in.bytes, psize[k], blocks_per_kernel, gpu_.spec()),
-          bd, Phase::CompressionKernel);
+      const Time cost =
+          cost_model_.mpc_compress(in.bytes, psize[k], blocks_per_kernel, gpu_.spec());
+      if (!plan_mode) {
+        gpu_.stream(sid).launch(tl, cost, bd, Phase::CompressionKernel);
+      } else if (k == 0) {
+        gpu_.stream(sid).launch_graph(tl, cost, bd, Phase::CompressionKernel);
+      } else {
+        gpu_.stream(sid).enqueue_graphed(tl, cost);
+      }
       out_off += psize[k];
     }
     for (int sid : used_streams) {
@@ -465,12 +570,18 @@ CompressionManager::BatchWire CompressionManager::compress_batch(
     }
   } else {  // ZFP
     const comp::ZfpCodec codec(config_.zfp_rate);
-    // One stream/field creation and one grid-dim query cover the batch.
-    charge(tl, kZfpStreamFieldCreation, bd, Phase::StreamFieldCreation);
-    if (config_.cache_device_attributes) {
-      (void)gpu_.query_max_grid_dim_cached(tl, bd);
-    } else {
-      (void)gpu_.query_max_grid_dim_via_properties(tl, bd);
+    batch.plan = plan_entry(PlanKind::Batch, Algorithm::ZFP, eligible_total,
+                            (n_batch << 16) | config_.zfp_rate);
+    const bool plan_mode = batch.plan != nullptr && batch.plan->graph_ready;
+    // One stream/field creation and one grid-dim query cover the batch
+    // (zero with a cached plan: the objects are held across rounds).
+    if (!plan_mode) {
+      charge(tl, kZfpStreamFieldCreation, bd, Phase::StreamFieldCreation);
+      if (config_.cache_device_attributes) {
+        (void)gpu_.query_max_grid_dim_cached(tl, bd);
+      } else {
+        (void)gpu_.query_max_grid_dim_via_properties(tl, bd);
+      }
     }
 
     std::size_t slab_capacity = 0;
@@ -479,7 +590,8 @@ CompressionManager::BatchWire CompressionManager::compress_batch(
       cap[k] = codec.compressed_bytes(comp::ZfpField::d1(n));
       slab_capacity += cap[k];
     }
-    acquire_staging(tl, slab_capacity, bd, batch.lease, batch.naive_buffer, batch.used_pool);
+    batch.plan_slot = plan_slot_acquire(tl, batch.plan, slab_capacity, bd, batch.lease,
+                                        batch.naive_buffer, batch.used_pool);
     slab = static_cast<std::uint8_t*>(batch.used_pool ? batch.lease.data : batch.naive_buffer);
 
     std::size_t out_off = 0;
@@ -492,15 +604,21 @@ CompressionManager::BatchWire CompressionManager::compress_batch(
       offset[k] = out_off;
       const int sid = static_cast<int>(k) % gpu_.num_streams();
       used_streams.push_back(sid);
-      gpu_.stream(sid).launch(
-          tl, cost_model_.zfp_compress(in.bytes, config_.zfp_rate, gpu_.spec()), bd,
-          Phase::CompressionKernel);
+      const Time cost = cost_model_.zfp_compress(in.bytes, config_.zfp_rate, gpu_.spec());
+      if (!plan_mode) {
+        gpu_.stream(sid).launch(tl, cost, bd, Phase::CompressionKernel);
+      } else if (k == 0) {
+        gpu_.stream(sid).launch_graph(tl, cost, bd, Phase::CompressionKernel);
+      } else {
+        gpu_.stream(sid).enqueue_graphed(tl, cost);
+      }
       out_off += psize[k];
     }
     for (int sid : used_streams) {
       gpu_.stream(sid).synchronize(tl, bd, Phase::CompressionKernel);
     }
   }
+  plan_mark_ready(tl, batch.plan, bd);
 
   // Finalize headers block by block; an injected truncate fault (caught by
   // the size validation on readback) degrades the whole batch to raw.
@@ -546,6 +664,16 @@ CompressionManager::BatchWire CompressionManager::compress_batch(
 }
 
 void CompressionManager::release_batch(Timeline& tl, BatchWire& batch) {
+  if (batch.plan != nullptr) {
+    // The slab is a held plan slot: hand it back to the plan, not the pool.
+    plan_slot_release(batch.plan, batch.plan_slot);
+    batch.plan = nullptr;
+    batch.plan_slot = -1;
+    batch.lease = {};
+    batch.naive_buffer = nullptr;
+    batch.used_pool = false;
+    return;
+  }
   if (batch.used_pool) {
     pool_->release(batch.lease);
     batch.lease = {};
@@ -557,6 +685,15 @@ void CompressionManager::release_batch(Timeline& tl, BatchWire& batch) {
 }
 
 void CompressionManager::release_send(Timeline& tl, WireData& wire) {
+  if (wire.plan != nullptr) {
+    plan_slot_release(wire.plan, wire.plan_slot);
+    wire.plan = nullptr;
+    wire.plan_slot = -1;
+    wire.lease = {};
+    wire.naive_buffer = nullptr;
+    wire.used_pool = false;
+    return;
+  }
   if (wire.used_pool) {
     pool_->release(wire.lease);
     wire.lease = {};
@@ -572,8 +709,18 @@ CompressionManager::RecvStaging CompressionManager::prepare_receive(
   RecvStaging staging;
   if (!header.compressed) return staging;
   Breakdown* bd = &receiver_bd_;
-  acquire_staging(tl, header.compressed_bytes, bd, staging.lease, staging.naive_buffer,
-                  staging.used_pool);
+  staging.plan = plan_entry(PlanKind::Recv, header.algorithm, header.original_bytes,
+                            header.algorithm == Algorithm::ZFP
+                                ? static_cast<int>(header.zfp_rate)
+                                : header.partitions());
+  // Plan slots are sized for the worst case (a raw-bounded wire can never
+  // exceed original_bytes), so every later compressed size fits in place.
+  const std::size_t capacity =
+      staging.plan != nullptr
+          ? static_cast<std::size_t>(std::max(header.original_bytes, header.compressed_bytes))
+          : static_cast<std::size_t>(header.compressed_bytes);
+  staging.plan_slot = plan_slot_acquire(tl, staging.plan, capacity, bd, staging.lease,
+                                        staging.naive_buffer, staging.used_pool);
   staging.data = staging.used_pool ? staging.lease.data : staging.naive_buffer;
   return staging;
 }
@@ -604,13 +751,15 @@ void CompressionManager::decompress_received(Timeline& tl, const CompressionHead
     }
     throw CodecFaultError{};
   }
+  const bool plan_mode = staging.plan != nullptr && staging.plan->graph_ready;
   if (header.algorithm == Algorithm::MPC) {
-    run_mpc_decompress(tl, header, in, out, n, bd, synchronize, stream_hint);
+    run_mpc_decompress(tl, header, in, out, n, bd, synchronize, stream_hint, plan_mode);
   } else if (header.algorithm == Algorithm::ZFP) {
-    run_zfp_decompress(tl, header, in, out, n, bd, synchronize, stream_hint);
+    run_zfp_decompress(tl, header, in, out, n, bd, synchronize, stream_hint, plan_mode);
   } else {
     throw std::runtime_error("CompressionManager: compressed payload with no algorithm");
   }
+  plan_mark_ready(tl, staging.plan, bd);
   if (telemetry_ != nullptr) {
     telemetry_->record({started, rank_id_, EventKind::Decompress, header.algorithm,
                         header.original_bytes, header.compressed_bytes, tl.now() - started});
@@ -662,20 +811,27 @@ void CompressionManager::decompress_reduce(Timeline& tl, const CompressionHeader
     throw CodecFaultError{};
   }
 
+  const bool plan_mode = staging.plan != nullptr && staging.plan->graph_ready;
   std::vector<float> decoded(n);
   if (header.algorithm == Algorithm::MPC) {
-    run_mpc_decompress(tl, header, in, decoded.data(), n, bd, /*synchronize=*/false);
+    run_mpc_decompress(tl, header, in, decoded.data(), n, bd, /*synchronize=*/false,
+                       /*stream_hint=*/0, plan_mode);
   } else if (header.algorithm == Algorithm::ZFP) {
-    run_zfp_decompress(tl, header, in, decoded.data(), n, bd, /*synchronize=*/false);
+    run_zfp_decompress(tl, header, in, decoded.data(), n, bd, /*synchronize=*/false,
+                       /*stream_hint=*/0, plan_mode);
   } else {
     throw std::runtime_error("CompressionManager: compressed payload with no algorithm");
   }
   // The fusion combines decoded values with the accumulator in registers
   // before the store: only the extra accumulator traffic is charged, on the
-  // decode kernels' tail.
-  gpu_.stream(0).launch(tl,
-                        cost_model_.fused_reduce_overhead(header.original_bytes, gpu_.spec()),
-                        bd, Phase::DecompressionKernel);
+  // decode kernels' tail (a graph node under a cached plan).
+  const Time fused = cost_model_.fused_reduce_overhead(header.original_bytes, gpu_.spec());
+  if (plan_mode) {
+    gpu_.stream(0).enqueue_graphed(tl, fused);
+  } else {
+    gpu_.stream(0).launch(tl, fused, bd, Phase::DecompressionKernel);
+  }
+  plan_mark_ready(tl, staging.plan, bd);
   comp::reduce_inplace(acc, decoded.data(), n, op);
   if (synchronize) gpu_.device_synchronize(tl, bd);
   if (telemetry_ != nullptr) {
@@ -713,7 +869,7 @@ Time CompressionManager::reduce_device(Timeline& tl, const float* in, float* acc
 void CompressionManager::run_mpc_decompress(Timeline& tl, const CompressionHeader& header,
                                             const std::uint8_t* in, float* out,
                                             std::size_t n, Breakdown* bd, bool synchronize,
-                                            int stream_hint) {
+                                            int stream_hint, bool plan_mode) {
   const comp::MpcCodec codec(header.mpc_dimensionality,
                              header.mpc_chunk_values);
   const int n_parts = header.partitions();
@@ -722,12 +878,15 @@ void CompressionManager::run_mpc_decompress(Timeline& tl, const CompressionHeade
           ? std::max(1, gpu_.spec().sm_count / std::max(1, n_parts))
           : gpu_.spec().sm_count;
 
-  // d_off scratch on the receiver side as well (Algorithm 2).
+  // d_off scratch on the receiver side as well (Algorithm 2); a cached
+  // plan holds a persistent one and replays the memset inside the graph.
   const std::size_t d_off_bytes = codec.chunk_count(n) * 4;
-  if (!config_.use_buffer_pool) {
-    charge(tl, gpu_.costs().cuda_malloc(d_off_bytes), bd, Phase::MemoryAllocation);
+  if (!plan_mode) {
+    if (!config_.use_buffer_pool) {
+      charge(tl, gpu_.costs().cuda_malloc(d_off_bytes), bd, Phase::MemoryAllocation);
+    }
+    charge(tl, gpu_.costs().cuda_memset_launch, bd, Phase::MemoryAllocation);
   }
-  charge(tl, gpu_.costs().cuda_memset_launch, bd, Phase::MemoryAllocation);
 
   std::size_t in_off = 0;
   std::size_t val_off = 0;
@@ -743,9 +902,15 @@ void CompressionManager::run_mpc_decompress(Timeline& tl, const CompressionHeade
 
     const int sid = (stream_hint + p) % gpu_.num_streams();
     used_streams.push_back(sid);
-    gpu_.stream(sid).launch(
-        tl, cost_model_.mpc_decompress(psize, pvalues * 4, blocks_per_kernel, gpu_.spec()),
-        bd, Phase::DecompressionKernel);
+    const Time cost = cost_model_.mpc_decompress(psize, pvalues * 4, blocks_per_kernel,
+                                                 gpu_.spec());
+    if (!plan_mode) {
+      gpu_.stream(sid).launch(tl, cost, bd, Phase::DecompressionKernel);
+    } else if (p == 0) {
+      gpu_.stream(sid).launch_graph(tl, cost, bd, Phase::DecompressionKernel);
+    } else {
+      gpu_.stream(sid).enqueue_graphed(tl, cost);
+    }
     in_off += psize;
     val_off += pvalues;
   }
@@ -755,7 +920,7 @@ void CompressionManager::run_mpc_decompress(Timeline& tl, const CompressionHeade
       gpu_.stream(sid).synchronize(tl, bd, Phase::DecompressionKernel);
     }
   }
-  if (!config_.use_buffer_pool) {
+  if (!plan_mode && !config_.use_buffer_pool) {
     charge(tl, gpu_.costs().cuda_free, bd, Phase::MemoryAllocation);  // d_off
   }
 }
@@ -763,12 +928,14 @@ void CompressionManager::run_mpc_decompress(Timeline& tl, const CompressionHeade
 void CompressionManager::run_zfp_decompress(Timeline& tl, const CompressionHeader& header,
                                             const std::uint8_t* in, float* out,
                                             std::size_t n, Breakdown* bd, bool synchronize,
-                                            int stream_hint) {
-  charge(tl, kZfpStreamFieldCreation, bd, Phase::StreamFieldCreation);
-  if (config_.cache_device_attributes) {
-    (void)gpu_.query_max_grid_dim_cached(tl, bd);
-  } else {
-    (void)gpu_.query_max_grid_dim_via_properties(tl, bd);
+                                            int stream_hint, bool plan_mode) {
+  if (!plan_mode) {
+    charge(tl, kZfpStreamFieldCreation, bd, Phase::StreamFieldCreation);
+    if (config_.cache_device_attributes) {
+      (void)gpu_.query_max_grid_dim_cached(tl, bd);
+    } else {
+      (void)gpu_.query_max_grid_dim_via_properties(tl, bd);
+    }
   }
 
   const comp::ZfpCodec codec(header.zfp_rate);
@@ -776,8 +943,12 @@ void CompressionManager::run_zfp_decompress(Timeline& tl, const CompressionHeade
   codec.decompress({in, header.compressed_bytes}, field, {out, n});
 
   const int sid = stream_hint % gpu_.num_streams();
-  gpu_.stream(sid).launch(tl, cost_model_.zfp_decompress(n * 4, header.zfp_rate, gpu_.spec()),
-                          bd, Phase::DecompressionKernel);
+  const Time cost = cost_model_.zfp_decompress(n * 4, header.zfp_rate, gpu_.spec());
+  if (plan_mode) {
+    gpu_.stream(sid).launch_graph(tl, cost, bd, Phase::DecompressionKernel);
+  } else {
+    gpu_.stream(sid).launch(tl, cost, bd, Phase::DecompressionKernel);
+  }
   if (synchronize) gpu_.stream(sid).synchronize(tl, bd, Phase::DecompressionKernel);
 }
 
@@ -830,21 +1001,29 @@ CompressionManager::ChunkWire CompressionManager::compress_chunk(
   if (config_.algorithm == Algorithm::MPC) {
     const comp::MpcCodec codec(config_.mpc_dimensionality, config_.mpc_chunk_values);
     const std::size_t capacity = codec.max_compressed_bytes(n) + 16;
-    acquire_staging(tl, capacity, bd, ck.wire.lease, ck.wire.naive_buffer, ck.wire.used_pool);
+    ck.wire.plan = plan_entry(PlanKind::ChunkSend, Algorithm::MPC, bytes, blocks);
+    const bool plan_mode = ck.wire.plan != nullptr && ck.wire.plan->graph_ready;
+    ck.wire.plan_slot = plan_slot_acquire(tl, ck.wire.plan, capacity, bd, ck.wire.lease,
+                                          ck.wire.naive_buffer, ck.wire.used_pool);
     auto* out =
         static_cast<std::uint8_t*>(ck.wire.used_pool ? ck.wire.lease.data : ck.wire.naive_buffer);
-    // Per-chunk d_off scratch + memset, exactly as the serial launch pays.
-    if (!config_.use_buffer_pool) {
-      charge(tl, gpu_.costs().cuda_malloc(codec.chunk_count(n) * 4), bd,
-             Phase::MemoryAllocation);
+    // Per-chunk d_off scratch + memset, exactly as the serial launch pays
+    // (held + replayed as a graph node once the chunk plan is cached).
+    if (!plan_mode) {
+      if (!config_.use_buffer_pool) {
+        charge(tl, gpu_.costs().cuda_malloc(codec.chunk_count(n) * 4), bd,
+               Phase::MemoryAllocation);
+      }
+      charge(tl, gpu_.costs().cuda_memset_launch, bd, Phase::MemoryAllocation);
     }
-    charge(tl, gpu_.costs().cuda_memset_launch, bd, Phase::MemoryAllocation);
 
     const std::size_t psize = codec.compress({values, n}, {out, capacity});
     gpu::Stream& stream = gpu_.stream(chunk_index % gpu_.num_streams());
     const Time cost = cost_model_.mpc_compress(bytes, psize, blocks, gpu_.spec());
-    ck.kernel_done = stream.launch(tl, cost, bd, Phase::CompressionKernel);
+    ck.kernel_done = plan_mode ? stream.launch_graph(tl, cost, bd, Phase::CompressionKernel)
+                               : stream.launch(tl, cost, bd, Phase::CompressionKernel);
     ck.kernel_time = cost;
+    plan_mark_ready(tl, ck.wire.plan, bd);
 
     ck.wire.data = out;
     ck.wire.bytes = psize;
@@ -854,25 +1033,32 @@ CompressionManager::ChunkWire CompressionManager::compress_chunk(
     ck.wire.header.compressed_bytes = psize;
     ck.wire.header.compressed = true;
   } else {  // ZFP
-    charge(tl, kZfpStreamFieldCreation, bd, Phase::StreamFieldCreation);
-    if (config_.cache_device_attributes) {
-      (void)gpu_.query_max_grid_dim_cached(tl, bd);
-    } else {
-      (void)gpu_.query_max_grid_dim_via_properties(tl, bd);
+    ck.wire.plan = plan_entry(PlanKind::ChunkSend, Algorithm::ZFP, bytes, config_.zfp_rate);
+    const bool plan_mode = ck.wire.plan != nullptr && ck.wire.plan->graph_ready;
+    if (!plan_mode) {
+      charge(tl, kZfpStreamFieldCreation, bd, Phase::StreamFieldCreation);
+      if (config_.cache_device_attributes) {
+        (void)gpu_.query_max_grid_dim_cached(tl, bd);
+      } else {
+        (void)gpu_.query_max_grid_dim_via_properties(tl, bd);
+      }
     }
     const comp::ZfpCodec codec(config_.zfp_rate);
     const comp::ZfpField field = comp::ZfpField::d1(n);
     const std::size_t out_capacity = codec.compressed_bytes(field);
-    acquire_staging(tl, out_capacity, bd, ck.wire.lease, ck.wire.naive_buffer,
-                    ck.wire.used_pool);
+    ck.wire.plan_slot = plan_slot_acquire(tl, ck.wire.plan, out_capacity, bd, ck.wire.lease,
+                                          ck.wire.naive_buffer, ck.wire.used_pool);
     auto* out =
         static_cast<std::uint8_t*>(ck.wire.used_pool ? ck.wire.lease.data : ck.wire.naive_buffer);
     const std::uint64_t written = codec.compress({values, n}, field, {out, out_capacity});
     // ZFP kernels expose no block-count knob to divide the GPU fairly
     // among concurrent chunks, so chunk kernels serialize on stream 0.
     const Time cost = cost_model_.zfp_compress(bytes, config_.zfp_rate, gpu_.spec());
-    ck.kernel_done = gpu_.stream(0).launch(tl, cost, bd, Phase::CompressionKernel);
+    ck.kernel_done = plan_mode
+                         ? gpu_.stream(0).launch_graph(tl, cost, bd, Phase::CompressionKernel)
+                         : gpu_.stream(0).launch(tl, cost, bd, Phase::CompressionKernel);
     ck.kernel_time = cost;
+    plan_mark_ready(tl, ck.wire.plan, bd);
 
     ck.wire.data = out;
     ck.wire.bytes = written;
@@ -948,13 +1134,25 @@ CompressionManager::PipelineStaging CompressionManager::prepare_pipeline_receive
   st.slices = std::max(1, slices);
   st.slice_bytes = (static_cast<std::size_t>(chunk_capacity) + 255) & ~std::size_t{255};
   Breakdown* bd = &receiver_bd_;
-  acquire_staging(tl, st.slice_bytes * static_cast<std::size_t>(st.slices), bd, st.lease,
-                  st.naive_buffer, st.used_pool);
+  st.plan = plan_entry(PlanKind::PipeRecv, Algorithm::None, chunk_capacity, slices);
+  st.plan_slot =
+      plan_slot_acquire(tl, st.plan, st.slice_bytes * static_cast<std::size_t>(st.slices), bd,
+                        st.lease, st.naive_buffer, st.used_pool);
   st.base = st.used_pool ? st.lease.data : st.naive_buffer;
   return st;
 }
 
 void CompressionManager::release_pipeline_receive(Timeline& tl, PipelineStaging& staging) {
+  if (staging.plan != nullptr) {
+    plan_slot_release(staging.plan, staging.plan_slot);
+    staging.plan = nullptr;
+    staging.plan_slot = -1;
+    staging.lease = {};
+    staging.naive_buffer = nullptr;
+    staging.used_pool = false;
+    staging.base = nullptr;
+    return;
+  }
   if (staging.used_pool) {
     pool_->release(staging.lease);
     staging.lease = {};
@@ -990,15 +1188,20 @@ Time CompressionManager::decompress_chunk(Timeline& tl, const CompressionHeader&
   const auto* in = static_cast<const std::uint8_t*>(staged);
   auto* values = static_cast<float*>(out);
   const std::size_t n = header.original_bytes / 4;
+  PlanEntry* plan =
+      plan_entry(PlanKind::ChunkRecv, header.algorithm, header.original_bytes, blocks);
+  const bool plan_mode = plan != nullptr && plan->graph_ready;
   Time done;
   Time cost;
   if (header.algorithm == Algorithm::MPC) {
     const comp::MpcCodec codec(header.mpc_dimensionality, header.mpc_chunk_values);
-    if (!config_.use_buffer_pool) {
-      charge(tl, gpu_.costs().cuda_malloc(codec.chunk_count(n) * 4), bd,
-             Phase::MemoryAllocation);
+    if (!plan_mode) {
+      if (!config_.use_buffer_pool) {
+        charge(tl, gpu_.costs().cuda_malloc(codec.chunk_count(n) * 4), bd,
+               Phase::MemoryAllocation);
+      }
+      charge(tl, gpu_.costs().cuda_memset_launch, bd, Phase::MemoryAllocation);
     }
-    charge(tl, gpu_.costs().cuda_memset_launch, bd, Phase::MemoryAllocation);
     const std::span<const std::uint8_t> pin{in, header.compressed_bytes};
     if (comp::MpcCodec::encoded_values(pin) != n) {
       throw std::runtime_error("CompressionManager: pipeline chunk stream mismatch");
@@ -1006,25 +1209,30 @@ Time CompressionManager::decompress_chunk(Timeline& tl, const CompressionHeader&
     codec.decompress(pin, {values, n});
     gpu::Stream& stream = gpu_.stream(chunk_index % gpu_.num_streams());
     cost = cost_model_.mpc_decompress(header.compressed_bytes, n * 4, blocks, gpu_.spec());
-    done = stream.launch(tl, cost, bd, Phase::DecompressionKernel);
-    if (!config_.use_buffer_pool) {
+    done = plan_mode ? stream.launch_graph(tl, cost, bd, Phase::DecompressionKernel)
+                     : stream.launch(tl, cost, bd, Phase::DecompressionKernel);
+    if (!plan_mode && !config_.use_buffer_pool) {
       charge(tl, gpu_.costs().cuda_free, bd, Phase::MemoryAllocation);  // d_off
     }
   } else if (header.algorithm == Algorithm::ZFP) {
-    charge(tl, kZfpStreamFieldCreation, bd, Phase::StreamFieldCreation);
-    if (config_.cache_device_attributes) {
-      (void)gpu_.query_max_grid_dim_cached(tl, bd);
-    } else {
-      (void)gpu_.query_max_grid_dim_via_properties(tl, bd);
+    if (!plan_mode) {
+      charge(tl, kZfpStreamFieldCreation, bd, Phase::StreamFieldCreation);
+      if (config_.cache_device_attributes) {
+        (void)gpu_.query_max_grid_dim_cached(tl, bd);
+      } else {
+        (void)gpu_.query_max_grid_dim_via_properties(tl, bd);
+      }
     }
     const comp::ZfpCodec codec(header.zfp_rate);
     const comp::ZfpField field = comp::ZfpField::d1(n);
     codec.decompress({in, header.compressed_bytes}, field, {values, n});
     cost = cost_model_.zfp_decompress(n * 4, header.zfp_rate, gpu_.spec());
-    done = gpu_.stream(0).launch(tl, cost, bd, Phase::DecompressionKernel);
+    done = plan_mode ? gpu_.stream(0).launch_graph(tl, cost, bd, Phase::DecompressionKernel)
+                     : gpu_.stream(0).launch(tl, cost, bd, Phase::DecompressionKernel);
   } else {
     throw std::runtime_error("CompressionManager: compressed chunk with no algorithm");
   }
+  plan_mark_ready(tl, plan, bd);
   if (kernel_time != nullptr) *kernel_time = cost;
   if (telemetry_ != nullptr) {
     telemetry_->record({started, rank_id_, EventKind::Decompress, header.algorithm,
@@ -1034,6 +1242,16 @@ Time CompressionManager::decompress_chunk(Timeline& tl, const CompressionHeader&
 }
 
 void CompressionManager::release_receive(Timeline& tl, RecvStaging& staging) {
+  if (staging.plan != nullptr) {
+    plan_slot_release(staging.plan, staging.plan_slot);
+    staging.plan = nullptr;
+    staging.plan_slot = -1;
+    staging.lease = {};
+    staging.naive_buffer = nullptr;
+    staging.used_pool = false;
+    staging.data = nullptr;
+    return;
+  }
   if (staging.used_pool) {
     pool_->release(staging.lease);
     staging.lease = {};

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <vector>
 
@@ -23,6 +24,7 @@
 #include "core/adapt.hpp"
 #include "core/config.hpp"
 #include "core/header.hpp"
+#include "core/plan_cache.hpp"
 #include "core/telemetry.hpp"
 #include "gpu/buffer_pool.hpp"
 #include "gpu/device.hpp"
@@ -90,6 +92,10 @@ class CompressionManager {
     gpu::BufferPool::Lease lease;      // OPT path
     void* naive_buffer = nullptr;      // naive path (timed cudaMalloc)
     bool used_pool = false;
+    // Plan-cache slot (persistent channels): when set, release_send gives
+    // the slot back to the plan instead of the pool.
+    PlanEntry* plan = nullptr;
+    int plan_slot = -1;
   };
 
   struct RecvStaging {
@@ -97,6 +103,8 @@ class CompressionManager {
     gpu::BufferPool::Lease lease;
     void* naive_buffer = nullptr;
     bool used_pool = false;
+    PlanEntry* plan = nullptr;
+    int plan_slot = -1;
   };
 
   /// Sender side (Algorithms 1 and 3). Returns the wire view; if
@@ -135,6 +143,8 @@ class CompressionManager {
     gpu::BufferPool::Lease lease;
     void* naive_buffer = nullptr;
     bool used_pool = false;
+    PlanEntry* plan = nullptr;
+    int plan_slot = -1;
   };
 
   /// Compress every eligible block of the batch in one batched launch;
@@ -237,6 +247,8 @@ class CompressionManager {
     gpu::BufferPool::Lease lease;
     void* naive_buffer = nullptr;
     bool used_pool = false;
+    PlanEntry* plan = nullptr;
+    int plan_slot = -1;
     [[nodiscard]] bool valid() const { return base != nullptr; }
     [[nodiscard]] void* slice(int chunk_index) const {
       return static_cast<std::uint8_t*>(base) +
@@ -277,6 +289,17 @@ class CompressionManager {
   /// qualified message. Null (the default) keeps the static config.
   void attach_adaptive(AdaptivePolicy* policy) { adapt_ = policy; }
 
+  /// Persistent-channel plan cache (see core/plan_cache.hpp): repeated
+  /// same-shape operations reuse held staging leases, skip the per-call
+  /// codec setup, and replay a captured launch graph. Off (the default)
+  /// leaves every charge byte-identical to the uncached paths.
+  void enable_plan_cache(bool on) { plan_cache_enabled_ = on; }
+  [[nodiscard]] bool plan_cache_enabled() const { return plan_cache_enabled_; }
+  [[nodiscard]] const PlanCacheStats& plan_stats() const { return plan_stats_; }
+  /// Every staging buffer acquisition (pool or naive), including plan-slot
+  /// growth. Warm iterations on cached plans must not move this counter.
+  [[nodiscard]] std::uint64_t staging_acquisitions() const { return staging_acquisitions_; }
+
   [[nodiscard]] const CompressionStats& stats() const { return stats_; }
   [[nodiscard]] Breakdown& sender_breakdown() { return sender_bd_; }
   [[nodiscard]] Breakdown& receiver_breakdown() { return receiver_bd_; }
@@ -294,25 +317,42 @@ class CompressionManager {
 
   /// Run the (possibly partitioned) MPC compression kernels; writes the
   /// compressed stream into `out` and charges all kernel/copy/readback
-  /// costs. `bd` selects sender vs receiver attribution.
+  /// costs. `bd` selects sender vs receiver attribution. With `plan_mode`
+  /// the memset/kernel enqueues replay as one captured graph and the
+  /// per-call host setup is skipped (the plan already holds it).
   MpcOutput run_mpc_compress(Timeline& tl, const float* values, std::size_t n,
                              std::uint8_t* out, std::size_t out_capacity,
-                             Breakdown* bd);
+                             Breakdown* bd, bool plan_mode = false);
   void run_mpc_decompress(Timeline& tl, const CompressionHeader& header,
                           const std::uint8_t* in, float* out, std::size_t n,
-                          Breakdown* bd, bool synchronize, int stream_hint = 0);
+                          Breakdown* bd, bool synchronize, int stream_hint = 0,
+                          bool plan_mode = false);
 
   std::uint64_t run_zfp_compress(Timeline& tl, const float* values, std::size_t n,
                                  std::uint8_t* out, std::size_t out_capacity,
-                                 Breakdown* bd);
+                                 Breakdown* bd, bool plan_mode = false);
   void run_zfp_decompress(Timeline& tl, const CompressionHeader& header,
                           const std::uint8_t* in, float* out, std::size_t n,
-                          Breakdown* bd, bool synchronize, int stream_hint = 0);
+                          Breakdown* bd, bool synchronize, int stream_hint = 0,
+                          bool plan_mode = false);
 
   /// Acquire a staging device buffer: pooled (OPT) or cudaMalloc'ed (naive).
   void acquire_staging(Timeline& tl, std::size_t bytes, Breakdown* bd,
                        gpu::BufferPool::Lease& lease, void*& naive_buffer,
                        bool& used_pool);
+
+  // --- plan cache internals ---
+  /// Find-or-create the cache entry for a shape; nullptr when disabled.
+  PlanEntry* plan_entry(PlanKind kind, Algorithm algo, std::uint64_t bytes, int param);
+  /// Hand out a staging slot from the plan (hit: no acquisition) or grow it
+  /// via acquire_staging (miss). Falls through to a plain acquisition when
+  /// `plan` is null. Returns the slot index (-1 when unplanned).
+  int plan_slot_acquire(Timeline& tl, PlanEntry* plan, std::size_t capacity, Breakdown* bd,
+                        gpu::BufferPool::Lease& lease, void*& naive_buffer, bool& used_pool);
+  void plan_slot_release(PlanEntry* plan, int slot);
+  /// First-use epilogue: pay the one-time graph capture/instantiate and
+  /// mark the plan replayable.
+  void plan_mark_ready(Timeline& tl, PlanEntry* plan, Breakdown* bd);
 
   gpu::Gpu& gpu_;
   CompressionConfig config_;
@@ -343,6 +383,11 @@ class CompressionManager {
   fault::FaultInjector* fault_ = nullptr;
   AdaptivePolicy* adapt_ = nullptr;
   int rank_id_ = -1;
+
+  bool plan_cache_enabled_ = false;
+  std::map<PlanKey, PlanEntry> plans_;  // node stability: entries are pointed into
+  PlanCacheStats plan_stats_;
+  std::uint64_t staging_acquisitions_ = 0;
 };
 
 }  // namespace gcmpi::core

@@ -1,0 +1,76 @@
+// Compression plan cache (persistent-channel support, see mpi/channel.hpp
+// and DESIGN.md §13).
+//
+// Iterative workloads send the same (shape, codec) message every timestep,
+// yet each call re-derives the whole launch plan: a staging acquisition, a
+// zfp_stream/zfp_field construction + grid-dim query (ZFP), a d_off memset
+// enqueue and one kernel enqueue per partition (MPC). A PlanEntry caches
+// everything that is a pure function of the shape:
+//
+//   * staging slots — BufferPool leases (or naive allocations) held across
+//     iterations instead of acquired/released per message;
+//   * the host-side codec setup — stream/field objects and the cached
+//     attribute read are reused, not recreated;
+//   * the launch sequence — captured into a CUDA graph on first use (one
+//     timed cudaGraphInstantiate), then replayed with a single
+//     cudaGraphLaunch per message regardless of node count.
+//
+// The cache is strictly opt-in (CompressionManager::enable_plan_cache);
+// when disabled every path charges exactly what it always did, so pinned
+// world-dump SHAs are unaffected.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "gpu/buffer_pool.hpp"
+
+namespace gcmpi::core {
+
+enum class PlanKind : std::uint8_t {
+  SendP2P,   // compress_for_send staging + launch sequence
+  Recv,      // prepare_receive staging + decompress launch sequence
+  Batch,     // compress_batch slab + offset table + batched launch round
+  ChunkSend, // per-chunk pipeline compression
+  ChunkRecv, // per-chunk pipeline decompression (graph only, no staging)
+  PipeRecv,  // prepare_pipeline_receive slice slab
+};
+
+struct PlanKey {
+  PlanKind kind = PlanKind::SendP2P;
+  Algorithm algorithm = Algorithm::None;
+  std::uint64_t bytes = 0;  // message/chunk/batch shape
+  int param = 0;            // zfp rate, partition count, block count, slices
+  auto operator<=>(const PlanKey&) const = default;
+};
+
+/// One held staging buffer. `in_use` guards concurrent same-shape
+/// operations (e.g. pipeline chunks in flight); the slot vector grows on
+/// demand and then serves every later iteration with zero acquisitions.
+struct PlanSlot {
+  gpu::BufferPool::Lease lease;
+  void* naive_buffer = nullptr;
+  bool used_pool = false;
+  bool in_use = false;
+};
+
+struct PlanEntry {
+  PlanKey key;
+  std::size_t capacity = 0;  // staging bytes each slot holds
+  /// Launch sequence captured + instantiated (first use paid for it);
+  /// subsequent uses replay it with one graph_launch and skip the
+  /// host-side codec setup.
+  bool graph_ready = false;
+  std::vector<PlanSlot> slots;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
+struct PlanCacheStats {
+  std::uint64_t hits = 0;                 // staging served from a held slot
+  std::uint64_t misses = 0;               // slot had to be acquired
+  std::uint64_t graphs_instantiated = 0;  // one-time captures paid
+};
+
+}  // namespace gcmpi::core

@@ -73,6 +73,18 @@ Telemetry::Summary Telemetry::summarize(int rank) const {
     ++s.decisions;
     if (d.probe) ++s.probes;
   }
+  for (const auto& ch : channels_) {
+    if (rank >= 0 && ch.src != rank && ch.dst != rank) continue;
+    ++s.channels;
+    s.channel_warmups += ch.warmups;
+    s.channel_warm_sends += ch.warm_sends;
+    s.channel_credit_stalls += ch.credit_stalls;
+    s.channel_retransmits += ch.retransmits;
+    s.channel_raw_degrades += ch.raw_degrades;
+    s.channel_plan_hits += ch.plan_hits;
+    s.channel_plan_misses += ch.plan_misses;
+    s.channel_header_bytes_saved += ch.header_bytes_saved;
+  }
   return s;
 }
 
@@ -114,6 +126,18 @@ void Telemetry::write_decision_csv(std::ostream& os) const {
     os << d.at.to_us() << ',' << d.rank << ',' << d.scope << ',' << d.bytes << ','
        << d.choice << ',' << (d.probe ? 1 : 0) << ',' << (d.quarantined ? 1 : 0) << ','
        << d.predicted_us << '\n';
+  }
+}
+
+void Telemetry::write_channel_csv(std::ostream& os) const {
+  os << "time_us,id,src,dst,tag_class,bytes,warmups,warm_sends,credit_stalls,"
+        "retransmits,raw_degrades,plan_hits,plan_misses,header_bytes_saved\n";
+  for (const auto& ch : channels_) {
+    os << ch.at.to_us() << ',' << ch.id << ',' << ch.src << ',' << ch.dst << ','
+       << ch.tag_class << ',' << ch.bytes << ',' << ch.warmups << ',' << ch.warm_sends
+       << ',' << ch.credit_stalls << ',' << ch.retransmits << ',' << ch.raw_degrades
+       << ',' << ch.plan_hits << ',' << ch.plan_misses << ',' << ch.header_bytes_saved
+       << '\n';
   }
 }
 
@@ -159,6 +183,15 @@ void Telemetry::write_chrome_trace(std::ostream& os) const {
   }
   for (const auto& d : decisions_) {
     trace_event(os, first, d.choice, 'i', d.at.to_us(), 0.0, d.rank, "adapt", d.bytes, 0);
+  }
+  for (const auto& ch : channels_) {
+    // Lifetime totals flushed at end of run: one instant on each endpoint's
+    // channel track, warm-send count in original_bytes' place would mislead,
+    // so args carry the shape bytes and the control bytes amortized away.
+    trace_event(os, first, "channel", 'i', ch.at.to_us(), 0.0, ch.src, "channel",
+                ch.bytes, ch.header_bytes_saved);
+    trace_event(os, first, "channel", 'i', ch.at.to_us(), 0.0, ch.dst, "channel",
+                ch.bytes, ch.header_bytes_saved);
   }
   os << "\n]}\n";
 }

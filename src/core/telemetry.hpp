@@ -84,6 +84,28 @@ struct CollectiveRecord {
   sim::Time reduce_busy;          // fused decompress+reduce (and final decode)
 };
 
+/// One persistent channel's lifetime totals (mpi/channel.hpp), flushed at
+/// the end of World::run in deterministic (key-sorted) order. Quantifies
+/// what the warm protocol amortized: handshake-free sends, control bytes
+/// avoided, plan-cache reuse, and the fault recoveries absorbed without a
+/// channel teardown.
+struct ChannelRecord {
+  sim::Time at;  // flush time (end of run)
+  std::uint32_t id = 0;
+  int src = -1;
+  int dst = -1;
+  int tag_class = 0;  // exact user tag, or -1 for engine wire channels
+  std::uint64_t bytes = 0;
+  std::uint32_t warmups = 0;
+  std::uint64_t warm_sends = 0;
+  std::uint64_t credit_stalls = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t raw_degrades = 0;
+  std::uint64_t plan_hits = 0;
+  std::uint64_t plan_misses = 0;
+  std::uint64_t header_bytes_saved = 0;
+};
+
 /// One adaptive-control-plane decision: which codec (or collective
 /// schedule) the controller picked for one message/batch/chunk/collective
 /// round, whether it was an exploratory probe of the runner-up, and
@@ -125,6 +147,7 @@ class Telemetry {
     if (observer_ != nullptr) observer_->on_collective(rec);
   }
   void record_decision(const DecisionRecord& rec) { decisions_.push_back(rec); }
+  void record_channel(const ChannelRecord& rec) { channels_.push_back(rec); }
 
   /// Install (or clear, with nullptr) the live stream subscriber.
   void set_observer(TelemetryObserver* observer) { observer_ = observer; }
@@ -135,11 +158,13 @@ class Telemetry {
     return collectives_;
   }
   [[nodiscard]] const std::vector<DecisionRecord>& decisions() const { return decisions_; }
+  [[nodiscard]] const std::vector<ChannelRecord>& channels() const { return channels_; }
   void clear() {
     events_.clear();
     pipelines_.clear();
     collectives_.clear();
     decisions_.clear();
+    channels_.clear();
   }
 
   struct Summary {
@@ -178,6 +203,18 @@ class Telemetry {
     std::uint64_t decisions = 0;
     std::uint64_t probes = 0;
 
+    // Persistent channels (ChannelRecord stream). For per-rank summaries a
+    // channel counts toward both its src and its dst rank.
+    std::uint64_t channels = 0;
+    std::uint64_t channel_warmups = 0;
+    std::uint64_t channel_warm_sends = 0;
+    std::uint64_t channel_credit_stalls = 0;
+    std::uint64_t channel_retransmits = 0;
+    std::uint64_t channel_raw_degrades = 0;
+    std::uint64_t channel_plan_hits = 0;
+    std::uint64_t channel_plan_misses = 0;
+    std::uint64_t channel_header_bytes_saved = 0;
+
     [[nodiscard]] double achieved_ratio() const {
       return wire_bytes == 0 ? 1.0
                              : static_cast<double>(original_bytes) /
@@ -203,6 +240,9 @@ class Telemetry {
   /// One CSV row per adaptive control-plane decision.
   void write_decision_csv(std::ostream& os) const;
 
+  /// One CSV row per persistent channel's lifetime totals.
+  void write_channel_csv(std::ostream& os) const;
+
   /// All streams as a Chrome/Perfetto trace (chrome://tracing "Trace Event
   /// Format" JSON): one process per rank; events, pipeline spans,
   /// collective spans, and decisions on separate tracks.
@@ -213,6 +253,7 @@ class Telemetry {
   std::vector<PipelineRecord> pipelines_;
   std::vector<CollectiveRecord> collectives_;
   std::vector<DecisionRecord> decisions_;
+  std::vector<ChannelRecord> channels_;
   TelemetryObserver* observer_ = nullptr;
 };
 

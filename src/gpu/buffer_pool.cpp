@@ -16,10 +16,25 @@ BufferPool::BufferPool(Gpu& gpu, std::size_t buffer_bytes, std::size_t count)
 }
 
 BufferPool::Lease BufferPool::acquire(Timeline& tl, std::size_t bytes, Breakdown* bd) {
-  if (bytes <= buffer_bytes_ && !free_.empty()) {
-    const std::size_t idx = free_.back();
-    free_.pop_back();
-    return Lease{buffers_[idx].data(), buffer_bytes_, idx};
+  ++acquire_count_;
+  // Size-aware reuse: best-fit over the free list so an oversized buffer
+  // released earlier can serve both oversized and ordinary requests, and
+  // the lease always reports the buffer's true capacity (an oversized
+  // buffer is bigger than buffer_bytes_; advertising less would make a
+  // caller reject a staging area that actually fits).
+  std::size_t best = free_.size();
+  for (std::size_t i = 0; i < free_.size(); ++i) {
+    const std::size_t cap = buffers_[free_[i]].size();
+    if (cap < bytes) continue;
+    if (best == free_.size() || cap < buffers_[free_[best]].size() ||
+        (cap == buffers_[free_[best]].size() && free_[i] < free_[best])) {
+      best = i;
+    }
+  }
+  if (best != free_.size()) {
+    const std::size_t idx = free_[best];
+    free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(best));
+    return Lease{buffers_[idx].data(), buffers_[idx].size(), idx};
   }
   // Grow on demand: this is a real cudaMalloc on the critical path, exactly
   // the cost the pre-allocation is designed to avoid in the common case.

@@ -29,10 +29,12 @@ class BufferPool {
     [[nodiscard]] bool valid() const { return data != nullptr; }
   };
 
-  /// Acquire a buffer able to hold `bytes`. Free pooled buffer: no time
+  /// Acquire a buffer able to hold `bytes`. Free pooled buffer (best fit
+  /// by true capacity, so released oversized buffers are reused): no time
   /// charged. Pool exhausted: the pool doubles with ONE timed slab
   /// cudaMalloc (geometric growth, attributed to MemoryAllocation), so
-  /// repeated misses amortize. Oversized request: a dedicated buffer.
+  /// repeated misses amortize. Oversized request with no big-enough free
+  /// buffer: a dedicated buffer. Lease::size is the buffer's true capacity.
   [[nodiscard]] Lease acquire(Timeline& tl, std::size_t bytes,
                               Breakdown* bd = nullptr);
   void release(const Lease& lease);
@@ -41,6 +43,7 @@ class BufferPool {
   [[nodiscard]] std::size_t total_buffers() const { return buffers_.size(); }
   [[nodiscard]] std::size_t free_buffers() const { return free_.size(); }
   [[nodiscard]] std::size_t grow_count() const { return grow_count_; }
+  [[nodiscard]] std::size_t acquire_count() const { return acquire_count_; }
 
  private:
   Gpu& gpu_;
@@ -48,6 +51,7 @@ class BufferPool {
   std::vector<DeviceBuffer> buffers_;
   std::vector<std::size_t> free_;
   std::size_t grow_count_ = 0;
+  std::size_t acquire_count_ = 0;
 };
 
 }  // namespace gcmpi::gpu

@@ -30,6 +30,11 @@ struct CostModel {
   Time kernel_launch = Time::us(6);          // host-side enqueue cost
   Time stream_sync = Time::us(4);            // cudaStreamSynchronize overhead
   Time event_record = Time::us(1);
+  // CUDA-graph replay: a captured launch sequence (memset + kernels) is
+  // re-submitted with one cudaGraphLaunch regardless of node count. The
+  // capture + cudaGraphInstantiate cost is paid once, at plan warm-up.
+  Time graph_launch = Time::us(2);
+  Time graph_instantiate = Time::us(30);
   Time device_properties_query = Time::us(1840);  // cudaGetDeviceProperties
   Time device_attribute_query = Time::us(15);     // first cudaDeviceGetAttribute
   Time cached_attribute_read = Time::us(1);       // static value after caching

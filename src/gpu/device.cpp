@@ -41,6 +41,20 @@ Time Stream::launch(Timeline& tl, Time gpu_duration, Breakdown* bd, Phase launch
   return tail_;
 }
 
+Time Stream::launch_graph(Timeline& tl, Time gpu_duration, Breakdown* bd, Phase launch_phase) {
+  const Time launch_cost = gpu_->costs().graph_launch;
+  charge(tl, launch_cost, bd, launch_phase);
+  const Time start = tail_ > tl.now() ? tail_ : tl.now();
+  tail_ = start + gpu_duration;
+  return tail_;
+}
+
+Time Stream::enqueue_graphed(Timeline& tl, Time gpu_duration) {
+  const Time start = tail_ > tl.now() ? tail_ : tl.now();
+  tail_ = start + gpu_duration;
+  return tail_;
+}
+
 void Stream::synchronize(Timeline& tl, Breakdown* bd, Phase phase) {
   const Time overhead = gpu_->costs().stream_sync;
   if (tail_ > tl.now()) {

@@ -41,6 +41,18 @@ class Stream {
   Time launch(Timeline& tl, Time gpu_duration, Breakdown* bd = nullptr,
               Phase launch_phase = Phase::Other);
 
+  /// Enqueue `gpu_duration` of device work via a pre-instantiated CUDA
+  /// graph: one cudaGraphLaunch replaces the whole captured sequence of
+  /// memset/kernel enqueues, so the host-side cost is graph_launch no
+  /// matter how many nodes the graph holds.
+  Time launch_graph(Timeline& tl, Time gpu_duration, Breakdown* bd = nullptr,
+                    Phase launch_phase = Phase::Other);
+
+  /// Enqueue `gpu_duration` of device work that is a node of a graph whose
+  /// cudaGraphLaunch was already charged (via launch_graph on the first
+  /// node's stream): the node costs no additional host time.
+  Time enqueue_graphed(Timeline& tl, Time gpu_duration);
+
   /// Block the host actor until all enqueued work completed
   /// (cudaStreamSynchronize).
   void synchronize(Timeline& tl, Breakdown* bd = nullptr,

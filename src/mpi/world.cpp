@@ -19,6 +19,27 @@ std::uint32_t payload_crc(const std::vector<std::uint8_t>& payload) {
   return payload.empty() ? 0 : util::crc32c(payload.data(), payload.size());
 }
 
+/// Tags at/above this value are collective-internal (see collectives.cpp's
+/// kCollTagBase): a fresh one is minted per invocation, so a channel keyed
+/// on it would never see a second message.
+constexpr int kMaxUserTag = 1 << 20;
+
+/// Can this freshly compressed header ride the warm channel? The cached
+/// template only expands RepeatHeaders whose control parameters it holds;
+/// an adaptive codec/rate switch demotes the message to a cold send (which
+/// keeps the channel's template authoritative).
+bool warm_compatible(const Channel& ch, const core::CompressionHeader& h) {
+  if (!h.compressed) return true;  // raw wires need no template fields
+  if (h.algorithm != ch.tmpl.algorithm) return false;
+  if (h.algorithm == core::Algorithm::ZFP && h.zfp_rate != ch.tmpl.zfp_rate) return false;
+  if (h.algorithm == core::Algorithm::MPC &&
+      (h.mpc_dimensionality != ch.tmpl.mpc_dimensionality ||
+       h.mpc_chunk_values != ch.tmpl.mpc_chunk_values)) {
+    return false;
+  }
+  return h.partition_bytes.size() <= 255;  // RepeatHeader's u8 count
+}
+
 }  // namespace
 
 World::World(sim::Engine& engine, net::ClusterSpec cluster,
@@ -44,6 +65,11 @@ World::World(sim::Engine& engine, net::ClusterSpec cluster,
     if (options_.adaptive != nullptr) {
       r.mgr->attach_adaptive(options_.adaptive);
     }
+    if (options_.persistent.enabled) {
+      // Warm channels reuse compression plans across iterations (held
+      // staging slots, graph-replayed launches); see core/plan_cache.hpp.
+      r.mgr->enable_plan_cache(true);
+    }
     ++rank_id;
   }
 }
@@ -64,6 +90,16 @@ void World::run(std::function<void(Rank&)> main) {
     });
   }
   engine_.run();
+  // Flush one ChannelRecord per persistent channel (map order: key-sorted,
+  // deterministic) so the telemetry streams can report warm-channel reuse.
+  if (options_.telemetry != nullptr) {
+    for (const auto& [key, ch] : channels_) {
+      options_.telemetry->record_channel(
+          {engine_.now(), ch.id, key.src, key.dst, key.tag_class, key.bytes, ch.warmups,
+           ch.warm_sends, ch.credit_stalls, ch.retransmits, ch.raw_degrades, ch.plan_hits,
+           ch.plan_misses, ch.header_bytes_saved});
+    }
+  }
 }
 
 void World::complete(const Request& req, Status status) {
@@ -116,12 +152,30 @@ Request World::do_isend(sim::ActorContext& ctx, int src, const void* buf,
     }
   }
 
+  // Persistent channels: repeated sends on the same (src, dst, tag, shape)
+  // route skip the handshake once the channel is warm.
+  Channel* ch = nullptr;
+  if (channel_eligible(src, dst, tag, buf, bytes)) {
+    ch = channel_for(ChannelKey{src, dst, tag, bytes});
+  }
+
   // Rendezvous: compress on the sender GPU (Algorithm 1 / 3), then RTS with
   // the piggybacked compression header. Intra-node paths may be exempted
   // from compression (CompressionConfig::compress_intra_node).
   const bool allow = compression_.compress_intra_node || !cluster_.same_node(src, dst);
+  const core::PlanCacheStats plan0 =
+      ch != nullptr ? ranks_[static_cast<std::size_t>(src)].mgr->plan_stats()
+                    : core::PlanCacheStats{};
   WireMessage wire = allow ? do_make_wire(ctx, src, buf, bytes)
                            : make_raw_wire(buf, bytes);
+  if (ch != nullptr) {
+    const auto& plan1 = ranks_[static_cast<std::size_t>(src)].mgr->plan_stats();
+    ch->plan_hits += plan1.hits - plan0.hits;
+    ch->plan_misses += plan1.misses - plan0.misses;
+    if (ch->warm && warm_compatible(*ch, wire.header)) {
+      return warm_isend(ctx, ch, env, wire.header, std::move(wire.payload), buf, false);
+    }
+  }
   ctx.advance(options_.host_send_overhead);
 
   const Time t_rts = fabric_->control(ctx.now(), src, dst,
@@ -209,8 +263,21 @@ Request World::do_isend_wire(sim::ActorContext& ctx, int src, const WireMessage&
   if (dst < 0 || dst >= cluster_.ranks()) throw std::invalid_argument("isend_wire: bad destination");
   if (dst == src) throw std::invalid_argument("isend_wire: self-send unsupported");
   if (!msg.payload) throw std::invalid_argument("isend_wire: empty message");
-  auto req = std::make_shared<RequestState>();
   Envelope env{src, dst, tag, msg.original_bytes()};
+
+  // Engine wire sends ride tag-wildcard channels: the collective tag
+  // changes every invocation, but the (src, dst, shape) route repeats, so
+  // iteration two onward skips the RTS/CTS round trip entirely.
+  if (options_.persistent.enabled) {
+    Channel* ch = channel_for(ChannelKey{src, dst, kWireTagClass, msg.original_bytes()});
+    core::CompressionHeader hdr = msg.header;
+    if (reliability_) hdr.payload_crc32c = payload_crc(*msg.payload);
+    if (ch->warm && warm_compatible(*ch, hdr)) {
+      return warm_isend(ctx, ch, env, hdr, msg.payload, nullptr, true);
+    }
+  }
+
+  auto req = std::make_shared<RequestState>();
   // Forwarding a pre-built wire representation: protocol costs only — the
   // whole point of the compression-aware collectives.
   ctx.advance(options_.host_send_overhead);
@@ -228,13 +295,16 @@ Request World::do_isend_wire(sim::ActorContext& ctx, int src, const WireMessage&
   return req;
 }
 
-void World::deliver_eager_to(PostedRecv& recv, const EagerMsg& msg) {
-  if (recv.capacity < msg.env.bytes) {
-    throw std::runtime_error("MiniMPI: eager message truncation (receive buffer too small)");
-  }
+// Eager delivery failures complete the receive with a clean StatusError
+// instead of throwing: at a gather root one bad contributor must not take
+// down the whole job (head-of-line audit; see TESTING.md).
+StatusError World::deliver_eager_to(PostedRecv& recv, const EagerMsg& msg) {
+  if (!msg.crc_ok) return StatusError::ChecksumMismatch;
+  if (recv.capacity < msg.env.bytes) return StatusError::Truncated;
   // Zero-byte messages are legal (match + status only); memcpy with a null
   // src/dst is not, even for size 0.
   if (!msg.payload->empty()) std::memcpy(recv.buf, msg.payload->data(), msg.payload->size());
+  return StatusError::None;
 }
 
 void World::wake_probers(RankState& state, const Envelope& env) {
@@ -253,25 +323,30 @@ void World::wake_probers(RankState& state, const Envelope& env) {
 void World::on_eager_arrival(EagerMsg msg) {
   auto& state = ranks_[static_cast<std::size_t>(msg.env.dst)];
   // Eager messages ride the reliable control plane, so this checksum is an
-  // end-to-end assertion rather than a recovery trigger: a mismatch means
-  // the library itself mangled the staged payload.
-  if (reliability_ && msg.env.crc != payload_crc(*msg.payload)) {
-    throw std::runtime_error("MiniMPI: eager payload checksum mismatch");
-  }
+  // end-to-end assertion rather than a recovery trigger: a mismatch is
+  // surfaced as StatusError::ChecksumMismatch on the matching receive.
+  msg.crc_ok = !reliability_ || msg.env.crc == payload_crc(*msg.payload);
   for (auto it = state.posted.begin(); it != state.posted.end(); ++it) {
     if (matches(*it, msg.env)) {
       PostedRecv recv = *it;
       state.posted.erase(it);
+      Status status{msg.env.src, msg.env.tag, msg.env.bytes};
       if (recv.wire_out != nullptr) {
-        core::CompressionHeader raw;
-        raw.original_bytes = msg.env.bytes;
-        raw.compressed_bytes = msg.env.bytes;
-        raw.payload_crc32c = msg.env.crc;
-        *recv.wire_out = WireMessage{raw, msg.payload};
+        if (!msg.crc_ok) {
+          status.bytes = 0;
+          status.error = StatusError::ChecksumMismatch;
+        } else {
+          core::CompressionHeader raw;
+          raw.original_bytes = msg.env.bytes;
+          raw.compressed_bytes = msg.env.bytes;
+          raw.payload_crc32c = msg.env.crc;
+          *recv.wire_out = WireMessage{raw, msg.payload};
+        }
       } else {
-        deliver_eager_to(recv, msg);
+        status.error = deliver_eager_to(recv, msg);
+        if (status.error != StatusError::None) status.bytes = 0;
       }
-      complete(recv.req, Status{msg.env.src, msg.env.tag, msg.env.bytes});
+      complete(recv.req, status);
       return;
     }
   }
@@ -412,6 +487,9 @@ void World::on_rndv_data(const RndvPtr& tx, const Payload& delivered) {
   sim::Engine::cancel(tx->watchdog);
   complete(tx->send_req, Status{tx->env.dst, tx->env.tag, tx->env.bytes});
   complete_at(tx->recv.req, Status{tx->env.src, tx->env.tag, tx->env.bytes}, tl.now());
+  // A successful cold exchange is the channel's warm-up exchange: the
+  // receiver now grants credits so the next message can skip the handshake.
+  maybe_warm_channel(tx->env, tx->header, tx->recv.wire_out != nullptr, tl.now());
 }
 
 void World::request_retransmit(const RndvPtr& tx, Time at, bool decode_fail) {
@@ -471,6 +549,341 @@ void World::fail_rndv(const RndvPtr& tx, Time at) {
   send_status.error = StatusError::RetryLimit;
   complete_at(tx->send_req, send_status, at);
   complete_at(tx->recv.req, recv_status, at);
+}
+
+// ---------------------------------------------------------------------------
+// Persistent channels (see mpi/channel.hpp)
+// ---------------------------------------------------------------------------
+
+bool World::channel_eligible(int src, int dst, int tag, const void* buf,
+                             std::uint64_t bytes) const {
+  if (!options_.persistent.enabled) return false;
+  if (dst == src || bytes <= options_.eager_threshold) return false;
+  if (tag < 0 || tag >= kMaxUserTag) return false;
+  if (pipeline_eligible(src, dst, buf, bytes)) {
+    // Messages that ride the chunked pipeline keep their own overlap
+    // machinery; warming them would need per-chunk channel state.
+    const std::uint64_t cb = resolve_chunk_bytes(src, dst, bytes);
+    if ((bytes + cb - 1) / cb >= 2) return false;
+  }
+  return true;
+}
+
+Channel* World::channel_for(const ChannelKey& key) {
+  auto [it, inserted] = channels_.try_emplace(key);
+  if (inserted) {
+    it->second.id = next_channel_id_++;
+    it->second.key = key;
+  }
+  return &it->second;
+}
+
+void World::maybe_warm_channel(const Envelope& env, const core::CompressionHeader& header,
+                               bool wire_mode, Time at) {
+  if (!options_.persistent.enabled) return;
+  // The sender registered the channel at its first send: user p2p sends
+  // under their exact tag, engine wire sends under the wildcard class.
+  auto it = channels_.find(ChannelKey{env.src, env.dst, env.tag, env.bytes});
+  if (it == channels_.end()) {
+    it = channels_.find(ChannelKey{env.src, env.dst, kWireTagClass, env.bytes});
+  }
+  if (it == channels_.end() || it->second.warm) return;
+  Channel* ch = &it->second;
+
+  // Header template: shape-invariant control parameters the RepeatHeader
+  // expansion needs. A raw first delivery (fallback) still records the
+  // route's configured codec so later compressed messages stay expandable.
+  core::CompressionHeader basis = header;
+  const bool allow =
+      compression_.compress_intra_node || !cluster_.same_node(env.src, env.dst);
+  if (!header.compressed && allow && compression_.algorithm != core::Algorithm::None) {
+    basis.algorithm = compression_.algorithm;
+    basis.zfp_rate = static_cast<std::uint16_t>(compression_.zfp_rate);
+    basis.mpc_dimensionality = static_cast<std::uint16_t>(compression_.mpc_dimensionality);
+    basis.mpc_chunk_values = static_cast<std::uint32_t>(compression_.mpc_chunk_values);
+  }
+  ch->tmpl = make_channel_template(basis, env.bytes);
+
+  Timeline tl(at);  // receiver progress-engine work (one-time warm-up cost)
+  if (!wire_mode && ch->tmpl.algorithm != core::Algorithm::None && allow) {
+    // Pre-acquire the decode staging the warm consumes will reuse. Sized
+    // for the raw-fallback upper bound, so every per-iteration compressed
+    // size fits.
+    auto& state = ranks_[static_cast<std::size_t>(env.dst)];
+    core::CompressionHeader synth = ch->tmpl;
+    synth.compressed = true;
+    synth.compressed_bytes = env.bytes;
+    if (synth.algorithm == core::Algorithm::MPC) {
+      synth.partition_bytes.assign(
+          static_cast<std::size_t>(compression_.partitions_for(env.bytes)), 0);
+    }
+    ch->staging = state.mgr->prepare_receive(tl, synth);
+    ch->staging_held = true;
+  }
+
+  // ONE control packet grants the full credit window; refills piggyback on
+  // the (zero-cost) consume notifications from then on.
+  ++ch->warmups;
+  const Time t_grant =
+      fabric_->control(tl.now(), env.dst, env.src, options_.persistent.grant_bytes);
+  engine_.schedule(t_grant, [this, ch]() {
+    ch->warm = true;
+    ch->credits = std::max(1, options_.persistent.credits);
+  });
+}
+
+Request World::warm_isend(sim::ActorContext& ctx, Channel* ch, const Envelope& env,
+                          const core::CompressionHeader& header, Payload payload,
+                          const void* sender_buf, bool wire_mode) {
+  auto req = std::make_shared<RequestState>();
+  auto tx = std::make_shared<WarmTransfer>();
+  tx->ch = ch;
+  tx->env = env;
+  tx->payload = std::move(payload);
+  tx->send_req = req;
+  tx->sender_buf = sender_buf;
+  tx->wire_mode = wire_mode;
+  tx->seq = ch->next_send_seq++;
+
+  RepeatHeader rh;
+  rh.channel = ch->id;
+  rh.seq = tx->seq;
+  rh.wire_len = tx->payload->size();
+  rh.crc32c = header.payload_crc32c;
+  rh.flags = header.compressed ? RepeatHeader::kCompressed : 0;
+  rh.partition_bytes = header.partition_bytes;
+  tx->repeat_bytes = rh.serialize();
+
+  ++ch->warm_sends;
+  const std::size_t cold_ctrl =
+      options_.rts_bytes + header.wire_bytes() + options_.cts_bytes;
+  ch->header_bytes_saved += cold_ctrl > rh.wire_bytes() ? cold_ctrl - rh.wire_bytes() : 0;
+
+  ctx.advance(options_.host_send_overhead);
+  if (ch->credits <= 0) {
+    // Credit window exhausted: the payload is staged and queued; the next
+    // consume notification funds the push.
+    ++ch->credit_stalls;
+    stalled_[ch->id].push_back(tx);
+    return req;
+  }
+  --ch->credits;
+  push_warm_data(tx, ctx.now());
+  return req;
+}
+
+void World::push_warm_data(const WarmPtr& tx, Time start) {
+  if (tx->done) return;
+  tx->recovery_pending = false;
+  ++tx->attempts;
+  const std::uint64_t wire_bytes =
+      tx->payload->size() + options_.envelope_bytes + tx->repeat_bytes.size();
+  const net::Fabric::Delivery d =
+      fabric_->transfer_data(start, tx->env.src, tx->env.dst, wire_bytes);
+
+  if (!d.dropped) {
+    Payload delivered = tx->payload;
+    if (d.corrupted) {
+      delivered = std::make_shared<std::vector<std::uint8_t>>(*tx->payload);
+      if (!delivered->empty()) {
+        const std::uint64_t bit = d.corrupt_bits % (delivered->size() * 8);
+        (*delivered)[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+      }
+    }
+    engine_.schedule(d.at, [this, tx, delivered]() { on_warm_data(tx, delivered); });
+    return;
+  }
+
+  // Dropped: same watchdog margin/backoff policy as the cold protocol,
+  // scoped to this message — the channel itself stays warm.
+  Time margin = options_.retransmit_timeout;
+  for (int i = 1; i < tx->attempts; ++i) {
+    margin = Time::ns(static_cast<std::int64_t>(static_cast<double>(margin.count_ns()) *
+                                                options_.retransmit_backoff));
+  }
+  tx->watchdog = engine_.schedule_cancelable(
+      d.at + margin, [this, tx]() { warm_retransmit(tx, engine_.now(), false); });
+}
+
+void World::on_warm_data(const WarmPtr& tx, const Payload& delivered) {
+  if (tx->done) return;
+  auto& state = ranks_[static_cast<std::size_t>(tx->env.dst)];
+  Timeline tl(engine_.now() + options_.progress_overhead);
+  const RepeatHeader rh = RepeatHeader::deserialize(tx->repeat_bytes);
+
+  if (reliability_ && payload_crc(*delivered) != rh.crc32c) {
+    if (options_.telemetry != nullptr) {
+      options_.telemetry->record({tl.now(), tx->env.dst, core::EventKind::CorruptionDetected,
+                                  tx->ch->tmpl.algorithm, tx->env.bytes, delivered->size(),
+                                  Time::zero()});
+    }
+    warm_retransmit(tx, tl.now(), false);
+    return;
+  }
+
+  tx->delivered = delivered;
+  // Only the channel's next in-order message may consume (non-overtaking
+  // under retransmission gaps); successors park until the gap closes.
+  if (tx->seq == tx->ch->next_consume_seq) {
+    for (auto it = state.posted.begin(); it != state.posted.end(); ++it) {
+      if (matches(*it, tx->env)) {
+        PostedRecv recv = *it;
+        state.posted.erase(it);
+        consume_warm(tx, std::move(recv), tl);
+        drain_parked_warm(tx->env.dst);
+        return;
+      }
+    }
+  }
+  wake_probers(state, tx->env);
+  tx->arrival = state.next_arrival++;
+  state.parked_warm.push_back(tx);
+}
+
+void World::consume_warm(const WarmPtr& tx, PostedRecv recv, Timeline& tl) {
+  Channel* ch = tx->ch;
+  auto& state = ranks_[static_cast<std::size_t>(tx->env.dst)];
+  const RepeatHeader rh = RepeatHeader::deserialize(tx->repeat_bytes);
+  core::CompressionHeader header = rh.expand(ch->tmpl);
+  const Payload delivered = tx->delivered != nullptr ? tx->delivered : tx->payload;
+
+  if (recv.wire_out != nullptr) {
+    // Engine wire receive: hand over the compressed form as-is.
+    *recv.wire_out = WireMessage{header, delivered};
+  } else if (header.compressed) {
+    if (!ch->staging_held) {
+      // Channel warmed on wire-form deliveries; the first buffer-form
+      // consume acquires the staging, which is then held like the rest.
+      core::CompressionHeader synth = header;
+      synth.compressed_bytes = tx->env.bytes;
+      ch->staging = state.mgr->prepare_receive(tl, synth);
+      ch->staging_held = true;
+    }
+    const bool planned = ch->staging.plan != nullptr && ch->staging.plan->graph_ready;
+    std::memcpy(ch->staging.data, delivered->data(), delivered->size());
+    try {
+      state.mgr->decompress_received(tl, header, ch->staging, recv.buf, recv.capacity);
+    } catch (const core::CodecFaultError&) {
+      // Intact stream, faulting kernel: repost the receive so the raw
+      // redelivery finds it, and ask the sender to degrade this message.
+      state.posted.push_front(std::move(recv));
+      warm_retransmit(tx, tl.now(), true);
+      return;
+    }
+    if (planned) {
+      ++ch->plan_hits;
+    } else {
+      ++ch->plan_misses;
+    }
+  } else {
+    if (recv.capacity < tx->env.bytes) {
+      throw std::runtime_error("MiniMPI: rendezvous truncation (receive buffer too small)");
+    }
+    if (!delivered->empty()) std::memcpy(recv.buf, delivered->data(), delivered->size());
+  }
+
+  tx->done = true;
+  tx->delivered.reset();
+  sim::Engine::cancel(tx->watchdog);
+  ++ch->next_consume_seq;
+  complete(tx->send_req, Status{tx->env.dst, tx->env.tag, tx->env.bytes});
+  complete_at(recv.req, Status{tx->env.src, tx->env.tag, tx->env.bytes}, tl.now());
+  // Credit refill piggybacks on the (zero-cost) consume notification.
+  refill_credit(ch, tl.now());
+}
+
+void World::drain_parked_warm(int dst) {
+  auto& state = ranks_[static_cast<std::size_t>(dst)];
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto it = state.parked_warm.begin(); it != state.parked_warm.end(); ++it) {
+      const WarmPtr tx = *it;
+      if (tx->done || tx->seq != tx->ch->next_consume_seq) continue;
+      auto rit = state.posted.begin();
+      for (; rit != state.posted.end(); ++rit) {
+        if (matches(*rit, tx->env)) break;
+      }
+      if (rit == state.posted.end()) continue;
+      PostedRecv recv = *rit;
+      state.posted.erase(rit);
+      state.parked_warm.erase(it);
+      Timeline tl(engine_.now());
+      consume_warm(tx, std::move(recv), tl);
+      progress = true;
+      break;  // iterators invalidated; rescan for the next head
+    }
+  }
+}
+
+void World::warm_retransmit(const WarmPtr& tx, Time at, bool decode_fail) {
+  if (tx->done || tx->recovery_pending) return;
+  sim::Engine::cancel(tx->watchdog);
+  if (tx->attempts > options_.max_data_retries) {
+    fail_warm(tx, at);
+    return;
+  }
+  tx->recovery_pending = true;
+  ++tx->ch->retransmits;
+  if (options_.telemetry != nullptr) {
+    options_.telemetry->record({at, tx->env.dst, core::EventKind::Retransmit,
+                                tx->ch->tmpl.algorithm, tx->env.bytes, tx->payload->size(),
+                                Time::zero()});
+  }
+  const Time t_nack = fabric_->control(at, tx->env.dst, tx->env.src, options_.nack_bytes);
+  engine_.schedule(t_nack, [this, tx, decode_fail]() {
+    if (tx->done) return;
+    if (decode_fail && tx->sender_buf != nullptr && !tx->fell_back_raw) {
+      // Degrade THIS message to a raw resend; the channel stays warm and
+      // the next iteration compresses again.
+      tx->fell_back_raw = true;
+      ++tx->ch->raw_degrades;
+      tx->payload = std::make_shared<std::vector<std::uint8_t>>(
+          static_cast<const std::uint8_t*>(tx->sender_buf),
+          static_cast<const std::uint8_t*>(tx->sender_buf) + tx->env.bytes);
+      RepeatHeader rh = RepeatHeader::deserialize(tx->repeat_bytes);
+      rh.wire_len = tx->payload->size();
+      rh.crc32c = reliability_ ? payload_crc(*tx->payload) : 0;
+      rh.flags = RepeatHeader::kRawDegrade;
+      rh.partition_bytes.clear();
+      tx->repeat_bytes = rh.serialize();
+    }
+    push_warm_data(tx, engine_.now());
+  });
+}
+
+void World::fail_warm(const WarmPtr& tx, Time at) {
+  // Retry budget exhausted: fail the send cleanly and demote the channel to
+  // cold (it re-warms on the next successful cold exchange). Successor
+  // messages already staged keep flowing — the consume path does not check
+  // warmth — so nothing hangs.
+  tx->done = true;
+  sim::Engine::cancel(tx->watchdog);
+  Channel* ch = tx->ch;
+  ch->warm = false;
+  ch->credits = 0;
+  if (ch->next_consume_seq == tx->seq) ++ch->next_consume_seq;
+  Status send_status{tx->env.dst, tx->env.tag, 0};
+  send_status.error = StatusError::RetryLimit;
+  complete_at(tx->send_req, send_status, at);
+  // Flush the stall queue: no credits will ever refill a demoted channel.
+  auto it = stalled_.find(ch->id);
+  if (it != stalled_.end()) {
+    std::deque<WarmPtr> pending = std::move(it->second);
+    stalled_.erase(it);
+    for (auto& p : pending) push_warm_data(p, at);
+  }
+  drain_parked_warm(tx->env.dst);
+}
+
+void World::refill_credit(Channel* ch, Time at) {
+  ++ch->credits;
+  auto it = stalled_.find(ch->id);
+  if (it == stalled_.end() || it->second.empty()) return;
+  WarmPtr tx = it->second.front();
+  it->second.pop_front();
+  --ch->credits;
+  push_warm_data(tx, at);
 }
 
 // ---------------------------------------------------------------------------
@@ -768,7 +1181,7 @@ Request World::do_irecv(sim::ActorContext& ctx, int dst, void* buf, std::uint64_
   auto& state = ranks_[static_cast<std::size_t>(dst)];
   PostedRecv self{buf, capacity, src, tag, req, wire_out};
 
-  // Find the OLDEST matching unexpected message across both queues so a
+  // Find the OLDEST matching unexpected message across the queues so a
   // later eager message can never overtake an earlier rendezvous one.
   auto eager_it = state.unexpected_eager.end();
   for (auto it = state.unexpected_eager.begin(); it != state.unexpected_eager.end(); ++it) {
@@ -784,20 +1197,49 @@ Request World::do_irecv(sim::ActorContext& ctx, int dst, void* buf, std::uint64_
       break;
     }
   }
+  // Parked warm-channel arrivals: only a channel's next in-order message is
+  // matchable (a predecessor in retransmission recovery blocks successors).
+  auto warm_it = state.parked_warm.end();
+  for (auto it = state.parked_warm.begin(); it != state.parked_warm.end(); ++it) {
+    if (!(*it)->done && (*it)->seq == (*it)->ch->next_consume_seq &&
+        matches(self, (*it)->env)) {
+      warm_it = it;
+      break;
+    }
+  }
   const bool has_eager = eager_it != state.unexpected_eager.end();
   const bool has_rts = rts_it != state.pending_rts.end();
+  const bool has_warm = warm_it != state.parked_warm.end();
+  const std::uint64_t eager_at = has_eager ? eager_it->arrival : ~0ull;
+  const std::uint64_t rts_at = has_rts ? rts_it->arrival : ~0ull;
+  const std::uint64_t warm_at = has_warm ? (*warm_it)->arrival : ~0ull;
 
-  if (has_eager && (!has_rts || eager_it->arrival < rts_it->arrival)) {
+  if (has_warm && warm_at < eager_at && warm_at < rts_at) {
+    WarmPtr tx = *warm_it;
+    state.parked_warm.erase(warm_it);
+    Timeline tl(ctx.now());
+    consume_warm(tx, std::move(self), tl);
+    ctx.advance_to(tl.now());
+    drain_parked_warm(dst);
+    return req;
+  }
+  if (has_eager && eager_at < rts_at) {
+    Status status{eager_it->env.src, eager_it->env.tag, eager_it->env.bytes};
     if (wire_out != nullptr) {
-      core::CompressionHeader raw;
-      raw.original_bytes = eager_it->env.bytes;
-      raw.compressed_bytes = eager_it->env.bytes;
-      raw.payload_crc32c = eager_it->env.crc;
-      *wire_out = WireMessage{raw, eager_it->payload};
+      if (!eager_it->crc_ok) {
+        status.bytes = 0;
+        status.error = StatusError::ChecksumMismatch;
+      } else {
+        core::CompressionHeader raw;
+        raw.original_bytes = eager_it->env.bytes;
+        raw.compressed_bytes = eager_it->env.bytes;
+        raw.payload_crc32c = eager_it->env.crc;
+        *wire_out = WireMessage{raw, eager_it->payload};
+      }
     } else {
-      deliver_eager_to(self, *eager_it);
+      status.error = deliver_eager_to(self, *eager_it);
+      if (status.error != StatusError::None) status.bytes = 0;
     }
-    const Status status{eager_it->env.src, eager_it->env.tag, eager_it->env.bytes};
     state.unexpected_eager.erase(eager_it);
     ctx.advance(options_.host_recv_overhead);
     req->status = status;
@@ -832,6 +1274,12 @@ bool World::do_iprobe(int rank, int src, int tag, Status* status) {
   for (const auto& m : state.pending_rts) {
     if (match(m.env)) {
       if (status != nullptr) *status = Status{m.env.src, m.env.tag, m.env.bytes};
+      return true;
+    }
+  }
+  for (const auto& tx : state.parked_warm) {
+    if (!tx->done && tx->seq == tx->ch->next_consume_seq && match(tx->env)) {
+      if (status != nullptr) *status = Status{tx->env.src, tx->env.tag, tx->env.bytes};
       return true;
     }
   }

@@ -40,11 +40,14 @@
 #include <memory>
 #include <vector>
 
+#include <map>
+
 #include "core/adapt.hpp"
 #include "core/collective.hpp"
 #include "core/manager.hpp"
 #include "fault/injector.hpp"
 #include "gpu/device.hpp"
+#include "mpi/channel.hpp"
 #include "mpi/pipeline.hpp"
 #include "net/cluster.hpp"
 #include "sim/engine.hpp"
@@ -58,7 +61,9 @@ inline constexpr int kAnyTag = -1;
 /// produces non-None values today.
 enum class StatusError : std::uint8_t {
   None = 0,
-  RetryLimit = 1,  // rendezvous payload never delivered within retry budget
+  RetryLimit = 1,         // rendezvous payload never delivered within retry budget
+  Truncated = 2,          // eager message larger than the posted receive buffer
+  ChecksumMismatch = 3,   // eager payload failed its end-to-end CRC32C check
 };
 
 struct Status {
@@ -133,6 +138,20 @@ struct WorldOptions {
   /// and by the collective engines' Auto algorithm resolution; telemetry
   /// feeds it back (bind it to `telemetry` above). Null = static tuning.
   core::AdaptivePolicy* adaptive = nullptr;
+
+  /// Persistent channels (see mpi/channel.hpp): repeated same-shape
+  /// exchanges skip the RTS/CTS handshake after a one-time warm-up and
+  /// reuse cached compression plans + held receiver staging. Off by
+  /// default: the cold protocol is reproduced bit-for-bit.
+  struct PersistentOptions {
+    bool enabled = false;
+    /// Credits granted at warm-up: warm messages the sender may have in
+    /// flight before the receiver's consume notifications refill them.
+    int credits = 4;
+    /// Size of the one-time credit-grant control packet.
+    std::uint64_t grant_bytes = 32;
+  };
+  PersistentOptions persistent;
 };
 
 class World;
@@ -280,6 +299,9 @@ class World {
   [[nodiscard]] gpu::Gpu& gpu_of(int rank);
   [[nodiscard]] core::CompressionManager& compression_of(int rank);
   [[nodiscard]] const WorldOptions& options() const { return options_; }
+  /// Persistent-channel table (inspection/tests); empty unless
+  /// WorldOptions::persistent is enabled.
+  [[nodiscard]] const std::map<ChannelKey, Channel>& channels() const { return channels_; }
 
  private:
   friend class Rank;
@@ -298,6 +320,7 @@ class World {
     Envelope env;
     Payload payload;
     std::uint64_t arrival = 0;  // per-receiver arrival order (matching)
+    bool crc_ok = true;         // end-to-end CRC verdict (reliability layer)
   };
 
   struct RtsMsg {
@@ -335,6 +358,30 @@ class World {
     sim::Engine::CancelToken watchdog;
   };
   using RndvPtr = std::shared_ptr<RndvTransfer>;
+
+  /// One in-flight warm-channel message (persistent channels): the payload
+  /// ships with a compact RepeatHeader instead of the RTS/CTS handshake.
+  /// Mirrors RndvTransfer's recovery machinery — per-message watchdog,
+  /// NACK-driven re-push, raw degradation on decode faults — but scoped to
+  /// the channel: recovery never tears the channel down.
+  struct WarmTransfer {
+    Channel* ch = nullptr;
+    Envelope env;
+    std::vector<std::uint8_t> repeat_bytes;  // serialized RepeatHeader
+    Payload payload;                         // sender-staged wire bytes
+    Request send_req;
+    const void* sender_buf = nullptr;  // raw-degrade source (user p2p only)
+    bool wire_mode = false;            // deliver wire form (engine channels)
+    std::uint32_t seq = 0;
+    int attempts = 0;
+    bool done = false;
+    bool fell_back_raw = false;
+    bool recovery_pending = false;
+    std::uint64_t arrival = 0;  // stamp when parked unexpected
+    Payload delivered;          // arrived bytes, kept while parked
+    sim::Engine::CancelToken watchdog;
+  };
+  using WarmPtr = std::shared_ptr<WarmTransfer>;
 
   /// One in-flight CHUNKED pipelined rendezvous (announced via an RTS whose
   /// header carries pipeline_chunks >= 2). Compression, wire transfer, and
@@ -396,10 +443,11 @@ class World {
     std::deque<PostedRecv> posted;
     std::deque<EagerMsg> unexpected_eager;
     std::deque<RtsMsg> pending_rts;
+    std::deque<WarmPtr> parked_warm;  // warm arrivals with no posted receive
     std::vector<ProbeWaiter> probe_waiters;
     std::uint64_t next_arrival = 0;  // stamps unexpected messages so a
                                      // receive matches the OLDEST arrival
-                                     // across both unexpected queues (MPI
+                                     // across the unexpected queues (MPI
                                      // non-overtaking)
   };
 
@@ -456,9 +504,41 @@ class World {
     return std::min(tx->chunk_bytes, tx->env.bytes - off);
   }
 
+  // --- persistent channels (see mpi/channel.hpp) ---
+  /// Is this send eligible to ride (and eventually warm) a channel? User
+  /// point-to-point only: collective-internal tags mint a fresh value per
+  /// invocation and would never re-warm (engines ride wire channels).
+  [[nodiscard]] bool channel_eligible(int src, int dst, int tag, const void* buf,
+                                      std::uint64_t bytes) const;
+  /// Find-or-create the channel for a key (assigns the id on creation).
+  Channel* channel_for(const ChannelKey& key);
+  /// Receiver-side warm-up after a successful cold delivery: pre-acquire
+  /// staging, cache the header template, send the one-time credit grant.
+  void maybe_warm_channel(const Envelope& env, const core::CompressionHeader& header,
+                          bool wire_mode, sim::Time at);
+  /// Handshake-free warm send: consume a credit (or stall), ship the
+  /// payload with a RepeatHeader. `header` is the freshly compressed wire
+  /// header; `payload` the staged wire bytes.
+  Request warm_isend(sim::ActorContext& ctx, Channel* ch, const Envelope& env,
+                     const core::CompressionHeader& header, Payload payload,
+                     const void* sender_buf, bool wire_mode);
+  void push_warm_data(const WarmPtr& tx, sim::Time start);
+  void on_warm_data(const WarmPtr& tx, const Payload& delivered);
+  /// Deliver a verified, in-order warm message to a matching posted
+  /// receive; consumes a credit refill slot and drains the stall queue.
+  void consume_warm(const WarmPtr& tx, PostedRecv recv, sim::Timeline& tl);
+  /// After a consume bumped next_consume_seq, a parked out-of-order
+  /// successor may have become the head: try to match it.
+  void drain_parked_warm(int dst);
+  void warm_retransmit(const WarmPtr& tx, sim::Time at, bool decode_fail);
+  void fail_warm(const WarmPtr& tx, sim::Time at);
+  /// Sender-side credit refill (piggybacked on the zero-cost completion
+  /// notification): un-stall the oldest parked send if any.
+  void refill_credit(Channel* ch, sim::Time at);
+
   void complete(const Request& req, Status status);
   void complete_at(const Request& req, Status status, sim::Time at);
-  void deliver_eager_to(PostedRecv& recv, const EagerMsg& msg);
+  StatusError deliver_eager_to(PostedRecv& recv, const EagerMsg& msg);
   bool do_iprobe(int rank, int src, int tag, Status* status);
   Status do_probe(sim::ActorContext& ctx, int rank, int src, int tag);
   void wake_probers(RankState& state, const Envelope& env);
@@ -470,6 +550,13 @@ class World {
   std::unique_ptr<net::Fabric> fabric_;
   std::vector<RankState> ranks_;
   bool reliability_ = false;  // fault injector installed or CRCs forced on
+
+  // Persistent channels: table ordered by key for deterministic telemetry
+  // flush; entries are pointed into, so node stability matters.
+  std::map<ChannelKey, Channel> channels_;
+  std::uint32_t next_channel_id_ = 0;
+  /// Per-send stall queue for credit-exhausted channels (sender side).
+  std::map<std::uint32_t, std::deque<WarmPtr>> stalled_;
 };
 
 }  // namespace gcmpi::mpi

@@ -101,6 +101,7 @@ Time Fabric::transfer(Time earliest, int src_rank, int dst_rank, std::uint64_t b
 }
 
 Time Fabric::control(Time earliest, int src_rank, int dst_rank, std::uint64_t bytes) {
+  if (src_rank != dst_rank) ++control_packets_;
   return transfer(earliest, src_rank, dst_rank, bytes);
 }
 

@@ -99,6 +99,10 @@ class Fabric {
 
   [[nodiscard]] const ClusterSpec& spec() const { return spec_; }
   [[nodiscard]] std::uint64_t bytes_moved() const { return bytes_moved_; }
+  /// Count of control-plane packets (RTS/CTS/NACK/credit grants) that hit
+  /// the wire. Warm persistent channels are asserted against this: an
+  /// iteration on fully warmed channels must not move the counter.
+  [[nodiscard]] std::uint64_t control_packets() const { return control_packets_; }
 
  private:
   struct Port {
@@ -121,6 +125,7 @@ class Fabric {
   // Intra-node: one port per GPU endpoint (NVLink/PCIe lane).
   std::vector<Port> gpu_tx_, gpu_rx_;
   std::uint64_t bytes_moved_ = 0;
+  std::uint64_t control_packets_ = 0;
   fault::FaultInjector* fault_ = nullptr;  // non-owning; nullptr = perfect fabric
 };
 

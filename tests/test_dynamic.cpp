@@ -73,7 +73,9 @@ TEST(DynamicSelector, LossyConstraintExcludesZfp) {
 TEST(DynamicSelector, MinRateConstraintRespected) {
   DynamicSelector sel(gpu::v100_spec(), 12.5, true, /*min_zfp_rate=*/8);
   for (const auto& c : sel.evaluate(8ull << 20, 1.4)) {
-    if (c.algorithm == Algorithm::ZFP) EXPECT_GE(c.zfp_rate, 8);
+    if (c.algorithm == Algorithm::ZFP) {
+      EXPECT_GE(c.zfp_rate, 8);
+    }
   }
 }
 

@@ -177,6 +177,63 @@ TEST(BufferPool, OversizedRequestGrows) {
   pool.release(lease);
 }
 
+TEST(BufferPool, OversizedBufferIsReusedAfterRelease) {
+  Gpu gpu(v100_spec());
+  BufferPool pool(gpu, 1024, 1);
+  Timeline tl(Time::zero());
+  auto big = pool.acquire(tl, 1 << 20);  // dedicated oversized buffer
+  EXPECT_EQ(pool.grow_count(), 1u);
+  pool.release(big);
+  // A second oversized request reuses the released buffer: no new malloc,
+  // no time charged, and the lease reports the buffer's true capacity.
+  const Time before = tl.now();
+  auto again = pool.acquire(tl, 1 << 20);
+  EXPECT_EQ(tl.now(), before);
+  EXPECT_EQ(pool.grow_count(), 1u);
+  EXPECT_EQ(again.data, big.data);
+  EXPECT_GE(again.size, std::size_t{1} << 20);
+  pool.release(again);
+}
+
+TEST(BufferPool, BestFitPrefersSmallestSufficientBuffer) {
+  Gpu gpu(v100_spec());
+  BufferPool pool(gpu, 1024, 2);
+  Timeline tl(Time::zero());
+  auto big = pool.acquire(tl, 8192);
+  pool.release(big);  // free list: two 1 KiB buffers + one 8 KiB buffer
+  // A small request must take a 1 KiB buffer, keeping the 8 KiB one free
+  // for the next oversized request.
+  auto small = pool.acquire(tl, 512);
+  EXPECT_EQ(small.size, 1024u);
+  auto oversized = pool.acquire(tl, 4096);
+  EXPECT_EQ(oversized.data, big.data);
+  EXPECT_EQ(pool.grow_count(), 1u);  // only the original oversized malloc
+  pool.release(small);
+  pool.release(oversized);
+}
+
+TEST(BufferPool, ExhaustionGrowthIsGeometric) {
+  Gpu gpu(v100_spec());
+  BufferPool pool(gpu, 1 << 16, 2);
+  Timeline tl(Time::zero());
+  auto l1 = pool.acquire(tl, 100);
+  auto l2 = pool.acquire(tl, 100);
+  EXPECT_EQ(tl.now(), Time::zero());
+  // Third acquire drains the pool: it doubles (2 -> 4 buffers) with ONE
+  // timed slab malloc, so the fourth acquire is free again.
+  auto l3 = pool.acquire(tl, 100);
+  const Time after_grow = tl.now();
+  EXPECT_GT(after_grow, Time::zero());
+  EXPECT_EQ(pool.grow_count(), 1u);
+  EXPECT_EQ(pool.total_buffers(), 4u);
+  auto l4 = pool.acquire(tl, 100);
+  EXPECT_EQ(tl.now(), after_grow);
+  EXPECT_EQ(pool.grow_count(), 1u);
+  EXPECT_EQ(pool.acquire_count(), 4u);
+  for (auto* l : {&l1, &l2, &l3, &l4}) pool.release(*l);
+  EXPECT_EQ(pool.free_buffers(), 4u);
+}
+
 TEST(BufferPool, StaleLeaseRejected) {
   Gpu gpu(v100_spec());
   BufferPool pool(gpu, 1024, 1);

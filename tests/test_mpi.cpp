@@ -170,10 +170,31 @@ TEST(MiniMpi, SelfSendAnySize) {
 TEST(MiniMpi, TruncationIsAnError) {
   sim::Engine engine;
   World world(engine, net::longhorn(2, 1), no_compression());
-  EXPECT_THROW(world.run([&](Rank& R) {
+  // Eager truncation surfaces through the status (no partial copy) instead
+  // of tearing the run down, matching MPI_ERR_TRUNCATE semantics.
+  world.run([&](Rank& R) {
     if (R.rank() == 0) {
       std::vector<float> in(1024, 1.0f);
       R.send(in.data(), 4096, 1, 1);
+    } else {
+      std::vector<float> out(16, -1.0f);
+      const mpi::Status st = R.recv(out.data(), 64, 0, 1);  // too small
+      EXPECT_EQ(st.error, mpi::StatusError::Truncated);
+      EXPECT_EQ(st.bytes, 0u);
+      EXPECT_EQ(out[0], -1.0f);  // nothing was copied
+    }
+  });
+}
+
+TEST(MiniMpi, RendezvousTruncationStillThrows) {
+  sim::Engine engine;
+  World world(engine, net::longhorn(2, 1), no_compression());
+  // A rendezvous transfer cannot be abandoned mid-protocol, so a too-small
+  // receive on the large-message path remains a hard error.
+  EXPECT_THROW(world.run([&](Rank& R) {
+    if (R.rank() == 0) {
+      std::vector<float> in(1 << 16, 1.0f);
+      R.send(in.data(), sizeof(float) << 16, 1, 1);
     } else {
       std::vector<float> out(16);
       R.recv(out.data(), 64, 0, 1);  // too small

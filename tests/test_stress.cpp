@@ -26,7 +26,9 @@ TEST(Stress, ManyActorsDeterministicFinishTime) {
     sim::Rng rng(99);
     for (int a = 0; a < 64; ++a) {
       const int hops = 1 + static_cast<int>(rng.next_below(20));
-      engine.spawn("a" + std::to_string(a), [hops](sim::ActorContext& ctx) {
+      std::string name = "a";
+      name += std::to_string(a);
+      engine.spawn(name, [hops](sim::ActorContext& ctx) {
         for (int h = 0; h < hops; ++h) ctx.advance(Time::us(3 + h));
       });
     }

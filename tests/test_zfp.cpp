@@ -53,9 +53,9 @@ TEST(Zfp, RejectsInvalidRates) {
 
 TEST(Zfp, RejectsBadFields) {
   ZfpCodec codec(16);
-  EXPECT_THROW(codec.compressed_bytes(ZfpField{0, 4, 1, 1}), std::invalid_argument);
-  EXPECT_THROW(codec.compressed_bytes(ZfpField{1, 0, 1, 1}), std::invalid_argument);
-  EXPECT_THROW(codec.compressed_bytes(ZfpField{1, 4, 2, 1}), std::invalid_argument);
+  EXPECT_THROW((void)codec.compressed_bytes(ZfpField{0, 4, 1, 1}), std::invalid_argument);
+  EXPECT_THROW((void)codec.compressed_bytes(ZfpField{1, 0, 1, 1}), std::invalid_argument);
+  EXPECT_THROW((void)codec.compressed_bytes(ZfpField{1, 4, 2, 1}), std::invalid_argument);
 }
 
 TEST(Zfp, AllZeroBlockDecodesToZero) {
@@ -290,10 +290,10 @@ TEST(ZfpModes, FixedAccuracyWorksIn3D) {
 }
 
 TEST(ZfpModes, BadModeParametersRejected) {
-  EXPECT_THROW(ZfpCodec::fixed_precision(0), std::invalid_argument);
-  EXPECT_THROW(ZfpCodec::fixed_precision(33), std::invalid_argument);
-  EXPECT_THROW(ZfpCodec::fixed_accuracy(0.0), std::invalid_argument);
-  EXPECT_THROW(ZfpCodec::fixed_accuracy(-1.0), std::invalid_argument);
+  EXPECT_THROW((void)ZfpCodec::fixed_precision(0), std::invalid_argument);
+  EXPECT_THROW((void)ZfpCodec::fixed_precision(33), std::invalid_argument);
+  EXPECT_THROW((void)ZfpCodec::fixed_accuracy(0.0), std::invalid_argument);
+  EXPECT_THROW((void)ZfpCodec::fixed_accuracy(-1.0), std::invalid_argument);
 }
 
 TEST(ZfpModes, AccuracyModeCompressesBetterThanEquivalentRate) {
