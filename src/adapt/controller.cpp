@@ -261,4 +261,77 @@ core::CollectiveAlgorithm AdaptiveController::choose_alltoall(sim::Time now, int
   return alg;
 }
 
+core::CollectiveAlgorithm AdaptiveController::choose_bcast(sim::Time now, int rank,
+                                                           std::uint64_t bytes, int ranks,
+                                                           int nodes, int gpus_per_node) {
+  const std::size_t k = bcast_.cursor[rank]++;
+  if (k < bcast_.seq.size()) return bcast_.seq[k];
+  const double cr = history_.global_mpc_ratio(opts_.prior_mpc_ratio);
+  core::CollectiveAlgorithm alg =
+      prior_.choose_bcast_algorithm(bytes, ranks, nodes, gpus_per_node, cr);
+  alg = refine_collective("bcast", alg, bytes,
+                          {core::CollectiveAlgorithm::Linear,
+                           core::CollectiveAlgorithm::Hierarchical});
+  bcast_.seq.push_back(alg);
+  record(now, rank, core::kScopeBcast, bytes, core::collective_algorithm_name(alg), false,
+         false, history_.collective("bcast", alg, bytes).span_us);
+  return alg;
+}
+
+core::CollectiveAlgorithm AdaptiveController::choose_allgather(sim::Time now, int rank,
+                                                               std::uint64_t block_bytes,
+                                                               int ranks, int nodes,
+                                                               int gpus_per_node) {
+  const std::size_t k = allgather_.cursor[rank]++;
+  if (k < allgather_.seq.size()) return allgather_.seq[k];
+  const double cr = history_.global_mpc_ratio(opts_.prior_mpc_ratio);
+  core::CollectiveAlgorithm alg =
+      prior_.choose_allgather_algorithm(block_bytes, ranks, nodes, gpus_per_node, cr);
+  alg = refine_collective("allgather", alg, block_bytes,
+                          {core::CollectiveAlgorithm::Linear,
+                           core::CollectiveAlgorithm::Hierarchical});
+  allgather_.seq.push_back(alg);
+  record(now, rank, core::kScopeAllgather, block_bytes,
+         core::collective_algorithm_name(alg), false, false,
+         history_.collective("allgather", alg, block_bytes).span_us);
+  return alg;
+}
+
+core::CollectiveAlgorithm AdaptiveController::choose_gather(sim::Time now, int rank,
+                                                            std::uint64_t block_bytes,
+                                                            int ranks, int nodes,
+                                                            int gpus_per_node) {
+  const std::size_t k = gather_.cursor[rank]++;
+  if (k < gather_.seq.size()) return gather_.seq[k];
+  const double cr = history_.global_mpc_ratio(opts_.prior_mpc_ratio);
+  core::CollectiveAlgorithm alg =
+      prior_.choose_gather_algorithm(block_bytes, ranks, nodes, gpus_per_node, cr);
+  alg = refine_collective("gather", alg, block_bytes,
+                          {core::CollectiveAlgorithm::Linear,
+                           core::CollectiveAlgorithm::Hierarchical});
+  gather_.seq.push_back(alg);
+  record(now, rank, core::kScopeGather, block_bytes, core::collective_algorithm_name(alg),
+         false, false, history_.collective("gather", alg, block_bytes).span_us);
+  return alg;
+}
+
+core::CollectiveAlgorithm AdaptiveController::choose_scatter(sim::Time now, int rank,
+                                                             std::uint64_t block_bytes,
+                                                             int ranks, int nodes,
+                                                             int gpus_per_node) {
+  const std::size_t k = scatter_.cursor[rank]++;
+  if (k < scatter_.seq.size()) return scatter_.seq[k];
+  const double cr = history_.global_mpc_ratio(opts_.prior_mpc_ratio);
+  core::CollectiveAlgorithm alg =
+      prior_.choose_scatter_algorithm(block_bytes, ranks, nodes, gpus_per_node, cr);
+  alg = refine_collective("scatter", alg, block_bytes,
+                          {core::CollectiveAlgorithm::Linear,
+                           core::CollectiveAlgorithm::Hierarchical});
+  scatter_.seq.push_back(alg);
+  record(now, rank, core::kScopeScatter, block_bytes,
+         core::collective_algorithm_name(alg), false, false,
+         history_.collective("scatter", alg, block_bytes).span_us);
+  return alg;
+}
+
 }  // namespace gcmpi::adapt

@@ -72,6 +72,17 @@ class AdaptiveController final : public core::AdaptivePolicy,
                                              int gpus_per_node) override;
   core::CollectiveAlgorithm choose_alltoall(sim::Time now, int rank,
                                             std::uint64_t block_bytes, int ranks) override;
+  core::CollectiveAlgorithm choose_bcast(sim::Time now, int rank, std::uint64_t bytes,
+                                         int ranks, int nodes, int gpus_per_node) override;
+  core::CollectiveAlgorithm choose_allgather(sim::Time now, int rank,
+                                             std::uint64_t block_bytes, int ranks,
+                                             int nodes, int gpus_per_node) override;
+  core::CollectiveAlgorithm choose_gather(sim::Time now, int rank,
+                                          std::uint64_t block_bytes, int ranks, int nodes,
+                                          int gpus_per_node) override;
+  core::CollectiveAlgorithm choose_scatter(sim::Time now, int rank,
+                                           std::uint64_t block_bytes, int ranks, int nodes,
+                                           int gpus_per_node) override;
 
   // --- core::TelemetryObserver (the feedback path) ---
   void on_event(const core::TelemetryEvent& ev) override { history_.observe(ev); }
@@ -125,6 +136,10 @@ class AdaptiveController final : public core::AdaptivePolicy,
   std::map<std::pair<int, int>, Channel> channels_;  // (scope, bucket)
   CollectiveSequence allreduce_;
   CollectiveSequence alltoall_;
+  CollectiveSequence bcast_;
+  CollectiveSequence allgather_;
+  CollectiveSequence gather_;
+  CollectiveSequence scatter_;
 };
 
 }  // namespace gcmpi::adapt

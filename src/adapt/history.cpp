@@ -33,6 +33,11 @@ int op_id(const char* op) {
   if (std::strcmp(op, "allreduce") == 0) return 0;
   if (std::strcmp(op, "reduce_scatter") == 0) return 1;
   if (std::strcmp(op, "alltoall") == 0) return 2;
+  if (std::strcmp(op, "bcast") == 0) return 4;
+  if (std::strcmp(op, "allgather") == 0) return 5;
+  if (std::strcmp(op, "gather") == 0) return 6;
+  if (std::strcmp(op, "scatter") == 0) return 7;
+  if (std::strcmp(op, "reduce") == 0) return 8;
   return 3;
 }
 
@@ -75,6 +80,10 @@ int scope_id(const char* scope) {
   if (std::strcmp(scope, core::kScopeChunk) == 0) return 2;
   if (std::strcmp(scope, core::kScopeAllreduce) == 0) return 3;
   if (std::strcmp(scope, core::kScopeAlltoall) == 0) return 4;
+  if (std::strcmp(scope, core::kScopeBcast) == 0) return 6;
+  if (std::strcmp(scope, core::kScopeAllgather) == 0) return 7;
+  if (std::strcmp(scope, core::kScopeGather) == 0) return 8;
+  if (std::strcmp(scope, core::kScopeScatter) == 0) return 9;
   return 5;
 }
 

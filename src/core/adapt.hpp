@@ -27,6 +27,10 @@ inline constexpr const char* kScopeBatch = "batch";
 inline constexpr const char* kScopeChunk = "chunk";
 inline constexpr const char* kScopeAllreduce = "allreduce";
 inline constexpr const char* kScopeAlltoall = "alltoall";
+inline constexpr const char* kScopeBcast = "bcast";
+inline constexpr const char* kScopeAllgather = "allgather";
+inline constexpr const char* kScopeGather = "gather";
+inline constexpr const char* kScopeScatter = "scatter";
 
 /// One codec decision for one outgoing message (or batch, or chunk).
 struct CompressChoice {
@@ -62,6 +66,29 @@ class AdaptivePolicy {
   /// Same all-ranks-agree contract as choose_allreduce.
   virtual CollectiveAlgorithm choose_alltoall(sim::Time now, int rank,
                                               std::uint64_t block_bytes, int ranks) = 0;
+
+  /// Resolve the bcast schedule (flat binomial vs hierarchical per-node
+  /// staging). Same all-ranks-agree contract as choose_allreduce.
+  virtual CollectiveAlgorithm choose_bcast(sim::Time now, int rank, std::uint64_t bytes,
+                                           int ranks, int nodes, int gpus_per_node) = 0;
+
+  /// Resolve the allgather schedule (flat ring vs leader ring of node
+  /// slabs). Same all-ranks-agree contract.
+  virtual CollectiveAlgorithm choose_allgather(sim::Time now, int rank,
+                                               std::uint64_t block_bytes, int ranks,
+                                               int nodes, int gpus_per_node) = 0;
+
+  /// Resolve the gather schedule (direct-to-root vs leader-staged slabs).
+  /// Same all-ranks-agree contract.
+  virtual CollectiveAlgorithm choose_gather(sim::Time now, int rank,
+                                            std::uint64_t block_bytes, int ranks,
+                                            int nodes, int gpus_per_node) = 0;
+
+  /// Resolve the scatter schedule (direct-from-root vs batched node slabs).
+  /// Same all-ranks-agree contract.
+  virtual CollectiveAlgorithm choose_scatter(sim::Time now, int rank,
+                                             std::uint64_t block_bytes, int ranks,
+                                             int nodes, int gpus_per_node) = 0;
 };
 
 }  // namespace gcmpi::core

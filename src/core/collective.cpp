@@ -30,6 +30,56 @@ CollectiveAlgorithm resolve_allreduce_algorithm(const CollectiveTuning& tuning,
   return CollectiveAlgorithm::Ring;
 }
 
+namespace {
+
+/// Shared resolution rule for the leader-staged moving collectives: the
+/// hierarchical schedule needs a genuine two-level topology; a forced
+/// Hierarchical on a degenerate one resolves to the flat path (Linear) so
+/// the result is bit-identical to the flat schedule by construction.
+CollectiveAlgorithm resolve_hier(const CollectiveTuning& tuning, CollectiveAlgorithm forced,
+                                 std::uint64_t floor_bytes, std::uint64_t bytes, int ranks,
+                                 int nodes, int gpus_per_node) {
+  const bool two_level = nodes > 1 && gpus_per_node > 1;
+  if (forced != CollectiveAlgorithm::Auto) {
+    return forced == CollectiveAlgorithm::Hierarchical && two_level
+               ? CollectiveAlgorithm::Hierarchical
+               : CollectiveAlgorithm::Linear;
+  }
+  if (!tuning.allow_hierarchical || !two_level) return CollectiveAlgorithm::Linear;
+  if (ranks < tuning.hier_min_ranks || bytes < floor_bytes) return CollectiveAlgorithm::Linear;
+  return CollectiveAlgorithm::Hierarchical;
+}
+
+}  // namespace
+
+CollectiveAlgorithm resolve_bcast_algorithm(const CollectiveTuning& tuning,
+                                            std::uint64_t bytes, int ranks, int nodes,
+                                            int gpus_per_node) {
+  return resolve_hier(tuning, tuning.bcast_algorithm, tuning.hier_min_bytes, bytes, ranks,
+                      nodes, gpus_per_node);
+}
+
+CollectiveAlgorithm resolve_allgather_algorithm(const CollectiveTuning& tuning,
+                                                std::uint64_t block_bytes, int ranks,
+                                                int nodes, int gpus_per_node) {
+  return resolve_hier(tuning, tuning.allgather_algorithm, tuning.hier_min_block_bytes,
+                      block_bytes, ranks, nodes, gpus_per_node);
+}
+
+CollectiveAlgorithm resolve_gather_algorithm(const CollectiveTuning& tuning,
+                                             std::uint64_t block_bytes, int ranks,
+                                             int nodes, int gpus_per_node) {
+  return resolve_hier(tuning, tuning.gather_algorithm, tuning.hier_min_block_bytes,
+                      block_bytes, ranks, nodes, gpus_per_node);
+}
+
+CollectiveAlgorithm resolve_scatter_algorithm(const CollectiveTuning& tuning,
+                                              std::uint64_t block_bytes, int ranks,
+                                              int nodes, int gpus_per_node) {
+  return resolve_hier(tuning, tuning.scatter_algorithm, tuning.hier_min_block_bytes,
+                      block_bytes, ranks, nodes, gpus_per_node);
+}
+
 CollectiveAlgorithm resolve_alltoall_algorithm(const CollectiveTuning& tuning,
                                                std::uint64_t block_bytes, int ranks) {
   if (tuning.alltoall_algorithm != CollectiveAlgorithm::Auto) {

@@ -67,6 +67,23 @@ struct CollectiveTuning {
   CollectiveAlgorithm alltoall_algorithm = CollectiveAlgorithm::Auto;
   std::uint64_t alltoall_min_block_bytes = 1ull << 20;
   int alltoall_min_ranks = 4;
+
+  // Hierarchical staging for the moving collectives (bcast / allgather /
+  // gather / scatter): stage payloads at one representative per node so the
+  // shared IB NIC carries one wire transit per node instead of one per
+  // rank (gZCCL-style topology awareness; see src/mpi/hier_engine.cpp).
+  // Auto policy: below the floors the flat schedules' lower hop count and
+  // launch overhead win; above them the per-node staging pays for itself.
+  // Hierarchical staging needs a real two-level topology (nodes > 1 AND
+  // gpus_per_node > 1) — degenerate topologies fall back to the flat path
+  // even when forced, bit-identically.
+  CollectiveAlgorithm bcast_algorithm = CollectiveAlgorithm::Auto;
+  CollectiveAlgorithm allgather_algorithm = CollectiveAlgorithm::Auto;
+  CollectiveAlgorithm gather_algorithm = CollectiveAlgorithm::Auto;
+  CollectiveAlgorithm scatter_algorithm = CollectiveAlgorithm::Auto;
+  std::uint64_t hier_min_bytes = 1ull << 20;        // full-message floor (bcast)
+  std::uint64_t hier_min_block_bytes = 256ull << 10;  // per-rank block floor
+  int hier_min_ranks = 4;
 };
 
 /// Resolve `Auto` into a concrete algorithm for a `bytes`-sized allreduce
@@ -76,6 +93,39 @@ struct CollectiveTuning {
 [[nodiscard]] CollectiveAlgorithm resolve_allreduce_algorithm(
     const CollectiveTuning& tuning, std::uint64_t bytes, int ranks, int nodes,
     int gpus_per_node);
+
+/// Resolve the bcast schedule for a `bytes`-sized message: Hierarchical
+/// (root compresses once, node representatives forward the wire form over
+/// IB, intra-node fan-out below them) or Linear (the flat binomial tree).
+/// A forced Hierarchical on a degenerate topology (one node, or one GPU
+/// per node) resolves to Linear: there is no second level to stage on.
+[[nodiscard]] CollectiveAlgorithm resolve_bcast_algorithm(const CollectiveTuning& tuning,
+                                                          std::uint64_t bytes, int ranks,
+                                                          int nodes, int gpus_per_node);
+
+/// Resolve the allgather schedule for `block_bytes` per-rank blocks:
+/// Hierarchical (intra-node gather to the leader, leader ring of node
+/// slabs in wire form, intra-node bcast of the assembled vector) or
+/// Linear (the flat ring). Same degenerate-topology rule as bcast.
+[[nodiscard]] CollectiveAlgorithm resolve_allgather_algorithm(
+    const CollectiveTuning& tuning, std::uint64_t block_bytes, int ranks, int nodes,
+    int gpus_per_node);
+
+/// Resolve the gather schedule: Hierarchical (members stage blocks at the
+/// node leader, leaders ship one assembled slab to the root) or Linear
+/// (every rank sends its block straight to the root).
+[[nodiscard]] CollectiveAlgorithm resolve_gather_algorithm(const CollectiveTuning& tuning,
+                                                           std::uint64_t block_bytes,
+                                                           int ranks, int nodes,
+                                                           int gpus_per_node);
+
+/// Resolve the scatter schedule: Hierarchical (the root batch-compresses
+/// one slab per remote node, leaders fan the blocks out intra-node) or
+/// Linear (the root sends every rank its block directly).
+[[nodiscard]] CollectiveAlgorithm resolve_scatter_algorithm(const CollectiveTuning& tuning,
+                                                            std::uint64_t block_bytes,
+                                                            int ranks, int nodes,
+                                                            int gpus_per_node);
 
 /// Resolve the alltoall schedule for `block_bytes` per-destination blocks
 /// over `ranks` ranks: BatchedPairwise (one-launch batch compression) or

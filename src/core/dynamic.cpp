@@ -7,11 +7,26 @@
 namespace gcmpi::core {
 
 DynamicSelector::DynamicSelector(gpu::GpuSpec gpu, double network_gbs, bool lossy_allowed,
-                                 int min_zfp_rate)
+                                 int min_zfp_rate, double intra_network_gbs)
     : gpu_(gpu),
       network_gbs_(network_gbs),
       lossy_allowed_(lossy_allowed),
-      min_zfp_rate_(min_zfp_rate) {}
+      min_zfp_rate_(min_zfp_rate),
+      intra_network_gbs_(intra_network_gbs) {}
+
+double DynamicSelector::intra_bps() const {
+  // Without a measured intra-node LinkSpec, keep the historical NVLink ~=
+  // 4x IB approximation so existing decisions are unchanged.
+  return (intra_network_gbs_ > 0.0 ? intra_network_gbs_ : network_gbs_ * 4.0) * 1e9;
+}
+
+double DynamicSelector::hop_kernel_secs(double bytes, double cr) const {
+  const auto b = static_cast<std::uint64_t>(bytes);
+  const int blocks = std::max(1, gpu_.sm_count / 4);
+  const auto secs = [](Time t) { return static_cast<double>(t.count_ns()) * 1e-9; };
+  return secs(model_.mpc_compress(b, static_cast<std::uint64_t>(bytes / cr), blocks, gpu_)) +
+         secs(model_.mpc_decompress(static_cast<std::uint64_t>(bytes / cr), b, blocks, gpu_));
+}
 
 double DynamicSelector::estimate_mpc_ratio(std::span<const float> message,
                                            std::size_t sample_values) const {
@@ -117,7 +132,7 @@ CollectiveAlgorithm DynamicSelector::choose_allreduce_algorithm(
   double hier = 1e18;  // effectively +inf unless applicable
   if (nodes > 1 && gpus_per_node > 1) {
     const double intra = 2.0 * static_cast<double>(gpus_per_node - 1) * S /
-                         (cr * wire_bps * 4.0);
+                         (cr * intra_bps());
     const double nshard = S / static_cast<double>(nodes);
     const double nsteps = 2.0 * static_cast<double>(nodes - 1);
     hier = intra + nsteps * (nshard / (cr * wire_bps) + hop_kernels(nshard)) +
@@ -167,6 +182,103 @@ CollectiveAlgorithm DynamicSelector::choose_alltoall_algorithm(std::uint64_t blo
 
   return batched < naive ? CollectiveAlgorithm::BatchedPairwise
                          : CollectiveAlgorithm::Linear;
+}
+
+CollectiveAlgorithm DynamicSelector::choose_bcast_algorithm(std::uint64_t message_bytes,
+                                                            int ranks, int nodes,
+                                                            int gpus_per_node,
+                                                            double mpc_cr) const {
+  if (ranks <= 2 || message_bytes == 0 || nodes <= 1 || gpus_per_node <= 1) {
+    return CollectiveAlgorithm::Linear;
+  }
+  const double wire_bps = network_gbs_ * 1e9;
+  const double cr = std::max(1.0, mpc_cr);
+  const double S = static_cast<double>(message_bytes);
+  const auto log2ceil = [](int p) {
+    double d = 0.0;
+    for (int v = 1; v < p; v <<= 1) d += 1.0;
+    return std::max(1.0, d);
+  };
+
+  // Flat binomial: the tree depth is log2(P) full-message transits, nearly
+  // all crossing IB on a block rank layout, plus one compress and the leaf
+  // decode. (Forwarded wire forms: no per-hop recompression.)
+  const double kernels = hop_kernel_secs(S, cr);
+  const double flat = log2ceil(ranks) * S / (cr * wire_bps) + kernels;
+
+  // Hierarchical: log2(nodes) IB transits of the same wire form, then the
+  // intra-node fan-out (gpn-1 copies over NVLink, decoded once per node off
+  // the inter-node critical path).
+  const double hier = log2ceil(nodes) * S / (cr * wire_bps) +
+                      static_cast<double>(gpus_per_node - 1) * S / (cr * intra_bps()) +
+                      kernels;
+  return hier < flat ? CollectiveAlgorithm::Hierarchical : CollectiveAlgorithm::Linear;
+}
+
+CollectiveAlgorithm DynamicSelector::choose_allgather_algorithm(std::uint64_t block_bytes,
+                                                                int ranks, int nodes,
+                                                                int gpus_per_node,
+                                                                double mpc_cr) const {
+  if (ranks <= 2 || block_bytes == 0 || nodes <= 1 || gpus_per_node <= 1) {
+    return CollectiveAlgorithm::Linear;
+  }
+  const double wire_bps = network_gbs_ * 1e9;
+  const double cr = std::max(1.0, mpc_cr);
+  const double B = static_cast<double>(block_bytes);
+  const double gpn = static_cast<double>(gpus_per_node);
+
+  // Flat ring: P-1 steps, each moving one block (and paying one block-sized
+  // decode); the node-boundary hops carry every block across IB one at a
+  // time, so per-message kernel overhead is paid P-1 times.
+  const double flat = static_cast<double>(ranks - 1) * (B / (cr * wire_bps) +
+                                                        hop_kernel_secs(B, cr));
+
+  // Hierarchical: members stage blocks at the leader over NVLink, the
+  // leader ring moves nodes-1 gpn-sized slabs (one compress+decode per
+  // slab), and the assembled vector fans back out intra-node.
+  const double slab = gpn * B;
+  const double total = static_cast<double>(ranks) * B;
+  const double hier = (gpn - 1.0) * B / intra_bps() +
+                      static_cast<double>(nodes - 1) *
+                          (slab / (cr * wire_bps) + hop_kernel_secs(slab, cr)) +
+                      total / (cr * intra_bps());
+  return hier < flat ? CollectiveAlgorithm::Hierarchical : CollectiveAlgorithm::Linear;
+}
+
+CollectiveAlgorithm DynamicSelector::choose_gather_algorithm(std::uint64_t block_bytes,
+                                                             int ranks, int nodes,
+                                                             int gpus_per_node,
+                                                             double mpc_cr) const {
+  if (ranks <= 2 || block_bytes == 0 || nodes <= 1 || gpus_per_node <= 1) {
+    return CollectiveAlgorithm::Linear;
+  }
+  const double wire_bps = network_gbs_ * 1e9;
+  const double cr = std::max(1.0, mpc_cr);
+  const double B = static_cast<double>(block_bytes);
+  const double gpn = static_cast<double>(gpus_per_node);
+
+  // Flat: P-1 blocks converge on the root's NIC, each its own compress +
+  // decode launch; the NIC ingress serializes the inter-node ones.
+  const double flat = static_cast<double>(ranks - 1) * (B / (cr * wire_bps) +
+                                                        hop_kernel_secs(B, cr));
+
+  // Hierarchical: the intra-node staging rides NVLink, then nodes-1 slabs
+  // (gpn blocks each) cross IB with one compress+decode per slab.
+  const double slab = gpn * B;
+  const double hier = (gpn - 1.0) * B / intra_bps() +
+                      static_cast<double>(nodes - 1) *
+                          (slab / (cr * wire_bps) + hop_kernel_secs(slab, cr));
+  return hier < flat ? CollectiveAlgorithm::Hierarchical : CollectiveAlgorithm::Linear;
+}
+
+CollectiveAlgorithm DynamicSelector::choose_scatter_algorithm(std::uint64_t block_bytes,
+                                                              int ranks, int nodes,
+                                                              int gpus_per_node,
+                                                              double mpc_cr) const {
+  // Same traffic shape as gather with the direction reversed (the root's
+  // batched compress amortizes the launch the same way the leaders' slab
+  // staging does), so the crossover is shared.
+  return choose_gather_algorithm(block_bytes, ranks, nodes, gpus_per_node, mpc_cr);
 }
 
 }  // namespace gcmpi::core

@@ -37,8 +37,11 @@ class DynamicSelector {
   /// `network_gbs`: bandwidth of the link the message will traverse.
   /// `lossy_allowed`: whether the application tolerates ZFP's fixed-rate
   /// loss for this buffer (AWP at rate 4 does not — Sec. VII-A).
+  /// `intra_network_gbs`: bandwidth of the intra-node link, used by the
+  /// hierarchical collective pricing to weigh NVLink fan-out against IB
+  /// transits; 0 keeps the historical 4x-the-wire approximation.
   DynamicSelector(gpu::GpuSpec gpu, double network_gbs, bool lossy_allowed = true,
-                  int min_zfp_rate = 8);
+                  int min_zfp_rate = 8, double intra_network_gbs = 0.0);
 
   /// Estimate the MPC ratio by really compressing `sample_values` values
   /// of the message (cheap: default 16K values).
@@ -78,11 +81,48 @@ class DynamicSelector {
                                                               int ranks,
                                                               double mpc_cr) const;
 
+  /// Cost-model companion to core::resolve_bcast_algorithm: price the flat
+  /// binomial tree (log2 P serialized wire transits of the whole message,
+  /// most of them crossing IB) against the hierarchical staging (log2 nodes
+  /// IB transits + the NVLink fan-out + one decode per node off the
+  /// critical path) and return Linear or Hierarchical.
+  [[nodiscard]] CollectiveAlgorithm choose_bcast_algorithm(std::uint64_t message_bytes,
+                                                           int ranks, int nodes,
+                                                           int gpus_per_node,
+                                                           double mpc_cr) const;
+
+  /// Flat ring of P-1 per-rank blocks vs intra-node gather + leader ring
+  /// of node slabs + intra-node slab broadcast.
+  [[nodiscard]] CollectiveAlgorithm choose_allgather_algorithm(std::uint64_t block_bytes,
+                                                               int ranks, int nodes,
+                                                               int gpus_per_node,
+                                                               double mpc_cr) const;
+
+  /// P-1 individually compressed blocks converging on the root's NIC vs
+  /// nodes-1 leader slabs (one compress+decode per node).
+  [[nodiscard]] CollectiveAlgorithm choose_gather_algorithm(std::uint64_t block_bytes,
+                                                            int ranks, int nodes,
+                                                            int gpus_per_node,
+                                                            double mpc_cr) const;
+
+  /// Mirror of choose_gather_algorithm for the root-to-ranks direction
+  /// (the root batch-compresses one slab per remote node).
+  [[nodiscard]] CollectiveAlgorithm choose_scatter_algorithm(std::uint64_t block_bytes,
+                                                             int ranks, int nodes,
+                                                             int gpus_per_node,
+                                                             double mpc_cr) const;
+
  private:
+  [[nodiscard]] double intra_bps() const;
+  /// MPC compress + decompress kernel seconds for one `bytes`-sized hop at
+  /// ratio `cr` (quarter-SM partitioned launches, the engines' shape).
+  [[nodiscard]] double hop_kernel_secs(double bytes, double cr) const;
+
   gpu::GpuSpec gpu_;
   double network_gbs_;
   bool lossy_allowed_;
   int min_zfp_rate_;
+  double intra_network_gbs_;
   comp::KernelCostModel model_;
 };
 

@@ -31,12 +31,14 @@ double FaultInjector::draw(Stream s, int a, int b) {
   return static_cast<double>(draw_u64(s, a, b) >> 11) * 0x1.0p-53;
 }
 
-PacketFault FaultInjector::on_data_packet(int src, int dst) {
+PacketFault FaultInjector::on_data_packet(int src, int dst, bool inter_node) {
   PacketFault f;
   ++stats_.data_packets;
+  if (inter_node) ++stats_.inter_node_data_packets;
   if (plan_.drop_probability > 0.0 && draw(Stream::Drop, src, dst) < plan_.drop_probability) {
     f.drop = true;
     ++stats_.drops;
+    if (inter_node) ++stats_.inter_node_drops;
     return f;  // a dropped packet cannot also be corrupted
   }
   if (plan_.corrupt_probability > 0.0 &&
@@ -44,6 +46,7 @@ PacketFault FaultInjector::on_data_packet(int src, int dst) {
     f.corrupt = true;
     f.corrupt_bits = draw_u64(Stream::CorruptBits, src, dst);
     ++stats_.corruptions;
+    if (inter_node) ++stats_.inter_node_corruptions;
   }
   if (plan_.latency_spike_probability > 0.0 &&
       draw(Stream::DataLatency, src, dst) < plan_.latency_spike_probability) {

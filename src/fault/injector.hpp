@@ -42,11 +42,18 @@ struct WindowEffect {
   double bandwidth_scale = 1.0;               // < 1 while degraded
 };
 
-/// Injection counters, for tests and the chaos bench.
+/// Injection counters, for tests and the chaos bench. The inter_node_*
+/// counters split out the packets whose src and dst sit on different nodes
+/// (as reported by the Fabric), so topology-aware collectives can assert
+/// their IB transit budget — e.g. hierarchical bcast must show exactly
+/// nodes-1 inter-node data packets plus the inter-node retransmits.
 struct FaultStats {
   std::uint64_t data_packets = 0;
   std::uint64_t drops = 0;
   std::uint64_t corruptions = 0;
+  std::uint64_t inter_node_data_packets = 0;
+  std::uint64_t inter_node_drops = 0;
+  std::uint64_t inter_node_corruptions = 0;
   std::uint64_t latency_spikes = 0;
   std::uint64_t stalls = 0;        // transfers deferred by a down window
   std::uint64_t degradations = 0;  // transfers slowed by a degraded window
@@ -63,7 +70,9 @@ class FaultInjector {
   void reset_stats() { stats_ = {}; }
 
   /// Per-data-packet verdict (rendezvous payload push src -> dst).
-  PacketFault on_data_packet(int src, int dst);
+  /// `inter_node` feeds the inter_node_* stats split; it does NOT change
+  /// the verdict draw, so fault schedules are unchanged.
+  PacketFault on_data_packet(int src, int dst, bool inter_node = false);
 
   /// Extra propagation latency for any non-data packet src -> dst.
   sim::Time timing_fault(int src, int dst);

@@ -68,6 +68,13 @@ void Rank::bcast(void* buf, std::uint64_t bytes, int root) {
     return;
   }
 
+  // Topology-aware staging: one inter-node wire transit per node instead of
+  // one per rank (see hier_engine.cpp).
+  if (select_bcast(bytes) == core::CollectiveAlgorithm::Hierarchical) {
+    bcast_hierarchical(buf, bytes, root, tag);
+    return;
+  }
+
   // Chunked pipelined hops: when the pipeline covers this size, run the
   // binomial tree over plain point-to-point sends so every edge overlaps
   // compression, transfer, and decompression chunk by chunk. The wire-
@@ -171,6 +178,13 @@ void Rank::allgather(const void* sendbuf, std::uint64_t block_bytes, void* recvb
     return;
   }
 
+  // Topology-aware staging: leaders ring node slabs so each node pays
+  // nodes-1 inter-node transits instead of P-1 (see hier_engine.cpp).
+  if (select_allgather(block_bytes) == core::CollectiveAlgorithm::Hierarchical) {
+    allgather_hierarchical(sendbuf, block_bytes, recvbuf, tag);
+    return;
+  }
+
   // Chunked pipelined ring: pipeline-sized blocks go through plain
   // point-to-point hops so each ring step overlaps chunk compression,
   // transfer, and decompression (see bcast above for the rationale).
@@ -232,25 +246,107 @@ void Rank::reduce(const float* sendbuf, float* recvbuf, std::size_t n, ReduceOp 
                   int root) {
   const int tag = next_coll_tag();
   const int P = size();
-  std::vector<float> accum(sendbuf, sendbuf + n);
-  std::vector<float> tmp(n);
-
   const int vrank = (rank_ - root + P) % P;
+
+  // Small vectors ride the eager path uncompressed; the host-side fold is
+  // cheaper than staging a device accumulator for them.
+  if (n * 4 <= world_.options().eager_threshold) {
+    std::vector<float> accum(sendbuf, sendbuf + n);
+    std::vector<float> tmp(n);
+    for (int mask = 1; mask < P; mask <<= 1) {
+      if ((vrank & mask) == 0) {
+        const int peer_v = vrank | mask;
+        if (peer_v < P) {
+          const int peer = (peer_v + root) % P;
+          (void)recv(tmp.data(), n * 4, peer, tag);
+          apply_op(accum.data(), tmp.data(), n, op);
+        }
+      } else {
+        const int peer = ((vrank & ~mask) + root) % P;
+        send(accum.data(), n * 4, peer, tag);
+        break;
+      }
+    }
+    if (rank_ == root) std::memcpy(recvbuf, accum.data(), n * 4);
+    return;
+  }
+
+  // Rendezvous-sized vectors: same binomial schedule, but each hop moves a
+  // wire form and arriving contributions fold into a device accumulator
+  // with the manager's FUSED decompress+reduce kernels (enqueued without a
+  // stream sync, so the decode of one child overlaps the wait for the
+  // next). The fold order is identical to the host path — children in
+  // ascending mask order, accumulator-first — so results are bit-identical.
+  const sim::Time started = ctx_.now();
+  CollStats st;
+  auto& mgr = compression();
+  auto* acc = static_cast<float*>(gpu_malloc(n * 4));
+  std::memcpy(acc, sendbuf, n * 4);
+  compute(gpu().costs().d2d_copy(n * 4));
+
+  std::vector<core::CompressionManager::RecvStaging> stagings;
+  bool kernels_in_flight = false;
+  auto drain = [&] {
+    const sim::Time t0 = ctx_.now();
+    sim::Timeline tl(ctx_.now());
+    gpu().device_synchronize(tl, &mgr.receiver_breakdown());
+    for (auto& s : stagings) mgr.release_receive(tl, s);
+    stagings.clear();
+    ctx_.advance_to(tl.now());
+    kernels_in_flight = false;
+    st.reduce_busy += ctx_.now() - t0;
+  };
+
   for (int mask = 1; mask < P; mask <<= 1) {
     if ((vrank & mask) == 0) {
       const int peer_v = vrank | mask;
       if (peer_v < P) {
         const int peer = (peer_v + root) % P;
-        (void)recv(tmp.data(), n * 4, peer, tag);
-        apply_op(accum.data(), tmp.data(), n, op);
+        WireMessage in;
+        Request rr = irecv_wire(&in, peer, tag);
+        const sim::Time t0 = ctx_.now();
+        (void)wait(rr);
+        st.transfer_busy += ctx_.now() - t0;
+        const sim::Time t1 = ctx_.now();
+        sim::Timeline tl(ctx_.now());
+        if (in.header.compressed) {
+          auto staging = mgr.prepare_receive(tl, in.header);
+          std::memcpy(staging.data, in.payload->data(), in.payload->size());
+          mgr.decompress_reduce_with_retry(tl, in.header, staging, acc, n * 4, op,
+                                           /*synchronize=*/false);
+          stagings.push_back(staging);
+        } else {
+          (void)mgr.reduce_device(tl, reinterpret_cast<const float*>(in.payload->data()),
+                                  acc, n, op, /*synchronize=*/false);
+        }
+        ++st.reduces;
+        kernels_in_flight = true;
+        ctx_.advance_to(tl.now());
+        st.reduce_busy += ctx_.now() - t1;
       }
     } else {
+      // The accumulator ships upward: drain the pending fused folds first,
+      // then compress it once for the single parent hop.
+      if (kernels_in_flight) drain();
+      const sim::Time t0 = ctx_.now();
+      WireMessage w = make_wire(acc, n * 4);
+      st.compress_busy += ctx_.now() - t0;
       const int peer = ((vrank & ~mask) + root) % P;
-      send(accum.data(), n * 4, peer, tag);
+      const sim::Time t1 = ctx_.now();
+      Request sr = isend_wire(w, peer, tag);
+      (void)wait(sr);
+      ++st.hops;
+      st.transfer_busy += ctx_.now() - t1;
       break;
     }
   }
-  if (rank_ == root) std::memcpy(recvbuf, accum.data(), n * 4);
+  if (kernels_in_flight) drain();
+  if (rank_ == root) {
+    std::memcpy(recvbuf, acc, n * 4);
+    compute(gpu().costs().d2d_copy(n * 4));
+  }
+  gpu_free(acc);
+  record_collective("reduce", core::CollectiveAlgorithm::Linear, n * 4, started, st);
 }
 
 void Rank::allreduce(const float* sendbuf, float* recvbuf, std::size_t n, ReduceOp op) {
@@ -342,6 +438,13 @@ void Rank::alltoall(const void* sendbuf, std::uint64_t block_bytes, void* recvbu
 void Rank::gather(const void* sendbuf, std::uint64_t block_bytes, void* recvbuf, int root) {
   const int tag = next_coll_tag();
   const int P = size();
+  if (P > 1 && block_bytes > 0 &&
+      select_gather(block_bytes) == core::CollectiveAlgorithm::Hierarchical) {
+    // Leader-staged: remote nodes ship one assembled slab each instead of
+    // gpus_per_node individual blocks (see hier_engine.cpp).
+    gather_hierarchical(sendbuf, block_bytes, recvbuf, root, tag);
+    return;
+  }
   if (rank_ == root) {
     auto* out = static_cast<std::uint8_t*>(recvbuf);
     std::memcpy(out + static_cast<std::uint64_t>(root) * block_bytes, sendbuf, block_bytes);
@@ -364,6 +467,13 @@ void Rank::gather(const void* sendbuf, std::uint64_t block_bytes, void* recvbuf,
 void Rank::scatter(const void* sendbuf, std::uint64_t block_bytes, void* recvbuf, int root) {
   const int tag = next_coll_tag();
   const int P = size();
+  if (P > 1 && block_bytes > 0 &&
+      select_scatter(block_bytes) == core::CollectiveAlgorithm::Hierarchical) {
+    // Root batch-compresses one slab per remote node in a single launch;
+    // leaders fan the blocks out intra-node (see hier_engine.cpp).
+    scatter_hierarchical(sendbuf, block_bytes, recvbuf, root, tag);
+    return;
+  }
   if (rank_ == root) {
     const auto* in = static_cast<const std::uint8_t*>(sendbuf);
     std::memcpy(recvbuf, in + static_cast<std::uint64_t>(root) * block_bytes, block_bytes);

@@ -266,6 +266,27 @@ class Rank {
   void record_collective(const char* op, core::CollectiveAlgorithm algorithm,
                          std::uint64_t bytes, sim::Time started, const CollStats& st);
 
+  // --- hierarchical moving collectives (hier_engine.cpp) ---
+  // Two-level staging for bcast/allgather/gather/scatter: one wire transit
+  // crosses IB per node (forwarded compressed form), intra-node traffic
+  // rides NVLink, decode happens once per node off the inter-node critical
+  // path. Selected by the resolve_*_algorithm floors (or forced knobs),
+  // refined by the adaptive control plane under Auto.
+  [[nodiscard]] core::CollectiveAlgorithm select_bcast(std::uint64_t bytes) const;
+  [[nodiscard]] core::CollectiveAlgorithm select_allgather(std::uint64_t block_bytes) const;
+  [[nodiscard]] core::CollectiveAlgorithm select_gather(std::uint64_t block_bytes) const;
+  [[nodiscard]] core::CollectiveAlgorithm select_scatter(std::uint64_t block_bytes) const;
+  void bcast_hierarchical(void* buf, std::uint64_t bytes, int root, int tag);
+  void allgather_hierarchical(const void* sendbuf, std::uint64_t block_bytes,
+                              void* recvbuf, int tag);
+  void gather_hierarchical(const void* sendbuf, std::uint64_t block_bytes, void* recvbuf,
+                           int root, int tag);
+  void scatter_hierarchical(const void* sendbuf, std::uint64_t block_bytes, void* recvbuf,
+                            int root, int tag);
+  /// Intra-node fan-out form of a payload this rank holds raw: compressed
+  /// wire when the compress_intra_node gate is on, raw wire otherwise.
+  [[nodiscard]] WireMessage make_intra_wire(const void* buf, std::uint64_t bytes);
+
   // --- alltoall engine (alltoall_engine.cpp) ---
   [[nodiscard]] core::CollectiveAlgorithm select_alltoall(std::uint64_t block_bytes) const;
   /// Batched alltoall: ONE compression launch for the P-1 outgoing blocks,

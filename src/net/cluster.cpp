@@ -115,7 +115,8 @@ Fabric::Delivery Fabric::transfer_data(Time earliest, int src_rank, int dst_rank
   }
   d.at = occupy_and_arrive(earliest, src_rank, dst_rank, bytes, &d.start, &d.wire);
   if (fault_ != nullptr) {
-    const auto f = fault_->on_data_packet(src_rank, dst_rank);
+    const auto f =
+        fault_->on_data_packet(src_rank, dst_rank, !spec_.same_node(src_rank, dst_rank));
     d.dropped = f.drop;
     d.corrupted = f.corrupt;
     d.corrupt_bits = f.corrupt_bits;

@@ -65,6 +65,11 @@ std::string run_world_dump(const WorldScenario& s) {
       static_cast<core::CollectiveAlgorithm>(s.collective_algorithm);
   opts.collectives.alltoall_algorithm =
       static_cast<core::CollectiveAlgorithm>(s.alltoall_algorithm);
+  const auto hier_alg = static_cast<core::CollectiveAlgorithm>(s.hier_algorithm);
+  opts.collectives.bcast_algorithm = hier_alg;
+  opts.collectives.allgather_algorithm = hier_alg;
+  opts.collectives.gather_algorithm = hier_alg;
+  opts.collectives.scatter_algorithm = hier_alg;
   std::optional<fault::FaultInjector> injector;
   if (s.fault_seed != 0) {
     fault::FaultPlan plan;
@@ -157,6 +162,46 @@ std::string run_world_dump(const WorldScenario& s) {
         R.alltoall(send, bn * 4, a2a.data());
         R.gpu_free(send);
         os << " fnv_a2a=" << fnv1a(a2a.data(), a2a.size() * 4);
+      }
+      if (s.hier_block_values > 0) {
+        // Hierarchical moving collectives: device-resident payloads so the
+        // per-node staging slabs compress; each op's checksum pins its
+        // one-wire-transit-per-node schedule bit-exactly.
+        const std::size_t hn = s.hier_block_values;
+        const int root = (round + 1) % P;
+        auto* dev = static_cast<float*>(
+            R.gpu_malloc(hn * 4 * static_cast<std::size_t>(P) + 4));
+        const auto msg = make_floats(PayloadKind::SmoothField, hn,
+                                     s.seed * 3000 + static_cast<std::uint64_t>(round));
+        if (me == root) std::memcpy(dev, msg.data(), hn * 4);
+        R.bcast(dev, hn * 4, root);
+        os << " fnv_hb=" << fnv1a(dev, hn * 4);
+
+        const auto mine = make_floats(PayloadKind::SmoothField, hn,
+                                      s.seed * 4000 + static_cast<std::uint64_t>(me) * 17 +
+                                          static_cast<std::uint64_t>(round));
+        std::memcpy(dev, mine.data(), hn * 4);
+        std::vector<float> vec(hn * static_cast<std::size_t>(P));
+        R.allgather(dev, hn * 4, vec.data());
+        os << " fnv_hag=" << fnv1a(vec.data(), vec.size() * 4);
+
+        vec.assign(vec.size(), 0.0f);
+        R.gather(dev, hn * 4, vec.data(), root);
+        if (me == root) os << " fnv_hg=" << fnv1a(vec.data(), vec.size() * 4);
+
+        if (me == root) {
+          for (int d = 0; d < P; ++d) {
+            const auto blk = make_floats(
+                PayloadKind::SmoothField, hn,
+                s.seed * 5000 + static_cast<std::uint64_t>(d) * 31 +
+                    static_cast<std::uint64_t>(round));
+            std::memcpy(dev + static_cast<std::size_t>(d) * hn, blk.data(), hn * 4);
+          }
+        }
+        std::vector<float> piece(hn);
+        R.scatter(dev, hn * 4, piece.data(), root);
+        os << " fnv_hsc=" << fnv1a(piece.data(), hn * 4);
+        R.gpu_free(dev);
       }
       log.push_back(os.str());
       R.barrier();

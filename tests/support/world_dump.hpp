@@ -58,6 +58,15 @@ struct WorldScenario {
   // byte-identical.
   std::size_t alltoall_block_values = 0;
   int alltoall_algorithm = 0;  // core::CollectiveAlgorithm numeric value
+
+  // Hierarchical moving collectives. A nonzero hier_block_values adds one
+  // device-resident bcast (that many floats, rotating root) plus an
+  // allgather / gather / scatter (that many floats per block) per
+  // collective round, each logged with its result checksum;
+  // hier_algorithm pins all four per-op knobs (0 = Auto). Inert by
+  // default, so legacy scenario dumps stay byte-identical.
+  std::size_t hier_block_values = 0;
+  int hier_algorithm = 0;  // core::CollectiveAlgorithm numeric value
 };
 
 [[nodiscard]] std::string run_world_dump(const WorldScenario& s);

@@ -261,6 +261,80 @@ TEST(Chaos, BatchedAlltoallUnderLossIsBitExactWithAccountedRetransmits) {
   EXPECT_GT(fs.drops + fs.corruptions, 0u);
 }
 
+TEST(Chaos, HierarchicalBcastUnderLossIsBitExactWithTransitBudget) {
+  // The hierarchical bcast (one inter-node wire transit per node, see
+  // src/mpi/hier_engine.cpp) on 4 nodes x 4 GPUs over a 4%/4% lossy
+  // fabric. Three rounds from different roots (a non-leader, a leader,
+  // one on the last node) must deliver bit-exactly, and the split
+  // inter-node accounting must close: the representative tree has exactly
+  // nodes-1 IB edges per round and each edge needs exactly one SUCCESSFUL
+  // delivery, so every extra inter-node push is an accounted drop or a
+  // CRC-caught corruption (the two verdicts are exclusive per packet).
+  const int nodes = 4, gpn = 4;
+  const int P = nodes * gpn;
+  const std::size_t n = 65536;  // 256 KB: rendezvous wire transits
+  const int roots[] = {1, 4, 13};
+  auto payload = [n](int round) {
+    return data::generate("msg_sppm", n, 60 + static_cast<std::uint64_t>(round));
+  };
+
+  auto run_bcasts = [&](fault::FaultInjector* injector, core::Telemetry* telemetry) {
+    sim::Engine engine;
+    mpi::WorldOptions opts;
+    opts.fault = injector;
+    opts.telemetry = telemetry;
+    opts.collectives.bcast_algorithm = core::CollectiveAlgorithm::Hierarchical;
+    World world(engine, net::longhorn(nodes, gpn), core::CompressionConfig::mpc_opt(),
+                opts);
+    std::vector<std::vector<float>> outs(static_cast<std::size_t>(P));
+    world.run([&](Rank& R) {
+      auto* dev = static_cast<float*>(R.gpu_malloc(n * 4));
+      auto& out = outs[static_cast<std::size_t>(R.rank())];
+      out.resize(n * 3);
+      for (int round = 0; round < 3; ++round) {
+        const auto truth = payload(round);
+        if (R.rank() == roots[round]) {
+          std::memcpy(dev, truth.data(), n * 4);
+        } else {
+          std::memset(dev, 0, n * 4);
+        }
+        R.bcast(dev, n * 4, roots[round]);
+        std::memcpy(out.data() + static_cast<std::size_t>(round) * n, dev, n * 4);
+      }
+      R.gpu_free(dev);
+    });
+    return outs;
+  };
+
+  const auto clean = run_bcasts(nullptr, nullptr);
+
+  fault::FaultInjector injector(fault::FaultPlan::lossy(0xB0A57C, 0.04, 0.04));
+  core::Telemetry telemetry;
+  const auto lossy = run_bcasts(&injector, &telemetry);
+
+  for (int r = 0; r < P; ++r) {
+    ASSERT_EQ(std::memcmp(lossy[static_cast<std::size_t>(r)].data(),
+                          clean[static_cast<std::size_t>(r)].data(), n * 3 * 4),
+              0)
+        << "lossy hierarchical bcast diverged from fault-free run on rank " << r;
+    for (int round = 0; round < 3; ++round) {
+      const auto truth = payload(round);
+      ASSERT_EQ(std::memcmp(lossy[static_cast<std::size_t>(r)].data() +
+                                static_cast<std::size_t>(round) * n,
+                            truth.data(), n * 4),
+                0)
+          << "rank " << r << " round " << round << " corrupted";
+    }
+  }
+
+  const auto& fs = injector.stats();
+  EXPECT_EQ(fs.inter_node_data_packets,
+            3ull * (nodes - 1) + fs.inter_node_drops + fs.inter_node_corruptions);
+  EXPECT_GT(fs.inter_node_drops + fs.inter_node_corruptions, 0u)
+      << "fault plan never hit an IB transit; budget accounting untested";
+  EXPECT_GT(telemetry.summarize().retransmits, 0u);
+}
+
 TEST(Chaos, RetryLimitCompletesWithCleanErrorStatus) {
   // A black-hole link (100% drop) must not hang: after max_data_retries
   // re-pushes both sides complete with StatusError::RetryLimit.

@@ -17,12 +17,16 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "core/collective.hpp"
 #include "core/dynamic.hpp"
+#include "fault/injector.hpp"
 #include "gpu/cost_model.hpp"
 #include "mpi/world.hpp"
 #include "support/payloads.hpp"
@@ -477,6 +481,456 @@ TEST_F(AlltoallMatrix, AutoCrossesToBatchedAtTheFloor) {
   check(c);
 }
 
+// --- moving collectives (bcast / allgather / gather / scatter) ---
+//
+// The hierarchical engine restages these at one representative per node
+// (see src/mpi/hier_engine.cpp). The oracles are trivial and exact: bcast
+// puts the root's payload everywhere, allgather puts rank s's block at
+// offset s, gather concatenates at the root, scatter hands rank r the
+// root's block r. Lossless codecs must satisfy them BIT-exactly on both
+// the flat and the hierarchical schedule; ZFP cases carry per-generation
+// tolerances.
+//
+// Telemetry contract: bcast/allgather check the eager path BEFORE the
+// hierarchical select, so a forced Hierarchical at or below the eager
+// threshold silently runs the flat eager schedule (no CollectiveRecords).
+// Gather/scatter dispatch hierarchically at any nonzero block size. When
+// the engine runs, bcast/allgather record on every rank; gather/scatter
+// record on the root and the remote node leaders only (`nodes` records).
+
+struct MovingCase {
+  int nodes = 4;
+  int gpus_per_node = 2;
+  std::size_t n = 16411;  // bcast: message floats; others: floats per block
+  Codec codec = Codec::Mpc;
+  CollectiveAlgorithm algorithm = CollectiveAlgorithm::Linear;
+  int root = 1;  // off-leader root exercises the representative selection
+};
+
+std::string describe(const char* op, const MovingCase& c) {
+  std::string s = std::string(op) + " P=" + std::to_string(c.nodes * c.gpus_per_node) +
+                  "(" + std::to_string(c.nodes) + "x" + std::to_string(c.gpus_per_node) +
+                  ") n=" + std::to_string(c.n) + " root=" + std::to_string(c.root) +
+                  " codec=";
+  s += c.codec == Codec::Raw ? "raw" : c.codec == Codec::Mpc ? "mpc" : "zfp";
+  s += std::string(" algo=") + core::collective_algorithm_name(c.algorithm);
+  return s;
+}
+
+/// CI's degenerate-topology job sets GCMPI_FORCE_GPN=1: every swept
+/// topology reshapes to P nodes x 1 GPU (same rank count), where forced
+/// Hierarchical must resolve to Linear and every oracle must still hold.
+std::pair<int, int> moving_topology(int nodes, int gpn) {
+  static const int forced = [] {
+    const char* v = std::getenv("GCMPI_FORCE_GPN");
+    return v != nullptr ? std::atoi(v) : 0;
+  }();
+  if (forced <= 0) return {nodes, gpn};
+  const int P = nodes * gpn;
+  return {std::max(1, P / forced), forced};
+}
+
+std::vector<float> bcast_payload(std::size_t n) {
+  return make_floats(PayloadKind::SmoothField, n, 0xB0CA57u);
+}
+
+/// Scatter source block destined for rank d.
+std::vector<float> scatter_block(int dst, std::size_t n) {
+  return make_floats(PayloadKind::SmoothField, n,
+                     0x5CA7u + static_cast<std::uint64_t>(dst) * 131u);
+}
+
+struct MovingResult {
+  std::vector<std::vector<float>> outputs;
+  std::size_t records = 0;  // CollectiveRecords matching the op under test
+};
+
+mpi::WorldOptions moving_options(const MovingCase& c, core::Telemetry* t) {
+  mpi::WorldOptions opts;
+  opts.telemetry = t;
+  opts.collectives.bcast_algorithm = c.algorithm;
+  opts.collectives.allgather_algorithm = c.algorithm;
+  opts.collectives.gather_algorithm = c.algorithm;
+  opts.collectives.scatter_algorithm = c.algorithm;
+  return opts;
+}
+
+std::size_t count_records(const core::Telemetry& t, const char* op) {
+  std::size_t k = 0;
+  for (const auto& rec : t.collectives()) {
+    if (std::string(rec.op) == op) ++k;
+  }
+  return k;
+}
+
+MovingResult run_bcast_case(const MovingCase& c, fault::FaultInjector* inj = nullptr) {
+  sim::Engine engine;
+  core::Telemetry telemetry;
+  auto opts = moving_options(c, &telemetry);
+  opts.fault = inj;
+  World world(engine, net::longhorn(c.nodes, c.gpus_per_node),
+              config_for(MatrixCase{.codec = c.codec}), opts);
+  const int P = world.size();
+  const auto truth = bcast_payload(c.n);
+
+  MovingResult res;
+  res.outputs.assign(static_cast<std::size_t>(P), {});
+  world.run([&](Rank& R) {
+    auto* dev = static_cast<float*>(R.gpu_malloc(c.n * 4 + 4));
+    if (R.rank() == c.root) {
+      std::memcpy(dev, truth.data(), c.n * 4);
+    } else {
+      std::memset(dev, 0, c.n * 4);
+    }
+    R.bcast(dev, c.n * 4, c.root);
+    auto& out = res.outputs[static_cast<std::size_t>(R.rank())];
+    out.resize(c.n);
+    std::memcpy(out.data(), dev, c.n * 4);
+    R.gpu_free(dev);
+  });
+  res.records = count_records(telemetry, "bcast");
+  return res;
+}
+
+MovingResult run_allgather_case(const MovingCase& c) {
+  sim::Engine engine;
+  core::Telemetry telemetry;
+  auto opts = moving_options(c, &telemetry);
+  World world(engine, net::longhorn(c.nodes, c.gpus_per_node),
+              config_for(MatrixCase{.codec = c.codec}), opts);
+  const int P = world.size();
+
+  MovingResult res;
+  res.outputs.assign(static_cast<std::size_t>(P), {});
+  world.run([&](Rank& R) {
+    const auto mine = contribution(R.rank(), c.n);
+    auto* dev = static_cast<float*>(R.gpu_malloc(c.n * 4 + 4));
+    std::memcpy(dev, mine.data(), c.n * 4);
+    auto& out = res.outputs[static_cast<std::size_t>(R.rank())];
+    out.assign(c.n * static_cast<std::size_t>(P), -3.0f);
+    R.allgather(dev, c.n * 4, out.data());
+    R.gpu_free(dev);
+  });
+  res.records = count_records(telemetry, "allgather");
+  return res;
+}
+
+MovingResult run_gather_case(const MovingCase& c) {
+  sim::Engine engine;
+  core::Telemetry telemetry;
+  auto opts = moving_options(c, &telemetry);
+  World world(engine, net::longhorn(c.nodes, c.gpus_per_node),
+              config_for(MatrixCase{.codec = c.codec}), opts);
+  const int P = world.size();
+
+  MovingResult res;
+  res.outputs.assign(static_cast<std::size_t>(P), {});
+  world.run([&](Rank& R) {
+    const auto mine = contribution(R.rank(), c.n);
+    auto* dev = static_cast<float*>(R.gpu_malloc(c.n * 4 + 4));
+    std::memcpy(dev, mine.data(), c.n * 4);
+    auto& out = res.outputs[static_cast<std::size_t>(R.rank())];
+    if (R.rank() == c.root) out.assign(c.n * static_cast<std::size_t>(P), -3.0f);
+    R.gather(dev, c.n * 4, out.data(), c.root);
+    R.gpu_free(dev);
+  });
+  res.records = count_records(telemetry, "gather");
+  return res;
+}
+
+MovingResult run_scatter_case(const MovingCase& c, fault::FaultInjector* inj = nullptr) {
+  sim::Engine engine;
+  core::Telemetry telemetry;
+  auto opts = moving_options(c, &telemetry);
+  opts.fault = inj;
+  World world(engine, net::longhorn(c.nodes, c.gpus_per_node),
+              config_for(MatrixCase{.codec = c.codec}), opts);
+  const int P = world.size();
+
+  MovingResult res;
+  res.outputs.assign(static_cast<std::size_t>(P), {});
+  world.run([&](Rank& R) {
+    auto* send = static_cast<float*>(
+        R.gpu_malloc(c.n * 4 * static_cast<std::size_t>(P) + 4));
+    if (R.rank() == c.root) {
+      for (int d = 0; d < P; ++d) {
+        const auto block = scatter_block(d, c.n);
+        std::memcpy(send + static_cast<std::size_t>(d) * c.n, block.data(), c.n * 4);
+      }
+    }
+    auto& out = res.outputs[static_cast<std::size_t>(R.rank())];
+    out.assign(c.n, -3.0f);
+    R.scatter(send, c.n * 4, out.data(), c.root);
+    R.gpu_free(send);
+  });
+  res.records = count_records(telemetry, "scatter");
+  return res;
+}
+
+class MovingMatrix : public ::testing::Test {
+ protected:
+  static std::uint64_t eager_threshold() { return mpi::WorldOptions{}.eager_threshold; }
+
+  static CollectiveAlgorithm resolved_for(const char* op, const MovingCase& c) {
+    const int P = c.nodes * c.gpus_per_node;
+    core::CollectiveTuning t;
+    t.bcast_algorithm = c.algorithm;
+    t.allgather_algorithm = c.algorithm;
+    t.gather_algorithm = c.algorithm;
+    t.scatter_algorithm = c.algorithm;
+    const std::uint64_t bytes = c.n * 4;
+    if (std::string(op) == "bcast") {
+      return core::resolve_bcast_algorithm(t, bytes, P, c.nodes, c.gpus_per_node);
+    }
+    if (std::string(op) == "allgather") {
+      return core::resolve_allgather_algorithm(t, bytes, P, c.nodes, c.gpus_per_node);
+    }
+    if (std::string(op) == "gather") {
+      return core::resolve_gather_algorithm(t, bytes, P, c.nodes, c.gpus_per_node);
+    }
+    return core::resolve_scatter_algorithm(t, bytes, P, c.nodes, c.gpus_per_node);
+  }
+
+  void check_bcast(const MovingCase& c) {
+    const int P = c.nodes * c.gpus_per_node;
+    const auto res = run_bcast_case(c);
+    const auto truth = bcast_payload(c.n);
+    for (int r = 0; r < P; ++r) {
+      const auto& got = res.outputs[static_cast<std::size_t>(r)];
+      if (c.codec != Codec::Zfp) {
+        ASSERT_EQ(std::memcmp(got.data(), truth.data(), c.n * 4), 0)
+            << describe("bcast", c) << " rank " << r;
+      } else {
+        // One encode at the root, one decode per rank: a single lossy
+        // generation regardless of the schedule.
+        for (std::size_t i = 0; i < c.n; ++i) {
+          ASSERT_NEAR(got[i], truth[i], 0.25) << describe("bcast", c) << " rank " << r
+                                              << " index " << i;
+        }
+      }
+    }
+    // Hierarchical records on every rank; the eager path (<= threshold)
+    // preempts the engine even when Hierarchical is forced.
+    const bool engine = P > 1 && resolved_for("bcast", c) == CollectiveAlgorithm::Hierarchical &&
+                        c.n * 4 > eager_threshold();
+    EXPECT_EQ(res.records, engine ? static_cast<std::size_t>(P) : 0u)
+        << describe("bcast", c);
+  }
+
+  void check_allgather(const MovingCase& c) {
+    const int P = c.nodes * c.gpus_per_node;
+    const auto res = run_allgather_case(c);
+    for (int r = 0; r < P; ++r) {
+      const auto& got = res.outputs[static_cast<std::size_t>(r)];
+      for (int s = 0; s < P; ++s) {
+        const auto expect = contribution(s, c.n);
+        ASSERT_EQ(std::memcmp(got.data() + static_cast<std::size_t>(s) * c.n,
+                              expect.data(), c.n * 4),
+                  0)
+            << describe("allgather", c) << " rank " << r << " block from " << s;
+      }
+    }
+    const bool engine = P > 1 &&
+                        resolved_for("allgather", c) == CollectiveAlgorithm::Hierarchical &&
+                        c.n * 4 > eager_threshold();
+    EXPECT_EQ(res.records, engine ? static_cast<std::size_t>(P) : 0u)
+        << describe("allgather", c);
+  }
+
+  void check_gather(const MovingCase& c) {
+    const int P = c.nodes * c.gpus_per_node;
+    const auto res = run_gather_case(c);
+    const auto& got = res.outputs[static_cast<std::size_t>(c.root)];
+    for (int s = 0; s < P; ++s) {
+      const auto expect = contribution(s, c.n);
+      ASSERT_EQ(std::memcmp(got.data() + static_cast<std::size_t>(s) * c.n, expect.data(),
+                            c.n * 4),
+                0)
+          << describe("gather", c) << " block from " << s;
+    }
+    // Root + one record per remote node leader.
+    const bool engine =
+        P > 1 && c.n > 0 && resolved_for("gather", c) == CollectiveAlgorithm::Hierarchical;
+    EXPECT_EQ(res.records, engine ? static_cast<std::size_t>(c.nodes) : 0u)
+        << describe("gather", c);
+  }
+
+  void check_scatter(const MovingCase& c) {
+    const int P = c.nodes * c.gpus_per_node;
+    const auto res = run_scatter_case(c);
+    for (int r = 0; r < P; ++r) {
+      const auto& got = res.outputs[static_cast<std::size_t>(r)];
+      const auto expect = scatter_block(r, c.n);
+      if (c.codec != Codec::Zfp) {
+        ASSERT_EQ(std::memcmp(got.data(), expect.data(), c.n * 4), 0)
+            << describe("scatter", c) << " rank " << r;
+      } else {
+        // Worst case two lossy generations: root slab -> leader, leader
+        // block -> member.
+        for (std::size_t i = 0; i < c.n; ++i) {
+          ASSERT_NEAR(got[i], expect[i], 0.5)
+              << describe("scatter", c) << " rank " << r << " index " << i;
+        }
+      }
+    }
+    const bool engine =
+        P > 1 && c.n > 0 && resolved_for("scatter", c) == CollectiveAlgorithm::Hierarchical;
+    EXPECT_EQ(res.records, engine ? static_cast<std::size_t>(c.nodes) : 0u)
+        << describe("scatter", c);
+  }
+};
+
+TEST_F(MovingMatrix, SizeTopologyCodecSweepLossless) {
+  // 4096 floats sit exactly at the 16 KiB eager threshold (flat even when
+  // Hierarchical is forced); 16411 floats are past it and odd-sized.
+  const std::size_t sizes[] = {1, 4096, 16411};
+  const std::pair<int, int> topos[] = {{4, 2}, {3, 2}, {2, 2}, {4, 1}};
+  for (std::size_t n : sizes) {
+    for (auto [nodes, gpn] : topos) {
+      std::tie(nodes, gpn) = moving_topology(nodes, gpn);
+      for (Codec codec : {Codec::Raw, Codec::Mpc}) {
+        for (auto algo : {CollectiveAlgorithm::Linear, CollectiveAlgorithm::Hierarchical}) {
+          MovingCase c;
+          c.nodes = nodes;
+          c.gpus_per_node = gpn;
+          c.n = n;
+          c.codec = codec;
+          c.algorithm = algo;
+          check_bcast(c);
+          check_allgather(c);
+          check_gather(c);
+          check_scatter(c);
+        }
+      }
+    }
+  }
+}
+
+TEST_F(MovingMatrix, AutoCrossesToHierarchicalAtTheFloors) {
+  // bcast Auto floor: 1 MiB messages; allgather/gather/scatter: 256 KiB
+  // blocks. One size below, one at the floor; conformance holds on both
+  // sides and records flip on exactly at the floor.
+  for (std::size_t n : {std::size_t{16411}, std::size_t{1} << 18}) {
+    MovingCase c;
+    std::tie(c.nodes, c.gpus_per_node) = moving_topology(4, 2);
+    c.n = n;
+    c.algorithm = CollectiveAlgorithm::Auto;
+    check_bcast(c);
+  }
+  for (std::size_t n : {std::size_t{16411}, std::size_t{1} << 16}) {
+    MovingCase c;
+    std::tie(c.nodes, c.gpus_per_node) = moving_topology(4, 2);
+    c.n = n;
+    c.algorithm = CollectiveAlgorithm::Auto;
+    check_allgather(c);
+    check_gather(c);
+    check_scatter(c);
+  }
+}
+
+TEST_F(MovingMatrix, ZfpStaysWithinPerGenerationTolerance) {
+  for (auto algo : {CollectiveAlgorithm::Linear, CollectiveAlgorithm::Hierarchical}) {
+    MovingCase c;
+    std::tie(c.nodes, c.gpus_per_node) = moving_topology(4, 2);
+    c.codec = Codec::Zfp;
+    c.algorithm = algo;
+    check_bcast(c);
+    check_scatter(c);
+  }
+}
+
+TEST_F(MovingMatrix, RootOnLastNodeAndLeaderRoot) {
+  // Roots that are (a) a node leader and (b) on the highest-numbered node:
+  // the virtual-node rotation and the root-node representative choice both
+  // get exercised away from the defaults.
+  for (int root : {0, 6}) {
+    MovingCase c;
+    std::tie(c.nodes, c.gpus_per_node) = moving_topology(4, 2);
+    c.algorithm = CollectiveAlgorithm::Hierarchical;
+    c.root = root;
+    check_bcast(c);
+    check_gather(c);
+    check_scatter(c);
+  }
+}
+
+TEST_F(MovingMatrix, DegenerateTopologyForcedHierIsBitIdenticalToFlat) {
+  // One GPU per node: Hierarchical must resolve to Linear, run the flat
+  // schedule, emit no records, and match the forced-Linear run bit-for-bit.
+  for (const char* op : {"bcast", "allgather", "gather", "scatter"}) {
+    MovingCase hier;
+    hier.nodes = 6;
+    hier.gpus_per_node = 1;
+    hier.algorithm = CollectiveAlgorithm::Hierarchical;
+    MovingCase flat = hier;
+    flat.algorithm = CollectiveAlgorithm::Linear;
+
+    const auto run = [&](const MovingCase& c) {
+      if (std::string(op) == "bcast") return run_bcast_case(c);
+      if (std::string(op) == "allgather") return run_allgather_case(c);
+      if (std::string(op) == "gather") return run_gather_case(c);
+      return run_scatter_case(c);
+    };
+    const auto a = run(hier);
+    const auto b = run(flat);
+    EXPECT_EQ(a.records, 0u) << op;
+    EXPECT_EQ(b.records, 0u) << op;
+    ASSERT_EQ(a.outputs.size(), b.outputs.size());
+    for (std::size_t r = 0; r < a.outputs.size(); ++r) {
+      ASSERT_EQ(a.outputs[r].size(), b.outputs[r].size()) << op << " rank " << r;
+      ASSERT_EQ(std::memcmp(a.outputs[r].data(), b.outputs[r].data(),
+                            a.outputs[r].size() * 4),
+                0)
+          << op << " rank " << r << ": degenerate hierarchical diverged from flat";
+    }
+  }
+}
+
+TEST_F(MovingMatrix, ScatterInterNodeTransitBudget) {
+  // The IB transit budget, measured: flat scatter pushes one rendezvous
+  // data packet per remote RANK (P - gpus_per_node inter-node packets);
+  // the hierarchical schedule pushes one slab per remote NODE (nodes - 1).
+  // The batched root send (one compress launch, all sends in flight) is
+  // PR-7's isend_batched on the flat path and the slab batch here.
+  MovingCase c;
+  std::tie(c.nodes, c.gpus_per_node) = moving_topology(4, 2);
+  if (c.gpus_per_node == 1) GTEST_SKIP() << "budget split needs a two-level topology";
+  const int P = c.nodes * c.gpus_per_node;
+
+  fault::FaultInjector flat_inj{fault::FaultPlan{}};  // inert: pure packet counting
+  c.algorithm = CollectiveAlgorithm::Linear;
+  const auto flat = run_scatter_case(c, &flat_inj);
+  EXPECT_EQ(flat_inj.stats().inter_node_data_packets,
+            static_cast<std::uint64_t>(P - c.gpus_per_node));
+  EXPECT_EQ(flat_inj.stats().drops, 0u);
+
+  fault::FaultInjector hier_inj{fault::FaultPlan{}};
+  c.algorithm = CollectiveAlgorithm::Hierarchical;
+  const auto hier = run_scatter_case(c, &hier_inj);
+  EXPECT_EQ(hier_inj.stats().inter_node_data_packets,
+            static_cast<std::uint64_t>(c.nodes - 1));
+
+  for (int r = 0; r < P; ++r) {
+    ASSERT_EQ(std::memcmp(flat.outputs[static_cast<std::size_t>(r)].data(),
+                          hier.outputs[static_cast<std::size_t>(r)].data(), c.n * 4),
+              0)
+        << "rank " << r << ": schedules disagree";
+  }
+}
+
+TEST_F(MovingMatrix, BcastInterNodeTransitBudget) {
+  // Hierarchical bcast from a non-leader root: exactly nodes-1 inter-node
+  // wire transits on a clean fabric — the one-transit-per-node guarantee.
+  MovingCase c;
+  std::tie(c.nodes, c.gpus_per_node) = moving_topology(4, 4);
+  if (c.gpus_per_node == 1) GTEST_SKIP() << "budget split needs a two-level topology";
+  c.algorithm = CollectiveAlgorithm::Hierarchical;
+  fault::FaultInjector inj{fault::FaultPlan{}};
+  const auto res = run_bcast_case(c, &inj);
+  (void)res;
+  EXPECT_EQ(inj.stats().inter_node_data_packets, static_cast<std::uint64_t>(c.nodes - 1));
+}
+
 // --- oracle self-checks ---
 
 TEST(OracleSanity, RingOracleMatchesNaiveSumOnIntegers) {
@@ -546,6 +1000,66 @@ TEST(OracleSanity, DynamicSelectorPrefersRingForLargeCompressibleVectors) {
             CollectiveAlgorithm::Ring);
   EXPECT_EQ(sel.choose_allreduce_algorithm(4 * 1024, 2, 2, 1, 1.0),
             CollectiveAlgorithm::Linear);
+}
+
+TEST(OracleSanity, ResolveMovingCollectivesHonorFloorsAndTopology) {
+  core::CollectiveTuning t;  // defaults: 1 MiB bcast, 256 KiB blocks, 4 ranks
+  // Auto: below the floor stays flat, at/above it goes hierarchical — but
+  // only on a genuinely two-level topology.
+  EXPECT_EQ(core::resolve_bcast_algorithm(t, 512u << 10, 8, 4, 2),
+            CollectiveAlgorithm::Linear);
+  EXPECT_EQ(core::resolve_bcast_algorithm(t, 1u << 20, 8, 4, 2),
+            CollectiveAlgorithm::Hierarchical);
+  EXPECT_EQ(core::resolve_bcast_algorithm(t, 16u << 20, 8, 8, 1),
+            CollectiveAlgorithm::Linear);
+  EXPECT_EQ(core::resolve_bcast_algorithm(t, 16u << 20, 8, 1, 8),
+            CollectiveAlgorithm::Linear);
+  EXPECT_EQ(core::resolve_allgather_algorithm(t, 128u << 10, 8, 4, 2),
+            CollectiveAlgorithm::Linear);
+  EXPECT_EQ(core::resolve_allgather_algorithm(t, 256u << 10, 8, 4, 2),
+            CollectiveAlgorithm::Hierarchical);
+  EXPECT_EQ(core::resolve_gather_algorithm(t, 256u << 10, 8, 4, 2),
+            CollectiveAlgorithm::Hierarchical);
+  EXPECT_EQ(core::resolve_scatter_algorithm(t, 256u << 10, 8, 4, 2),
+            CollectiveAlgorithm::Hierarchical);
+  // Too few ranks for the staging to pay off.
+  EXPECT_EQ(core::resolve_bcast_algorithm(t, 16u << 20, 2, 2, 1),
+            CollectiveAlgorithm::Linear);
+  // allow_hierarchical gates Auto.
+  t.allow_hierarchical = false;
+  EXPECT_EQ(core::resolve_bcast_algorithm(t, 16u << 20, 8, 4, 2),
+            CollectiveAlgorithm::Linear);
+  t.allow_hierarchical = true;
+  // Forcing overrides the floors — except on degenerate topologies, where
+  // Hierarchical resolves to Linear (no second level to stage on).
+  t.bcast_algorithm = CollectiveAlgorithm::Hierarchical;
+  t.gather_algorithm = CollectiveAlgorithm::Hierarchical;
+  EXPECT_EQ(core::resolve_bcast_algorithm(t, 4 * 1024, 8, 4, 2),
+            CollectiveAlgorithm::Hierarchical);
+  EXPECT_EQ(core::resolve_bcast_algorithm(t, 4 * 1024, 8, 8, 1),
+            CollectiveAlgorithm::Linear);
+  EXPECT_EQ(core::resolve_gather_algorithm(t, 4 * 1024, 8, 1, 8),
+            CollectiveAlgorithm::Linear);
+}
+
+TEST(OracleSanity, DynamicSelectorPrefersHierarchicalOnTwoLevelTopologies) {
+  // NVLink intra at 4x the IB wire rate (the default multiplier): staging
+  // at node leaders wins for large messages on a 4x4 cluster but can never
+  // be chosen on a flat one.
+  const core::DynamicSelector sel(gpu::v100_spec(), 12.5);
+  EXPECT_EQ(sel.choose_bcast_algorithm(16u << 20, 16, 4, 4, 2.0),
+            CollectiveAlgorithm::Hierarchical);
+  EXPECT_EQ(sel.choose_bcast_algorithm(16u << 20, 16, 16, 1, 2.0),
+            CollectiveAlgorithm::Linear);
+  EXPECT_EQ(sel.choose_bcast_algorithm(16u << 20, 16, 1, 16, 2.0),
+            CollectiveAlgorithm::Linear);
+  EXPECT_EQ(sel.choose_allgather_algorithm(4u << 20, 16, 4, 4, 2.0),
+            CollectiveAlgorithm::Hierarchical);
+  EXPECT_EQ(sel.choose_gather_algorithm(4u << 20, 16, 4, 4, 2.0),
+            CollectiveAlgorithm::Hierarchical);
+  // Scatter mirrors gather by construction.
+  EXPECT_EQ(sel.choose_scatter_algorithm(4u << 20, 16, 4, 4, 2.0),
+            sel.choose_gather_algorithm(4u << 20, 16, 4, 4, 2.0));
 }
 
 }  // namespace
